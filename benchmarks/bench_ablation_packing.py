@@ -1,0 +1,35 @@
+"""Ablation — DESIGN.md §5.3: SIMD batch packing amortisation.
+
+One encrypted classification costs the same wall-clock whether 1 or
+max-batch images ride in the slots; throughput therefore scales with
+the batch while single-image latency is constant.
+"""
+
+from conftest import save_artifact
+
+from repro.bench.tables import format_table, measure_engine_latency
+from repro.bench.workloads import make_engine
+
+
+def test_ablation_packing(benchmark, cnn1_models):
+    engine = make_engine(cnn1_models, "ckks-rns")
+    batches = [1, 4, 16]
+    rows = []
+    for b in batches:
+        stats = measure_engine_latency(engine, cnn1_models.x_test[:b], repeats=1)
+        rows.append([b, stats.avg, b / stats.avg])
+
+    benchmark.pedantic(
+        lambda: engine.classify(cnn1_models.x_test[:1]), rounds=1, iterations=1
+    )
+    lat1 = rows[0][1]
+    lat16 = rows[-1][1]
+    assert lat16 < 2.0 * lat1, "batched packing should not scale latency with batch"
+    save_artifact(
+        "ablation_packing",
+        format_table(
+            ["batch (images)", "latency (s)", "throughput (img/s)"],
+            rows,
+            "SIMD batch packing: latency is batch-invariant",
+        ),
+    )

@@ -1,0 +1,52 @@
+"""Ablation — DESIGN.md §5.2: executor choice for residue-channel dispatch.
+
+On a multicore host the thread/process executors realise the paper's
+per-residue parallelism; on a single-core container (like most CI) they
+should roughly tie with serial — either way, results must be identical.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from conftest import save_artifact
+
+from repro.bench.tables import format_table
+from repro.ckksrns import CkksRnsContext, CkksRnsParams
+from repro.parallel import SerialExecutor, ThreadExecutor
+from repro.utils.timing import Timer
+
+
+@pytest.mark.parametrize("executor_kind", ["serial", "thread"])
+def test_ablation_executor(benchmark, executor_kind):
+    params = CkksRnsParams(n=1024, moduli_bits=(40,) + (26,) * 7, special_bits=49)
+    executor = SerialExecutor() if executor_kind == "serial" else ThreadExecutor(workers=8)
+    ctx = CkksRnsContext(params, executor=executor)
+    keys = ctx.keygen(0)
+    z = np.random.default_rng(0).uniform(-1, 1, ctx.slots)
+    ct = ctx.encrypt(keys.pk, z, 0)
+    benchmark(lambda: ctx.mul(ct, ct, keys.relin))
+    executor.close()
+
+
+def test_ablation_executor_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    params = CkksRnsParams(n=1024, moduli_bits=(40,) + (26,) * 7, special_bits=49)
+    rows = []
+    results = {}
+    for kind, ex in [("serial", SerialExecutor()), ("thread x8", ThreadExecutor(workers=8))]:
+        ctx = CkksRnsContext(params, executor=ex)
+        keys = ctx.keygen(0)
+        z = np.random.default_rng(0).uniform(-1, 1, ctx.slots)
+        ct = ctx.encrypt(keys.pk, z, 0)
+        with Timer() as t:
+            out = ctx.mul(ct, ct, keys.relin)
+        results[kind] = out.c0
+        rows.append([kind, t.elapsed * 1e3])
+        ex.close()
+    assert np.array_equal(results["serial"], results["thread x8"])
+    rows.append(["host cores", os.cpu_count()])
+    save_artifact(
+        "ablation_parallel",
+        format_table(["executor", "ct*ct (ms) / cores"], rows, "Executor ablation (CKKS-RNS mul)"),
+    )

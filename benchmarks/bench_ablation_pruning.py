@@ -1,0 +1,45 @@
+"""Ablation — weight pruning (Faster-CryptoNets, §IV related work).
+
+Compiling with ``prune_below`` drops near-zero weights from the
+homomorphic weighted sums; latency falls with sparsity while accuracy
+degrades gracefully.  This regenerates that trade-off curve on CNN1.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.bench.tables import format_table, measure_engine_latency
+from repro.bench.workloads import make_engine
+from repro.henn.compiler import compile_model
+from repro.henn.inference import HeInferenceEngine
+from repro.henn.backend import MockBackend
+from repro.henn.compiler import model_depth
+
+
+def test_ablation_pruning(benchmark, cnn1_models, preset):
+    rows = []
+    for threshold in (0.0, 0.02, 0.05, 0.1):
+        layers = compile_model(cnn1_models.slaf_model, prune_below=threshold)
+        mock = MockBackend(batch=256, levels=model_depth(layers) + 1)
+        eng = HeInferenceEngine(mock, layers, cnn1_models.input_shape)
+        n = min(256, len(cnn1_models.y_test))
+        acc = eng.accuracy(cnn1_models.x_test[:n], cnn1_models.y_test[:n])
+        rns = make_engine(cnn1_models, "ckks-rns")
+        rns.layers = layers
+        lat = measure_engine_latency(rns, cnn1_models.x_test[:1], repeats=1).avg
+        weights = np.concatenate(
+            [l.weight.ravel() for l in layers if hasattr(l, "weight")]
+        )
+        sparsity = float((np.abs(weights) <= threshold).mean()) if threshold else 0.0
+        rows.append([threshold, f"{sparsity:.0%}", lat, acc * 100])
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_pruning",
+        format_table(
+            ["prune threshold", "weights dropped", "latency (s)", "accuracy (%)"],
+            rows,
+            f"Pruning ablation on CNN1 (preset={preset.name})",
+        ),
+    )
+    assert rows[-1][2] <= rows[0][2] * 1.05  # latency should not grow with pruning

@@ -1,0 +1,38 @@
+"""Fig. 2 — RNS decomposition micro-benchmarks.
+
+Measures the decompose / componentwise-op / recompose pipeline on an
+image-sized integer tensor, demonstrating that channel arithmetic is
+word-sized and the CRT bracket is where the (small) overhead lives.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.bench.tables import format_table
+from repro.rns import RnsBase, channel_mul, rns_decompose, rns_recompose_signed
+from repro.utils.timing import Timer
+
+
+def test_fig2_decompose_roundtrip(benchmark, rng=np.random.default_rng(0)):
+    base = RnsBase.from_bit_sizes([26, 26, 26], 64)
+    x = rng.integers(-(2**40), 2**40, (64, 28, 28))
+
+    def roundtrip():
+        st = rns_decompose(x, base)
+        st = channel_mul(st, st, base)
+        return rns_recompose_signed(st, base)
+
+    benchmark(roundtrip)
+
+    rows = []
+    for stage, fn in [
+        ("decompose", lambda: rns_decompose(x, base)),
+        ("channel mul", lambda st=rns_decompose(x, base): channel_mul(st, st, base)),
+        ("recompose", lambda st=rns_decompose(x, base): rns_recompose_signed(st, base)),
+    ]:
+        with Timer() as t:
+            fn()
+        rows.append([stage, t.elapsed * 1000])
+    save_artifact(
+        "fig2", format_table(["stage", "ms"], rows, "FIG 2 — RNS decomposition stages (batch=64)")
+    )

@@ -1,0 +1,39 @@
+"""Fig. 5 — per-stage trace of the CNN-RNS pipeline.
+
+Decompose -> parallel conv channels -> CRT recompose -> encrypted
+activation / dense tail, with wall-clock per stage.
+"""
+
+from conftest import save_artifact
+
+from repro.bench.tables import format_table
+from repro.bench.workloads import make_engine
+from repro.henn.hybrid import HybridRnsEngine
+
+
+def test_fig5_stage_trace(benchmark, cnn1_models, preset):
+    backend = make_engine(cnn1_models, "ckks-rns").backend
+    engine = HybridRnsEngine(
+        backend,
+        cnn1_models.he_layers,
+        cnn1_models.input_shape,
+        k_moduli=3,
+        total_bits=preset.sweep_total_bits,
+    )
+
+    def classify():
+        return engine.classify(cnn1_models.x_test[:1])
+
+    benchmark.pedantic(classify, rounds=1, iterations=1)
+    rows = [
+        ["RNS conv stage (decompose + k parallel convs + CRT)", engine.stages.conv_stage],
+        ["encrypted tail (SLAF activations + dense layers)", engine.stages.he_stage],
+        ["total", engine.stages.total],
+    ]
+    # the engine's per-layer trace of the tail
+    for name, secs in engine.tail.trace.as_rows():
+        rows.append([f"  tail layer {name}", secs])
+    save_artifact(
+        "fig5",
+        format_table(["stage", "seconds"], rows, f"FIG 5 — CNN1-RNS pipeline trace (preset={preset.name})"),
+    )

@@ -1,0 +1,29 @@
+"""Table I — state-of-the-art NN-HE summary, with our measured rows.
+
+The literature rows are constants from the paper; our CNN1/CNN2 rows are
+measured on this machine (latency of one encrypted classification under
+CKKS-RNS; accuracy over the mock backend on the synthetic test set).
+"""
+
+from conftest import save_artifact
+
+from repro.bench.tables import format_table, measure_engine_latency, mock_accuracy, table1_rows
+from repro.bench.workloads import make_engine
+
+
+def test_table1(benchmark, cnn1_models, cnn2_models, preset):
+    measured = []
+    for models in (cnn1_models, cnn2_models):
+        engine = make_engine(models, "ckks-rns")
+        stats = measure_engine_latency(engine, models.x_test[:1], repeats=1)
+        acc = mock_accuracy(models) * 100
+        measured.append((f"{models.arch.upper()}-HE-RNS (ours)", stats.avg, acc))
+
+    def regen():
+        return table1_rows(measured)
+
+    headers, rows = benchmark.pedantic(regen, rounds=1, iterations=1)
+    save_artifact(
+        "table1",
+        format_table(headers, rows, f"TABLE I — SOTA summary + ours (preset={preset.name})"),
+    )

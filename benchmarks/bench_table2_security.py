@@ -1,0 +1,18 @@
+"""Table II — CKKS-RNS security settings, validated against the HE standard."""
+
+from conftest import save_artifact
+
+from repro.bench.tables import format_table, table2_rows
+from repro.ckksrns import CkksRnsParams
+
+
+def test_table2(benchmark):
+    params = CkksRnsParams.paper_table2()
+
+    headers, rows = benchmark.pedantic(
+        lambda: table2_rows(params), rounds=1, iterations=1
+    )
+    save_artifact("table2", format_table(headers, rows, "TABLE II — CKKS-RNS security settings"))
+    d = {r[0]: r[1] for r in rows}
+    assert d["HE-standard OK"] is True
+    assert d["log q"] == 366

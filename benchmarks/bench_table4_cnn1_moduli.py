@@ -1,0 +1,24 @@
+"""Table IV — CNN1-HE-RNS latency across moduli-chain lengths (3..10).
+
+Paper: monotone decrease from 2.27 s (k=3) to a minimum of 1.67 s at
+k=9, small uptick at k=10.  The sweep knob is the Fig. 5 decomposition
+of the convolution stage at a fixed total precision budget; the
+homomorphic tail is k-independent and reported as a constant column.
+"""
+
+from conftest import save_artifact
+
+from repro.bench.tables import format_table, run_table4
+
+
+def test_table4(benchmark, cnn1_models, preset):
+    headers, rows = benchmark.pedantic(
+        lambda: run_table4(cnn1_models), rounds=1, iterations=1
+    )
+    save_artifact(
+        "table4",
+        format_table(headers, rows, f"TABLE IV — CNN1-HE-RNS moduli sweep (preset={preset.name})"),
+    )
+    ks = [r[0] for r in rows]
+    assert ks == list(range(3, 11))
+    assert all(r[1] > 0 for r in rows)

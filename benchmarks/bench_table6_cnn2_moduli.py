@@ -1,0 +1,22 @@
+"""Table VI — CNN2-HE-RNS latency across moduli configurations (1, 3..10).
+
+Paper: k=1 (the non-RNS baseline) at 39.91 s, dropping to ~23 s for
+k >= 3, minimum 22.46 s at k=9, uptick at k=10.  Row k=1 runs the
+non-decomposed multiprecision convolution.
+"""
+
+from conftest import save_artifact
+
+from repro.bench.tables import format_table, run_table6
+
+
+def test_table6(benchmark, cnn2_models, preset):
+    headers, rows = benchmark.pedantic(
+        lambda: run_table6(cnn2_models), rounds=1, iterations=1
+    )
+    save_artifact(
+        "table6",
+        format_table(headers, rows, f"TABLE VI — CNN2-HE-RNS moduli sweep (preset={preset.name})"),
+    )
+    ks = [r[0] for r in rows]
+    assert ks == [1] + list(range(3, 11))

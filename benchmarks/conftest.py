@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures: preset resolution and trained-model cache.
+
+Benchmarks print their tables and also persist them under
+``bench_artifacts/`` so EXPERIMENTS.md can reference actual runs.
+Select sizes with ``REPRO_BENCH_PRESET`` (tiny | reduced | paper).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import get_preset, prepare_models
+
+ARTIFACTS = Path(__file__).resolve().parent.parent / "bench_artifacts"
+
+
+def save_artifact(name: str, text: str) -> None:
+    ARTIFACTS.mkdir(exist_ok=True)
+    (ARTIFACTS / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def preset():
+    return get_preset()
+
+
+@pytest.fixture(scope="session")
+def cnn1_models(preset):
+    return prepare_models("cnn1", preset)
+
+
+@pytest.fixture(scope="session")
+def cnn2_models(preset):
+    return prepare_models("cnn2", preset)

@@ -1,0 +1,36 @@
+"""Figs. 3-5: the CNN1 / CNN2 architectures and their RNS adaptation.
+
+Prints the block diagrams, parameter counts, and the multiplicative-
+depth accounting of §V.B (1 level per linear layer, degree per
+polynomial activation; CNN2 with degree-3 SLAFs hits L = 13, Table II).
+
+Run:  python examples/architectures.py
+"""
+
+import numpy as np
+
+from repro.henn import ascii_diagram, build_cnn1, build_cnn2, compile_model, slafify
+from repro.henn.architectures import input_shape_for
+from repro.henn.compiler import model_depth
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    shape = input_shape_for("full")
+    x = rng.uniform(0, 1, (64,) + shape)
+    y = rng.integers(0, 10, 64)
+
+    for name, builder, fig in (("CNN1", build_cnn1, "Fig. 3"), ("CNN2", build_cnn2, "Fig. 4")):
+        model = builder(variant="full", seed=0)
+        print(ascii_diagram(model, f"{name} ({fig})"))
+        print(model.summary())
+        slaf = slafify(model, x, y, degree=3, epochs=1, seed=0)
+        depth = model_depth(compile_model(slaf))
+        print(f"  multiplicative depth with degree-3 SLAF: {depth}\n")
+
+    print(ascii_diagram(build_cnn2(variant="full", seed=0), "CNN2-RNS (Fig. 5b)", rns_channels=3))
+    print("\n(Table II uses L = 13 — exactly CNN2's depth with degree-3 activations.)")
+
+
+if __name__ == "__main__":
+    main()

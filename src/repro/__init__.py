@@ -1,0 +1,37 @@
+"""repro — reproduction of "Efficient Privacy-Preserving Convolutional Neural
+Networks with CKKS-RNS for Encrypted Image Classification" (Tchernykh et al.,
+IPDPS-W 2025).
+
+The package is organised bottom-up:
+
+``repro.nt``
+    Number-theory substrate: modular arithmetic, NTT-friendly prime
+    generation, negacyclic NTT, CRT, and multiprecision polynomial rings.
+``repro.rns``
+    Residue Number System: bases, decomposition/recomposition of integer
+    tensors (paper Fig. 2), per-channel arithmetic and base conversion.
+``repro.ckks``
+    Textbook (multiprecision) CKKS scheme of Cheon-Kim-Kim-Song 2017 —
+    the non-RNS "CNN-HE" baseline.
+``repro.ckksrns``
+    Full-RNS CKKS variant of Cheon-Han-Kim-Kim-Song 2019 — the scheme the
+    paper's CNN-HE-RNS models run on.
+``repro.parallel``
+    Executors used to dispatch independent RNS residue channels.
+``repro.nn``
+    From-scratch NumPy neural-network training framework (Conv2d, Linear,
+    BatchNorm2d, ReLU, SLAF polynomial activations, SGD + momentum,
+    OneCycle LR).
+``repro.data``
+    Synthetic MNIST-like dataset (offline substitute for MNIST).
+``repro.henn``
+    The paper's core contribution: homomorphic CNN inference engines
+    (CNN1/CNN2 and their RNS variants), model compiler (BN folding,
+    SLAF substitution), packing strategies, and error analysis.
+``repro.bench``
+    Benchmark harness regenerating every table and figure in the paper.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

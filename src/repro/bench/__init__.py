@@ -1,0 +1,39 @@
+"""Benchmark harness: presets, trained-model cache, and table generators.
+
+Every table and figure of the paper's evaluation section has a
+generator here, wired to the ``benchmarks/`` pytest-benchmark suite.
+Size presets keep default runs CI-friendly:
+
+* ``tiny`` (default) — 8x8 inputs, narrow nets, toy ring degrees; the
+  whole suite completes in minutes.
+* ``reduced`` — 14x14 inputs, the architecture shapes of Figs. 3/4 at
+  half resolution.
+* ``paper`` — 28x28 and the Table II parameter set (N = 2^14); hours of
+  pure-Python HE, run explicitly via ``REPRO_BENCH_PRESET=paper``.
+"""
+
+from repro.bench.presets import BenchPreset, get_preset
+from repro.bench.workloads import TrainedModels, prepare_models
+from repro.bench.tables import (
+    format_table,
+    table1_rows,
+    table2_rows,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+__all__ = [
+    "BenchPreset",
+    "get_preset",
+    "TrainedModels",
+    "prepare_models",
+    "format_table",
+    "table1_rows",
+    "table2_rows",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+]

@@ -1,0 +1,93 @@
+"""Benchmark size presets.
+
+The preset controls dataset size, training length, architecture variant
+and HE parameters.  Select with ``REPRO_BENCH_PRESET`` (``tiny`` |
+``reduced`` | ``paper``); the default keeps a full benchmark sweep
+inside CI time on a single core.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.ckks import CkksParams
+from repro.ckksrns import CkksRnsParams
+
+__all__ = ["BenchPreset", "get_preset", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class BenchPreset:
+    """All knobs one benchmark run depends on."""
+
+    name: str
+    variant: str  # architecture size: tiny | reduced | full
+    n_train: int
+    n_test: int
+    epochs: int
+    slaf_epochs: int
+    n_ring: int  # ring degree for both schemes
+    accuracy_samples: int  # test images scored via the mock backend
+    latency_repeats: int  # timed encrypted classifications per row
+    sweep_total_bits: int = 232  # Table IV/VI precision budget
+    sweep_batch: int = 256  # images per conv-stage sweep measurement
+
+    def rns_params(self, depth: int) -> CkksRnsParams:
+        """CKKS-RNS chain long enough for *depth* rescales."""
+        return CkksRnsParams(
+            n=self.n_ring,
+            moduli_bits=(40,) + (26,) * depth,
+            scale_bits=26,
+            special_bits=49,
+        )
+
+    def mp_params(self, depth: int) -> CkksParams:
+        """Multiprecision CKKS parameters for the same depth."""
+        return CkksParams(n=self.n_ring, scale_bits=26, q0_bits=40, levels=depth)
+
+
+PRESETS: dict[str, BenchPreset] = {
+    "tiny": BenchPreset(
+        name="tiny",
+        variant="tiny",
+        n_train=6000,
+        n_test=1200,
+        epochs=15,
+        slaf_epochs=5,
+        n_ring=512,
+        accuracy_samples=512,
+        latency_repeats=2,
+    ),
+    "reduced": BenchPreset(
+        name="reduced",
+        variant="reduced",
+        n_train=10_000,
+        n_test=2000,
+        epochs=12,
+        slaf_epochs=4,
+        n_ring=1024,
+        accuracy_samples=1024,
+        latency_repeats=3,
+    ),
+    "paper": BenchPreset(
+        name="paper",
+        variant="full",
+        n_train=50_000,
+        n_test=10_000,
+        epochs=30,
+        slaf_epochs=5,
+        n_ring=2**14,
+        accuracy_samples=8192,
+        latency_repeats=3,
+        sweep_total_bits=366,
+    ),
+}
+
+
+def get_preset(name: str | None = None) -> BenchPreset:
+    """Resolve a preset by name or the ``REPRO_BENCH_PRESET`` env var."""
+    name = name or os.environ.get("REPRO_BENCH_PRESET", "tiny")
+    if name not in PRESETS:
+        raise ValueError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}")
+    return PRESETS[name]

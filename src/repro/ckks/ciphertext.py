@@ -1,0 +1,31 @@
+"""Ciphertext container for the multiprecision scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Ciphertext"]
+
+
+@dataclass
+class Ciphertext:
+    """``c = (c0, c1) in R_{q_level}^2`` with scale bookkeeping.
+
+    ``level`` counts remaining rescaling steps: a fresh ciphertext is at
+    ``level = L`` and each :meth:`~repro.ckks.context.CkksContext.rescale`
+    decrements it.  ``scale`` is the current plaintext scaling factor Δ'.
+    """
+
+    c0: np.ndarray  # object coefficient array mod q_level
+    c1: np.ndarray
+    level: int
+    scale: float
+    n: int
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(self.c0.copy(), self.c1.copy(), self.level, self.scale, self.n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Ciphertext(n={self.n}, level={self.level}, scale=2^{np.log2(self.scale):.1f})"

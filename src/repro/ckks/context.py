@@ -1,0 +1,351 @@
+"""The multiprecision CKKS context: parameters, keygen and all primitives.
+
+Implements §II of the paper over :class:`repro.nt.polynomial.PolyRing`:
+
+* modulus chain ``q_ell = q0 * Δ^ell`` for ``ell = 0..L`` (rescaling by Δ
+  exactly divides because Δ is a power of two);
+* ``KeyGen(N, q, L)`` with ternary HW(h) secret, RLWE public key, and the
+  evaluation key ``ek = (-a's + e' + P s^2, a')`` over ``P·q_L`` with
+  special modulus ``P = q_L`` (the original CKKS key-switching);
+* ``Encrypt/Decrypt/Add/Mult/Resc/Rot`` exactly as listed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.keys import GaloisKey, KeyPair, PublicKey, RelinKey, SecretKey
+from repro.ckks.sampling import DEFAULT_SIGMA, sample_gaussian, sample_hwt, sample_zo
+from repro.nt.polynomial import PolyRing
+from repro.utils.rng import derive_rng
+
+__all__ = ["CkksParams", "CkksContext"]
+
+
+@dataclass(frozen=True)
+class CkksParams:
+    """Scheme parameters (paper Table II shape).
+
+    ``n`` ring degree, ``scale_bits`` = log2 Δ, ``q0_bits`` the base
+    modulus width, ``levels`` = L (max multiplicative depth), ``hw`` the
+    secret Hamming weight, ``sigma`` the error std-dev.
+    """
+
+    n: int = 2**12
+    scale_bits: int = 26
+    q0_bits: int = 40
+    levels: int = 6
+    hw: int = 64
+    sigma: float = DEFAULT_SIGMA
+
+    def __post_init__(self) -> None:
+        if self.n < 8 or self.n & (self.n - 1):
+            raise ValueError("n must be a power of two >= 8")
+        if self.levels < 1:
+            raise ValueError("levels must be >= 1")
+        if not 0 < self.scale_bits < 60:
+            raise ValueError("scale_bits out of range")
+        if self.q0_bits < self.scale_bits:
+            raise ValueError("q0_bits should be >= scale_bits for correct decryption")
+
+    @property
+    def scale(self) -> float:
+        return float(1 << self.scale_bits)
+
+    @property
+    def log_q(self) -> int:
+        """Total modulus bits at the top level (Table II 'log q')."""
+        return self.q0_bits + self.scale_bits * self.levels
+
+
+class CkksContext:
+    """All CKKS primitives bound to one parameter set."""
+
+    def __init__(self, params: CkksParams):
+        self.params = params
+        self.n = params.n
+        self.encoder = CkksEncoder(params.n)
+        delta = 1 << params.scale_bits
+        q0 = 1 << params.q0_bits
+        #: q_ell = q0 * Δ^ell, ell = 0..L
+        self.moduli = [q0 * delta**ell for ell in range(params.levels + 1)]
+        self.q_top = self.moduli[-1]
+        #: Special key-switching modulus P = q_L (original CKKS choice).
+        self.p_special = self.q_top
+        self._rings = {q: PolyRing(self.n, q) for q in self.moduli}
+        self._rings_big = {}  # lazily built P*q_ell rings
+
+    # -- helpers ------------------------------------------------------------
+
+    def ring(self, level: int) -> PolyRing:
+        return self._rings[self.moduli[level]]
+
+    def ring_big(self, level: int) -> PolyRing:
+        q = self.moduli[level] * self.p_special
+        if q not in self._rings_big:
+            self._rings_big[q] = PolyRing(self.n, q)
+        return self._rings_big[q]
+
+    @property
+    def top_level(self) -> int:
+        return self.params.levels
+
+    @property
+    def slots(self) -> int:
+        return self.n // 2
+
+    # -- key generation -------------------------------------------------------
+
+    def keygen(
+        self, seed: int | np.random.Generator | None = None, rotations: tuple[int, ...] = ()
+    ) -> KeyPair:
+        """``KeyGen(N, q, L) -> sk, pk, ek`` plus optional Galois keys."""
+        rng = derive_rng(seed)
+        ring = self.ring(self.top_level)
+        big = self.ring_big(self.top_level)
+        s = sample_hwt(self.n, self.params.hw, rng).astype(object) % ring.q
+        # pk = (b, a): b = -a s + e (mod q_L)
+        a = ring.random_uniform(rng)
+        e = sample_gaussian(self.n, rng, self.params.sigma).astype(object)
+        b = ring.sub(ring.from_coeffs(e), ring.mul(a, s))
+        # ek over P * q_L encoding P * s^2
+        s_big = np.mod(self._center(s, ring.q), big.q)
+        s2_big = big.mul(s_big, s_big)
+        a2 = big.random_uniform(rng)
+        e2 = sample_gaussian(self.n, rng, self.params.sigma).astype(object)
+        b2 = big.add(
+            big.sub(big.from_coeffs(e2), big.mul(a2, s_big)),
+            big.scalar_mul(s2_big, self.p_special),
+        )
+        relin = RelinKey(b=b2, a=a2, p_special=self.p_special)
+        kp = KeyPair(sk=SecretKey(s=s), pk=PublicKey(b=b, a=a), relin=relin)
+        for r in rotations:
+            self.add_galois_key(kp, r, rng)
+        return kp
+
+    def add_galois_key(self, kp: KeyPair, rotation: int, rng: np.random.Generator) -> None:
+        """Generate the key switching ``s(X^g) -> s`` for left-rotation *rotation*."""
+        g = self.galois_element(rotation)
+        if g in kp.galois:
+            return
+        ring = self.ring(self.top_level)
+        big = self.ring_big(self.top_level)
+        s = kp.sk.s
+        s_big = np.mod(self._center(s, ring.q), big.q)
+        sg = big.automorphism(s_big, g)
+        a = big.random_uniform(rng)
+        e = sample_gaussian(self.n, rng, self.params.sigma).astype(object)
+        b = big.add(
+            big.sub(big.from_coeffs(e), big.mul(a, s_big)),
+            big.scalar_mul(sg, self.p_special),
+        )
+        kp.galois[g] = GaloisKey(g=g, b=b, a=a, p_special=self.p_special)
+
+    def galois_element(self, rotation: int) -> int:
+        """Galois group element for a left-rotation by *rotation* slots."""
+        if rotation == "conj":  # pragma: no cover - defensive
+            return 2 * self.n - 1
+        return pow(5, rotation % self.slots, 2 * self.n)
+
+    @staticmethod
+    def _center(a: np.ndarray, q: int) -> np.ndarray:
+        half = q // 2
+        return np.where(np.asarray(a, dtype=object) > half, np.asarray(a, dtype=object) - q, a)
+
+    # -- encryption ------------------------------------------------------------
+
+    def encrypt(
+        self,
+        pk: PublicKey,
+        values: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+        scale: float | None = None,
+    ) -> Ciphertext:
+        """``Encrypt(z, Δ, pk)``: encode then mask with an RLWE sample."""
+        rng = derive_rng(rng)
+        scale = float(scale or self.params.scale)
+        m = self.encoder.encode(values, scale)
+        return self.encrypt_poly(pk, m, scale, rng)
+
+    def encrypt_poly(
+        self, pk: PublicKey, m: np.ndarray, scale: float, rng: np.random.Generator
+    ) -> Ciphertext:
+        """Encrypt an already-encoded integer polynomial at top level."""
+        ring = self.ring(self.top_level)
+        v = ring.from_coeffs(sample_zo(self.n, rng).astype(object))
+        e0 = sample_gaussian(self.n, rng, self.params.sigma).astype(object)
+        e1 = sample_gaussian(self.n, rng, self.params.sigma).astype(object)
+        c0 = ring.add(ring.mul(v, pk.b), ring.from_coeffs(np.asarray(m, dtype=object) + e0))
+        c1 = ring.add(ring.mul(v, pk.a), ring.from_coeffs(e1))
+        return Ciphertext(c0=c0, c1=c1, level=self.top_level, scale=scale, n=self.n)
+
+    def decrypt(self, sk: SecretKey, ct: Ciphertext, count: int | None = None) -> np.ndarray:
+        """``Decrypt(c, Δ, sk) -> z`` (complex slot vector)."""
+        ring = self.ring(ct.level)
+        s = np.mod(self._center(sk.s, self.q_top), ring.q)
+        m = ring.add(ct.c0, ring.mul(ct.c1, s))
+        centered = ring.to_centered(m)
+        z = self.encoder.decode(centered, ct.scale)
+        return z[:count] if count is not None else z
+
+    def decrypt_real(self, sk: SecretKey, ct: Ciphertext, count: int | None = None) -> np.ndarray:
+        """Decrypt and keep the real parts (the common CNN use)."""
+        return np.real(self.decrypt(sk, ct, count))
+
+    # -- homomorphic operations --------------------------------------------------
+
+    def _align(self, a: Ciphertext, b: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        """Bring two ciphertexts to a common level (mod-switch the higher one)."""
+        if a.level > b.level:
+            a = self.mod_switch_to(a, b.level)
+        elif b.level > a.level:
+            b = self.mod_switch_to(b, a.level)
+        return a, b
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Homomorphic addition (scales must match)."""
+        a, b = self._align(a, b)
+        if not np.isclose(a.scale, b.scale, rtol=1e-9):
+            raise ValueError(f"scale mismatch in add: {a.scale} vs {b.scale}")
+        ring = self.ring(a.level)
+        return Ciphertext(ring.add(a.c0, b.c0), ring.add(a.c1, b.c1), a.level, a.scale, self.n)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        a, b = self._align(a, b)
+        if not np.isclose(a.scale, b.scale, rtol=1e-9):
+            raise ValueError(f"scale mismatch in sub: {a.scale} vs {b.scale}")
+        ring = self.ring(a.level)
+        return Ciphertext(ring.sub(a.c0, b.c0), ring.sub(a.c1, b.c1), a.level, a.scale, self.n)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        ring = self.ring(a.level)
+        return Ciphertext(ring.neg(a.c0), ring.neg(a.c1), a.level, a.scale, self.n)
+
+    def add_plain(self, a: Ciphertext, values: np.ndarray | float) -> Ciphertext:
+        """Add a plaintext vector/scalar encoded at the ciphertext's scale."""
+        ring = self.ring(a.level)
+        if np.isscalar(values):
+            values = np.full(self.slots, float(values))
+        m = self.encoder.encode(values, a.scale)
+        return Ciphertext(ring.add(a.c0, ring.from_coeffs(m)), a.c1.copy(), a.level, a.scale, self.n)
+
+    def mul_plain(
+        self, a: Ciphertext, values: np.ndarray | float, plain_scale: float | None = None
+    ) -> Ciphertext:
+        """Multiply by a plaintext vector/scalar; output scale multiplies."""
+        ring = self.ring(a.level)
+        plain_scale = float(plain_scale or self.params.scale)
+        if np.isscalar(values):
+            values = np.full(self.slots, float(values))
+        m = ring.from_coeffs(self.encoder.encode(values, plain_scale))
+        return Ciphertext(
+            ring.mul(a.c0, m), ring.mul(a.c1, m), a.level, a.scale * plain_scale, self.n
+        )
+
+    def mul_plain_scalar(
+        self, a: Ciphertext, scalar: float, plain_scale: float | None = None
+    ) -> Ciphertext:
+        """Multiply by one real scalar — coefficientwise, no encoding FFT."""
+        ring = self.ring(a.level)
+        plain_scale = float(plain_scale or self.params.scale)
+        c = int(round(float(scalar) * plain_scale))
+        return Ciphertext(
+            ring.scalar_mul(a.c0, c),
+            ring.scalar_mul(a.c1, c),
+            a.level,
+            a.scale * plain_scale,
+            self.n,
+        )
+
+    def mul(self, a: Ciphertext, b: Ciphertext, relin: RelinKey) -> Ciphertext:
+        """``Mult(c1, c2, ek)`` with immediate relinearisation."""
+        a, b = self._align(a, b)
+        ring = self.ring(a.level)
+        d0 = ring.mul(a.c0, b.c0)
+        d1 = ring.add(ring.mul(a.c0, b.c1), ring.mul(a.c1, b.c0))
+        d2 = ring.mul(a.c1, b.c1)
+        r0, r1 = self._keyswitch(d2, relin.b, relin.a, a.level)
+        return Ciphertext(
+            ring.add(d0, r0), ring.add(d1, r1), a.level, a.scale * b.scale, self.n
+        )
+
+    def square(self, a: Ciphertext, relin: RelinKey) -> Ciphertext:
+        """Homomorphic squaring (saves one ring product vs. :meth:`mul`)."""
+        ring = self.ring(a.level)
+        d0 = ring.mul(a.c0, a.c0)
+        c0c1 = ring.mul(a.c0, a.c1)
+        d1 = ring.add(c0c1, c0c1)
+        d2 = ring.mul(a.c1, a.c1)
+        r0, r1 = self._keyswitch(d2, relin.b, relin.a, a.level)
+        return Ciphertext(ring.add(d0, r0), ring.add(d1, r1), a.level, a.scale**2, self.n)
+
+    def _keyswitch(
+        self, x: np.ndarray, kb: np.ndarray, ka: np.ndarray, level: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``round(P^{-1} * x * key) mod q_level`` for both key components."""
+        ring = self.ring(level)
+        big = self.ring_big(level)
+        q_big = big.q
+        x_big = np.mod(ring.to_centered(x), q_big)
+        kb_l = np.mod(self._center(kb, self.q_top * self.p_special), q_big)
+        ka_l = np.mod(self._center(ka, self.q_top * self.p_special), q_big)
+        t0 = big.mul(x_big, kb_l)
+        t1 = big.mul(x_big, ka_l)
+        r0 = big.round_div(t0, self.p_special, ring.q)
+        r1 = big.round_div(t1, self.p_special, ring.q)
+        return r0, r1
+
+    def rescale(self, a: Ciphertext) -> Ciphertext:
+        """``Resc(c)``: divide by Δ and drop one level."""
+        if a.level == 0:
+            raise ValueError("cannot rescale below level 0")
+        ring = self.ring(a.level)
+        delta = 1 << self.params.scale_bits
+        new_q = self.moduli[a.level - 1]
+        c0 = ring.round_div(a.c0, delta, new_q)
+        c1 = ring.round_div(a.c1, delta, new_q)
+        return Ciphertext(c0, c1, a.level - 1, a.scale / delta, self.n)
+
+    def mod_switch_to(self, a: Ciphertext, level: int) -> Ciphertext:
+        """Drop to a lower level without dividing the plaintext (scale kept)."""
+        if level > a.level:
+            raise ValueError("cannot mod-switch upwards")
+        if level == a.level:
+            return a
+        ring = self.ring(a.level)
+        new_q = self.moduli[level]
+        c0 = ring.mod_switch(a.c0, new_q)
+        c1 = ring.mod_switch(a.c1, new_q)
+        return Ciphertext(c0, c1, level, a.scale, self.n)
+
+    def rotate(self, a: Ciphertext, rotation: int, galois: dict[int, GaloisKey]) -> Ciphertext:
+        """``Rot(c, r)``: left-rotate slots by *rotation* using a Galois key."""
+        rotation = rotation % self.slots
+        if rotation == 0:
+            return a.copy()
+        g = self.galois_element(rotation)
+        if g not in galois:
+            raise KeyError(f"no Galois key for rotation {rotation} (element {g})")
+        key = galois[g]
+        ring = self.ring(a.level)
+        c0g = ring.automorphism(a.c0, g)
+        c1g = ring.automorphism(a.c1, g)
+        r0, r1 = self._keyswitch(c1g, key.b, key.a, a.level)
+        return Ciphertext(ring.add(c0g, r0), r1, a.level, a.scale, self.n)
+
+    def rescale_to_match(self, a: Ciphertext, target_scale: float) -> Ciphertext:
+        """Rescale repeatedly until the scale matches *target_scale*."""
+        out = a
+        while out.scale > target_scale * 1.5 and out.level > 0:
+            out = self.rescale(out)
+        if not np.isclose(out.scale, target_scale, rtol=1e-6):
+            raise ValueError(f"cannot reach scale {target_scale} from {a.scale}")
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = self.params
+        return f"CkksContext(n={p.n}, Δ=2^{p.scale_bits}, L={p.levels}, log q={p.log_q})"

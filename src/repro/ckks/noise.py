@@ -1,0 +1,54 @@
+"""Noise measurement and budget heuristics.
+
+CKKS is approximate: "noise" shows up as the deviation between decrypted
+and true values.  :func:`measure_error` quantifies it empirically (the
+only ground truth for an approximate scheme), and
+:func:`fresh_noise_bound` / :func:`noise_budget_bits` give the standard
+back-of-envelope bounds used when choosing parameters (§V.B).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["measure_error", "fresh_noise_bound", "noise_budget_bits"]
+
+
+def measure_error(decrypted: np.ndarray, expected: np.ndarray) -> dict[str, float]:
+    """Empirical error statistics between decrypted and true slot values."""
+    decrypted = np.real(np.asarray(decrypted))
+    expected = np.asarray(expected, dtype=np.float64)
+    if decrypted.shape != expected.shape:
+        raise ValueError("shape mismatch")
+    err = np.abs(decrypted - expected)
+    denom = np.maximum(np.abs(expected), 1e-12)
+    return {
+        "max_abs": float(err.max()),
+        "mean_abs": float(err.mean()),
+        "max_rel": float((err / denom).max()),
+        "bits_precision": float(-np.log2(max(err.max(), 1e-300))),
+    }
+
+
+def fresh_noise_bound(n: int, sigma: float = 3.2, hw: int = 64) -> float:
+    """Canonical-embedding bound on fresh encryption noise.
+
+    ``8 * sqrt(2) * sigma * N + 6 * sigma * sqrt(N) + 16 * sigma *
+    sqrt(h * N)`` — the standard heuristic from the CKKS papers.
+    """
+    return 8 * math.sqrt(2) * sigma * n + 6 * sigma * math.sqrt(n) + 16 * sigma * math.sqrt(hw * n)
+
+
+def noise_budget_bits(log_q: int, scale_bits: int, depth: int, margin_bits: int = 10) -> int:
+    """Remaining headroom after *depth* rescales at scale Δ = 2^scale_bits.
+
+    Each rescale consumes ~``scale_bits`` of modulus; the base prime
+    (wider than Δ, e.g. 40 vs 26 bits in Table II) absorbs the output
+    scale, so the requirement is ``log q > depth * scale_bits + margin``.
+    Positive means the parameter set supports the circuit — the paper's
+    §V.B accounting (conv depth 1, degree-d polynomial depth d in our
+    power-basis evaluation).
+    """
+    return log_q - scale_bits * depth - margin_bits

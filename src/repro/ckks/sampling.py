@@ -1,0 +1,45 @@
+"""RLWE noise/key distributions (§II notation).
+
+* ``chi_key = HW(h)`` — ternary secrets with Hamming weight *h*.
+* ``chi_enc`` — here the standard ZO(1/2) ternary encryption randomness.
+* ``chi_err`` — rounded discrete Gaussian with sigma = 3.2 (HE standard).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_hwt", "sample_zo", "sample_gaussian", "DEFAULT_SIGMA"]
+
+#: Error std-dev from the HomomorphicEncryption.org standard [37].
+DEFAULT_SIGMA = 3.2
+
+
+def sample_hwt(n: int, h: int, rng: np.random.Generator) -> np.ndarray:
+    """Signed binary vector in {±1}^n with exactly *h* non-zeros (chi_key)."""
+    if not 0 < h <= n:
+        raise ValueError(f"Hamming weight must be in (0, {n}], got {h}")
+    out = np.zeros(n, dtype=np.int64)
+    pos = rng.choice(n, size=h, replace=False)
+    out[pos] = rng.choice(np.array([-1, 1], dtype=np.int64), size=h)
+    return out
+
+
+def sample_zo(n: int, rng: np.random.Generator, rho: float = 0.5) -> np.ndarray:
+    """Ternary vector: each coefficient ±1 w.p. rho/2 each, else 0 (chi_enc)."""
+    if not 0 < rho <= 1:
+        raise ValueError("rho must be in (0, 1]")
+    u = rng.random(n)
+    out = np.zeros(n, dtype=np.int64)
+    out[u < rho / 2] = 1
+    out[(u >= rho / 2) & (u < rho)] = -1
+    return out
+
+
+def sample_gaussian(n: int, rng: np.random.Generator, sigma: float = DEFAULT_SIGMA) -> np.ndarray:
+    """Rounded discrete Gaussian error vector (chi_err)."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if sigma == 0:
+        return np.zeros(n, dtype=np.int64)
+    return np.rint(rng.normal(0.0, sigma, size=n)).astype(np.int64)

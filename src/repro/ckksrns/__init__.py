@@ -1,0 +1,29 @@
+"""Full-RNS CKKS — Cheon-Han-Kim-Kim-Song 2019 [9].
+
+The scheme the paper's CNN-HE-RNS models run on.  Every ring element is
+a stack of ``k`` independent residue channels (int64, NTT/evaluation
+domain), so
+
+* addition / multiplication are componentwise single-word operations,
+* rescaling is the exact RNS division by the dropped prime,
+* key switching uses the RNS-digit gadget (one digit per channel), and
+* channels can be dispatched to :mod:`repro.parallel` executors — the
+  "decomposed into several parts and propagated homomorphically and
+  independently in parallel" of the paper's abstract.
+"""
+
+from repro.ckksrns.params import CkksRnsParams
+from repro.ckksrns.ciphertext import RnsCiphertext
+from repro.ckksrns.keys import RnsGaloisKey, RnsKeyPair, RnsPublicKey, RnsRelinKey, RnsSecretKey
+from repro.ckksrns.context import CkksRnsContext
+
+__all__ = [
+    "CkksRnsParams",
+    "CkksRnsContext",
+    "RnsCiphertext",
+    "RnsKeyPair",
+    "RnsSecretKey",
+    "RnsPublicKey",
+    "RnsRelinKey",
+    "RnsGaloisKey",
+]

@@ -1,0 +1,50 @@
+"""RNS ciphertexts: residue-channel stacks in the NTT (evaluation) domain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RnsCiphertext"]
+
+
+@dataclass
+class RnsCiphertext:
+    """``c = (c0, c1)`` with each component an ``(k, n)`` int64 channel stack.
+
+    ``level`` indexes the active prefix of the moduli chain: the stack has
+    ``k = level + 1`` channels.  Both components are kept in the NTT
+    ("evaluation") domain so multiplications are dyadic.
+    """
+
+    c0: np.ndarray
+    c1: np.ndarray
+    level: int
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.c0.shape != self.c1.shape:
+            raise ValueError("component shape mismatch")
+        if self.c0.shape[0] != self.level + 1:
+            raise ValueError(
+                f"level {self.level} requires {self.level + 1} channels, got {self.c0.shape[0]}"
+            )
+
+    @property
+    def k(self) -> int:
+        """Number of active residue channels."""
+        return self.level + 1
+
+    @property
+    def n(self) -> int:
+        return self.c0.shape[1]
+
+    def copy(self) -> "RnsCiphertext":
+        return RnsCiphertext(self.c0.copy(), self.c1.copy(), self.level, self.scale)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RnsCiphertext(n={self.n}, level={self.level}, k={self.k}, "
+            f"scale=2^{np.log2(self.scale):.2f})"
+        )

@@ -1,0 +1,534 @@
+"""The full-RNS CKKS context: keygen and all homomorphic primitives.
+
+Representation invariants
+-------------------------
+* Every polynomial is a stack of residue channels, shape ``(k, n)``
+  ``int64``, canonically reduced per channel, held in the **NTT domain**
+  unless a function says otherwise.
+* A ciphertext at ``level`` uses the chain prefix ``q_0 .. q_level``.
+* Key switching uses the RNS-digit gadget with **one digit per channel**
+  and a single special prime ``P``:  digit *j* of ``x`` is
+  ``D_j(x) = [x * (Q_top/q_j)^{-1}]_{q_j}`` and the key for digit *j*
+  encodes ``P * (Q_top/q_j) * s'``.  Reconstruction
+  ``sum_j D_j(x) * (Q_top/q_j) ≡ x (mod q_i)`` holds for every active
+  channel *i*, at every level, because each omitted factor contains
+  ``q_i``.  After accumulation the special channel is divided out
+  exactly (rescale-by-P), leaving noise ``≈ k * q_max * e / P``.
+
+Channel independence is exposed through an :class:`repro.parallel`
+executor: NTT batches and key-switch digits fan out per channel — this
+is the parallelism Tables IV/VI sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.sampling import DEFAULT_SIGMA, sample_gaussian, sample_hwt, sample_zo
+from repro.ckksrns.ciphertext import RnsCiphertext
+from repro.ckksrns.keys import (
+    RnsGaloisKey,
+    RnsKeyPair,
+    RnsPublicKey,
+    RnsRelinKey,
+    RnsSecretKey,
+)
+from repro.ckksrns.params import CkksRnsParams
+from repro.nt.modarith import addmod, mulmod, negmod, submod
+from repro.nt.ntt import NttPlan
+from repro.nt.primes import gen_ntt_primes
+from repro.rns.base import RnsBase
+from repro.parallel import Executor, SerialExecutor
+from repro.utils.rng import derive_rng
+
+__all__ = ["CkksRnsContext", "RnsPlaintext"]
+
+
+class RnsPlaintext:
+    """Encoded plaintext in the NTT domain, reusable across ciphertexts."""
+
+    __slots__ = ("data", "scale", "level")
+
+    def __init__(self, data: np.ndarray, scale: float, level: int):
+        self.data = data  # (level+1, n) eval domain
+        self.scale = scale
+        self.level = level
+
+
+def _galois_permute(a: np.ndarray, g: int, n: int, q: int) -> np.ndarray:
+    """Coefficient-domain Galois map ``m(X) -> m(X^g)`` on one channel."""
+    idx = (g * np.arange(n, dtype=np.int64)) % (2 * n)
+    pos = idx % n
+    sign_flip = idx >= n
+    out = np.zeros(n, dtype=np.int64)
+    vals = np.where(sign_flip, negmod(a, q), a)
+    out[pos] = vals
+    return out
+
+
+class CkksRnsContext:
+    """All CKKS-RNS primitives bound to one parameter set.
+
+    Parameters
+    ----------
+    params:
+        The scheme parameters.
+    executor:
+        Channel-dispatch executor (default serial).  Thread or process
+        executors realise the paper's per-residue parallelism.
+    """
+
+    def __init__(self, params: CkksRnsParams, executor: Executor | None = None):
+        self.params = params
+        self.n = params.n
+        self.executor = executor or SerialExecutor()
+        self.encoder = CkksEncoder(params.n)
+        # Ciphertext moduli then the special prime, all distinct NTT primes.
+        all_bits = list(params.moduli_bits) + [params.special_bits]
+        primes = gen_ntt_primes(all_bits, params.n)
+        self.moduli: list[int] = primes[:-1]
+        self.p_special: int = primes[-1]
+        self.ext_moduli: list[int] = self.moduli + [self.p_special]
+        self.k_top = len(self.moduli)
+        self.plans = {m: NttPlan(params.n, m) for m in self.ext_moduli}
+        self._bases = {k: RnsBase(self.moduli[:k], n=params.n) for k in range(1, self.k_top + 1)}
+        # Digit-gadget constants w.r.t. the top basis Q_top.
+        q_top = self._bases[self.k_top].modulus
+        self.hat_top = [q_top // m for m in self.moduli]
+        self.hat_inv_top = [pow(h, -1, m) for h, m in zip(self.hat_top, self.moduli)]
+        #: factor_table[j][i] = (P * hat_j) mod ext_moduli[i]
+        self.factor_table = [
+            np.array(
+                [(self.p_special * hj) % mi for mi in self.ext_moduli], dtype=np.int64
+            )
+            for hj in self.hat_top
+        ]
+        self.p_inv = [pow(self.p_special % m, -1, m) for m in self.moduli]
+
+    # -- small helpers --------------------------------------------------------
+
+    @property
+    def top_level(self) -> int:
+        return self.k_top - 1
+
+    @property
+    def slots(self) -> int:
+        return self.n // 2
+
+    def base(self, level: int) -> RnsBase:
+        return self._bases[level + 1]
+
+    def _ntt(self, stack: np.ndarray, moduli: list[int]) -> np.ndarray:
+        """Forward NTT per channel, dispatched via the executor."""
+        rows = self.executor.map(
+            lambda i: self.plans[moduli[i]].forward(stack[i]), list(range(len(moduli)))
+        )
+        return np.stack(rows)
+
+    def _intt(self, stack: np.ndarray, moduli: list[int]) -> np.ndarray:
+        """Inverse NTT per channel, dispatched via the executor."""
+        rows = self.executor.map(
+            lambda i: self.plans[moduli[i]].inverse(stack[i]), list(range(len(moduli)))
+        )
+        return np.stack(rows)
+
+    def _decompose_small(self, coeffs: np.ndarray, moduli: list[int]) -> np.ndarray:
+        """Residues of small signed int64 coefficients (keys, noise)."""
+        return np.stack([np.mod(coeffs, np.int64(m)) for m in moduli])
+
+    def _decompose_big(self, coeffs: np.ndarray, moduli: list[int]) -> np.ndarray:
+        """Residues of big-integer (object) coefficients (encoded plaintexts)."""
+        return np.stack(
+            [np.mod(coeffs.astype(object), m).astype(np.int64) for m in moduli]
+        )
+
+    # -- key generation --------------------------------------------------------
+
+    def keygen(
+        self, seed: int | np.random.Generator | None = None, rotations: tuple[int, ...] = ()
+    ) -> RnsKeyPair:
+        """Generate secret/public/relinearisation (and optional Galois) keys."""
+        rng = derive_rng(seed)
+        n = self.n
+        s_coeff = sample_hwt(n, self.params.hw, rng)
+        s_ext = self._ntt(self._decompose_small(s_coeff, self.ext_moduli), self.ext_moduli)
+        # Public key over the ciphertext basis.
+        a = self._uniform(self.moduli, rng)
+        e = self._ntt(
+            self._decompose_small(sample_gaussian(n, rng, self.params.sigma), self.moduli),
+            self.moduli,
+        )
+        s_q = s_ext[: self.k_top]
+        b = np.stack(
+            [
+                submod(e[i], mulmod(a[i], s_q[i], m), m)
+                for i, m in enumerate(self.moduli)
+            ]
+        )
+        relin = self._gen_switch_key(s_ext, self._square_ext(s_ext), rng)
+        kp = RnsKeyPair(
+            sk=RnsSecretKey(s=s_ext, s_coeff=s_coeff),
+            pk=RnsPublicKey(b=b, a=a),
+            relin=RnsRelinKey(b=relin[0], a=relin[1]),
+        )
+        for r in rotations:
+            self.add_galois_key(kp, r, rng)
+        return kp
+
+    def _square_ext(self, s_ext: np.ndarray) -> np.ndarray:
+        return np.stack(
+            [mulmod(s_ext[i], s_ext[i], m) for i, m in enumerate(self.ext_moduli)]
+        )
+
+    def _uniform(self, moduli: list[int], rng: np.random.Generator) -> np.ndarray:
+        return np.stack(
+            [rng.integers(0, m, size=self.n, dtype=np.int64) for m in moduli]
+        )
+
+    def _gen_switch_key(
+        self, s_ext: np.ndarray, target_ext: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Digit keys encoding ``P * hat_j * target`` under ``s`` (NTT domain)."""
+        digits_b = []
+        digits_a = []
+        for j in range(self.k_top):
+            a_j = self._uniform(self.ext_moduli, rng)
+            e_j = self._ntt(
+                self._decompose_small(
+                    sample_gaussian(self.n, rng, self.params.sigma), self.ext_moduli
+                ),
+                self.ext_moduli,
+            )
+            rows_b = []
+            for i, m in enumerate(self.ext_moduli):
+                t = mulmod(target_ext[i], np.int64(self.factor_table[j][i]), m)
+                t = addmod(t, e_j[i], m)
+                t = submod(t, mulmod(a_j[i], s_ext[i], m), m)
+                rows_b.append(t)
+            digits_b.append(np.stack(rows_b))
+            digits_a.append(a_j)
+        return np.stack(digits_b), np.stack(digits_a)
+
+    def add_galois_key(self, kp: RnsKeyPair, rotation: int, rng: np.random.Generator) -> None:
+        """Generate the key for left-rotation by *rotation* slots (idempotent)."""
+        g = self.galois_element(rotation)
+        if g in kp.galois:
+            return
+        sg_coeff = self._galois_signed(kp.sk.s_coeff, g)
+        sg_ext = self._ntt(self._decompose_small(sg_coeff, self.ext_moduli), self.ext_moduli)
+        b, a = self._gen_switch_key(kp.sk.s, sg_ext, rng)
+        kp.galois[g] = RnsGaloisKey(g=g, b=b, a=a)
+
+    def galois_element(self, rotation: int) -> int:
+        return pow(5, rotation % self.slots, 2 * self.n)
+
+    @staticmethod
+    def _galois_signed(coeffs: np.ndarray, g: int) -> np.ndarray:
+        """Galois map on small signed coefficients (no modulus)."""
+        n = coeffs.shape[0]
+        idx = (g * np.arange(n, dtype=np.int64)) % (2 * n)
+        pos = idx % n
+        out = np.zeros(n, dtype=np.int64)
+        out[pos] = np.where(idx >= n, -coeffs, coeffs)
+        return out
+
+    # -- encoding / encryption ----------------------------------------------------
+
+    def encode(self, values: np.ndarray, scale: float | None = None, level: int | None = None) -> RnsPlaintext:
+        """Encode a slot vector into NTT-domain residue channels."""
+        scale = float(scale or self.params.scale)
+        level = self.top_level if level is None else level
+        m = self.encoder.encode(values, scale)
+        moduli = self.moduli[: level + 1]
+        stack = self._ntt(self._decompose_big(m, moduli), moduli)
+        return RnsPlaintext(stack, scale, level)
+
+    def encrypt(
+        self,
+        pk: RnsPublicKey,
+        values: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+        scale: float | None = None,
+    ) -> RnsCiphertext:
+        """``Encrypt(z, Δ, pk)`` at top level."""
+        rng = derive_rng(rng)
+        scale = float(scale or self.params.scale)
+        m = self.encoder.encode(values, scale)
+        m_stack = self._ntt(self._decompose_big(m, self.moduli), self.moduli)
+        return self._encrypt_stack(pk, m_stack, scale, rng)
+
+    def _encrypt_stack(
+        self, pk: RnsPublicKey, m_stack: np.ndarray, scale: float, rng: np.random.Generator
+    ) -> RnsCiphertext:
+        n = self.n
+        v = self._ntt(self._decompose_small(sample_zo(n, rng), self.moduli), self.moduli)
+        e0 = self._ntt(
+            self._decompose_small(sample_gaussian(n, rng, self.params.sigma), self.moduli),
+            self.moduli,
+        )
+        e1 = self._ntt(
+            self._decompose_small(sample_gaussian(n, rng, self.params.sigma), self.moduli),
+            self.moduli,
+        )
+        c0 = np.stack(
+            [
+                addmod(addmod(mulmod(v[i], pk.b[i], m), m_stack[i], m), e0[i], m)
+                for i, m in enumerate(self.moduli)
+            ]
+        )
+        c1 = np.stack(
+            [
+                addmod(mulmod(v[i], pk.a[i], m), e1[i], m)
+                for i, m in enumerate(self.moduli)
+            ]
+        )
+        return RnsCiphertext(c0, c1, self.top_level, scale)
+
+    def decrypt(self, sk: RnsSecretKey, ct: RnsCiphertext, count: int | None = None) -> np.ndarray:
+        """``Decrypt(c, Δ, sk)``: complex slot vector."""
+        moduli = self.moduli[: ct.k]
+        m_eval = np.stack(
+            [
+                addmod(ct.c0[i], mulmod(ct.c1[i], sk.s[i], m), m)
+                for i, m in enumerate(moduli)
+            ]
+        )
+        m_coeff = self._intt(m_eval, moduli)
+        base = self.base(ct.level)
+        centered = base.compose_centered([m_coeff[i] for i in range(ct.k)])
+        z = self.encoder.decode(centered, ct.scale)
+        return z[:count] if count is not None else z
+
+    def decrypt_real(self, sk: RnsSecretKey, ct: RnsCiphertext, count: int | None = None) -> np.ndarray:
+        return np.real(self.decrypt(sk, ct, count))
+
+    # -- arithmetic ------------------------------------------------------------------
+
+    def _align(self, a: RnsCiphertext, b: RnsCiphertext) -> tuple[RnsCiphertext, RnsCiphertext]:
+        if a.level > b.level:
+            a = self.mod_switch_to(a, b.level)
+        elif b.level > a.level:
+            b = self.mod_switch_to(b, a.level)
+        return a, b
+
+    def _check_scales(self, sa: float, sb: float, op: str) -> None:
+        # RNS primes only approximate Δ, so scales drift slightly; a 0.1%
+        # mismatch adds ~2^-10 relative error, far below SLAF noise.
+        if not np.isclose(sa, sb, rtol=1e-3):
+            raise ValueError(f"scale mismatch in {op}: {sa} vs {sb}")
+
+    def add(self, a: RnsCiphertext, b: RnsCiphertext) -> RnsCiphertext:
+        a, b = self._align(a, b)
+        self._check_scales(a.scale, b.scale, "add")
+        moduli = self.moduli[: a.k]
+        c0 = np.stack([addmod(a.c0[i], b.c0[i], m) for i, m in enumerate(moduli)])
+        c1 = np.stack([addmod(a.c1[i], b.c1[i], m) for i, m in enumerate(moduli)])
+        return RnsCiphertext(c0, c1, a.level, a.scale)
+
+    def sub(self, a: RnsCiphertext, b: RnsCiphertext) -> RnsCiphertext:
+        a, b = self._align(a, b)
+        self._check_scales(a.scale, b.scale, "sub")
+        moduli = self.moduli[: a.k]
+        c0 = np.stack([submod(a.c0[i], b.c0[i], m) for i, m in enumerate(moduli)])
+        c1 = np.stack([submod(a.c1[i], b.c1[i], m) for i, m in enumerate(moduli)])
+        return RnsCiphertext(c0, c1, a.level, a.scale)
+
+    def negate(self, a: RnsCiphertext) -> RnsCiphertext:
+        moduli = self.moduli[: a.k]
+        c0 = np.stack([negmod(a.c0[i], m) for i, m in enumerate(moduli)])
+        c1 = np.stack([negmod(a.c1[i], m) for i, m in enumerate(moduli)])
+        return RnsCiphertext(c0, c1, a.level, a.scale)
+
+    def add_plain(self, a: RnsCiphertext, values: np.ndarray | float) -> RnsCiphertext:
+        if np.isscalar(values):
+            values = np.full(self.slots, float(values))
+        pt = self.encode(values, a.scale, a.level)
+        moduli = self.moduli[: a.k]
+        c0 = np.stack([addmod(a.c0[i], pt.data[i], m) for i, m in enumerate(moduli)])
+        return RnsCiphertext(c0, a.c1.copy(), a.level, a.scale)
+
+    def mul_plain_scalar(self, a: RnsCiphertext, scalar: float, plain_scale: float | None = None) -> RnsCiphertext:
+        """Multiply by one real scalar — a constant per channel, no NTT."""
+        plain_scale = float(plain_scale or self.params.scale)
+        c = int(round(float(scalar) * plain_scale))
+        moduli = self.moduli[: a.k]
+        c0 = np.stack([mulmod(a.c0[i], np.int64(c % m), m) for i, m in enumerate(moduli)])
+        c1 = np.stack([mulmod(a.c1[i], np.int64(c % m), m) for i, m in enumerate(moduli)])
+        return RnsCiphertext(c0, c1, a.level, a.scale * plain_scale)
+
+    def mul_plain(self, a: RnsCiphertext, plain: "RnsPlaintext | np.ndarray", plain_scale: float | None = None) -> RnsCiphertext:
+        """Multiply by an encoded plaintext vector (dyadic per channel)."""
+        if not isinstance(plain, RnsPlaintext):
+            plain = self.encode(np.asarray(plain), plain_scale or self.params.scale, a.level)
+        if plain.level < a.level:
+            a = self.mod_switch_to(a, plain.level)
+        moduli = self.moduli[: a.k]
+        c0 = np.stack([mulmod(a.c0[i], plain.data[i], m) for i, m in enumerate(moduli)])
+        c1 = np.stack([mulmod(a.c1[i], plain.data[i], m) for i, m in enumerate(moduli)])
+        return RnsCiphertext(c0, c1, a.level, a.scale * plain.scale)
+
+    def mul(self, a: RnsCiphertext, b: RnsCiphertext, relin: RnsRelinKey) -> RnsCiphertext:
+        """``Mult(c1, c2, ek)`` with immediate relinearisation."""
+        a, b = self._align(a, b)
+        moduli = self.moduli[: a.k]
+        d0 = np.stack([mulmod(a.c0[i], b.c0[i], m) for i, m in enumerate(moduli)])
+        d1 = np.stack(
+            [
+                addmod(
+                    mulmod(a.c0[i], b.c1[i], m), mulmod(a.c1[i], b.c0[i], m), m
+                )
+                for i, m in enumerate(moduli)
+            ]
+        )
+        d2 = np.stack([mulmod(a.c1[i], b.c1[i], m) for i, m in enumerate(moduli)])
+        r0, r1 = self._keyswitch_eval(d2, relin.b, relin.a, a.level)
+        c0 = np.stack([addmod(d0[i], r0[i], m) for i, m in enumerate(moduli)])
+        c1 = np.stack([addmod(d1[i], r1[i], m) for i, m in enumerate(moduli)])
+        return RnsCiphertext(c0, c1, a.level, a.scale * b.scale)
+
+    def square(self, a: RnsCiphertext, relin: RnsRelinKey) -> RnsCiphertext:
+        """Homomorphic squaring (one dyadic product fewer than mul)."""
+        moduli = self.moduli[: a.k]
+        d0 = np.stack([mulmod(a.c0[i], a.c0[i], m) for i, m in enumerate(moduli)])
+        d1 = np.stack(
+            [
+                addmod(*(2 * (mulmod(a.c0[i], a.c1[i], m),)), m)
+                for i, m in enumerate(moduli)
+            ]
+        )
+        d2 = np.stack([mulmod(a.c1[i], a.c1[i], m) for i, m in enumerate(moduli)])
+        r0, r1 = self._keyswitch_eval(d2, relin.b, relin.a, a.level)
+        c0 = np.stack([addmod(d0[i], r0[i], m) for i, m in enumerate(moduli)])
+        c1 = np.stack([addmod(d1[i], r1[i], m) for i, m in enumerate(moduli)])
+        return RnsCiphertext(c0, c1, a.level, a.scale * a.scale)
+
+    # -- key switching core -----------------------------------------------------------
+
+    def _keyswitch_eval(
+        self, x_eval: np.ndarray, kb: np.ndarray, ka: np.ndarray, level: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x_coeff = self._intt(x_eval, self.moduli[: level + 1])
+        return self._keyswitch_coeff(x_coeff, kb, ka, level)
+
+    def _keyswitch_coeff(
+        self, x_coeff: np.ndarray, kb: np.ndarray, ka: np.ndarray, level: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Digit key switch of a coefficient-domain stack; returns eval stacks."""
+        k = level + 1
+        moduli = self.moduli[:k]
+        ext = moduli + [self.p_special]
+        # Digits D_j = [x * hat_j^{-1}]_{q_j} with centered lifts, stacked.
+        centered = np.empty((k, self.n), dtype=np.int64)
+        for j, qj in enumerate(moduli):
+            d = mulmod(x_coeff[j], np.int64(self.hat_inv_top[j]), qj)
+            centered[j] = np.where(d > qj // 2, d - qj, d)
+
+        def channel_contrib(i: int) -> tuple[np.ndarray, np.ndarray]:
+            # All k digits lifted into target modulus m, one *batched* NTT,
+            # then the inner product with the digit keys.  Sums of k
+            # products < 2**50 stay exact in int64 for k <= 8192.
+            m = ext[i]
+            lifted_eval = self.plans[m].forward(np.mod(centered, np.int64(m)))
+            key_idx = i if i < k else self.k_top  # special prime is last in key
+            p0 = mulmod(lifted_eval, kb[:k, key_idx], m)
+            p1 = mulmod(lifted_eval, ka[:k, key_idx], m)
+            return p0.sum(axis=0) % m, p1.sum(axis=0) % m
+
+        contribs = self.executor.map(channel_contrib, list(range(k + 1)))
+        acc0 = np.stack([c[0] for c in contribs])
+        acc1 = np.stack([c[1] for c in contribs])
+        r0 = self._div_special(acc0, moduli)
+        r1 = self._div_special(acc1, moduli)
+        return r0, r1
+
+    def _div_special(self, acc_ext: np.ndarray, moduli: list[int]) -> np.ndarray:
+        """Exact division by P: (acc - lift([acc]_P)) * P^{-1}, back to eval."""
+        k = len(moduli)
+        ext = moduli + [self.p_special]
+        coeff = self._intt(acc_ext, ext)
+        last = coeff[k]
+        half = self.p_special // 2
+        lifted = np.where(last > half, last - self.p_special, last)
+        out = np.empty((k, self.n), dtype=np.int64)
+        for i, m in enumerate(moduli):
+            t = submod(coeff[i], np.mod(lifted, np.int64(m)), m)
+            out[i] = mulmod(t, np.int64(self.p_inv[i]), m)
+        return self._ntt(out, moduli)
+
+    # -- rescaling / level management ---------------------------------------------------
+
+    def rescale(self, a: RnsCiphertext) -> RnsCiphertext:
+        """``Resc(c)``: exact RNS division by the last prime of the level."""
+        if a.level == 0:
+            raise ValueError("cannot rescale below level 0")
+        k = a.k
+        moduli = self.moduli[:k]
+        q_last = moduli[-1]
+        half = q_last // 2
+        coeff0 = self._intt(a.c0, moduli)
+        coeff1 = self._intt(a.c1, moduli)
+
+        def drop(coeff: np.ndarray) -> np.ndarray:
+            last = coeff[k - 1]
+            lifted = np.where(last > half, last - q_last, last)
+            out = np.empty((k - 1, self.n), dtype=np.int64)
+            for i, m in enumerate(moduli[:-1]):
+                inv = pow(q_last % m, -1, m)
+                t = submod(coeff[i], np.mod(lifted, np.int64(m)), m)
+                out[i] = mulmod(t, np.int64(inv), m)
+            return out
+
+        c0 = self._ntt(drop(coeff0), moduli[:-1])
+        c1 = self._ntt(drop(coeff1), moduli[:-1])
+        return RnsCiphertext(c0, c1, a.level - 1, a.scale / q_last)
+
+    def mod_switch_to(self, a: RnsCiphertext, level: int) -> RnsCiphertext:
+        """Drop trailing residue channels (plaintext and scale unchanged)."""
+        if level > a.level:
+            raise ValueError("cannot mod-switch upwards")
+        if level == a.level:
+            return a
+        k = level + 1
+        return RnsCiphertext(a.c0[:k].copy(), a.c1[:k].copy(), level, a.scale)
+
+    def rescale_to_match(self, a: RnsCiphertext, target_scale: float) -> RnsCiphertext:
+        """Rescale until within 0.1% of *target_scale* (raises if impossible)."""
+        out = a
+        while out.scale > target_scale * 1.5 and out.level > 0:
+            out = self.rescale(out)
+        if not np.isclose(out.scale, target_scale, rtol=1e-3):
+            raise ValueError(f"cannot reach scale {target_scale} from {a.scale}")
+        return out
+
+    # -- rotation -------------------------------------------------------------------------
+
+    def rotate(self, a: RnsCiphertext, rotation: int, galois: dict[int, RnsGaloisKey]) -> RnsCiphertext:
+        """``Rot(c, r)``: left-rotate slots using the matching Galois key."""
+        rotation = rotation % self.slots
+        if rotation == 0:
+            return a.copy()
+        g = self.galois_element(rotation)
+        if g not in galois:
+            raise KeyError(f"no Galois key for rotation {rotation} (element {g})")
+        key = galois[g]
+        moduli = self.moduli[: a.k]
+        c0_coeff = self._intt(a.c0, moduli)
+        c1_coeff = self._intt(a.c1, moduli)
+        c0g = np.stack(
+            [_galois_permute(c0_coeff[i], g, self.n, m) for i, m in enumerate(moduli)]
+        )
+        c1g = np.stack(
+            [_galois_permute(c1_coeff[i], g, self.n, m) for i, m in enumerate(moduli)]
+        )
+        r0, r1 = self._keyswitch_coeff(c1g, key.b, key.a, a.level)
+        c0_eval = self._ntt(c0g, moduli)
+        c0 = np.stack([addmod(c0_eval[i], r0[i], m) for i, m in enumerate(moduli)])
+        return RnsCiphertext(c0, r1, a.level, a.scale)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = self.params
+        return (
+            f"CkksRnsContext(n={p.n}, chain={list(p.moduli_bits)}, "
+            f"Δ=2^{p.scale_bits}, executor={self.executor.name})"
+        )

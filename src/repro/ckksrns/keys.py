@@ -1,0 +1,63 @@
+"""Key material for the full-RNS scheme.
+
+All public material is stored channelwise in the NTT domain over the
+*extended* basis ``{q_0..q_L, P}`` (ciphertext chain plus the special
+prime), shape ``(k_top + 1, n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RnsSecretKey", "RnsPublicKey", "RnsRelinKey", "RnsGaloisKey", "RnsKeyPair"]
+
+
+@dataclass
+class RnsSecretKey:
+    """Secret ``s`` as residue channels over the extended basis (NTT domain)."""
+
+    s: np.ndarray  # (k_top + 1, n)
+    s_coeff: np.ndarray  # signed ternary coefficients, shape (n,), for Galois keygen
+
+
+@dataclass
+class RnsPublicKey:
+    """``pk = (b, a)`` over the ciphertext basis only (NTT domain)."""
+
+    b: np.ndarray  # (k_top, n)
+    a: np.ndarray
+
+
+@dataclass
+class RnsRelinKey:
+    """RNS-digit relinearisation key.
+
+    ``b[j], a[j]`` (each ``(k_top + 1, n)``, NTT domain) encode
+    ``P * q̂_j * s^2`` for digit *j* — one digit per ciphertext modulus.
+    """
+
+    b: np.ndarray  # (digits, k_top + 1, n)
+    a: np.ndarray
+
+
+@dataclass
+class RnsGaloisKey:
+    """Digit key switching ``s(X^g) -> s`` (same layout as the relin key)."""
+
+    g: int
+    b: np.ndarray
+    a: np.ndarray
+
+
+@dataclass
+class RnsKeyPair:
+    sk: RnsSecretKey
+    pk: RnsPublicKey
+    relin: RnsRelinKey
+    galois: dict[int, RnsGaloisKey] = field(default_factory=dict)
+
+    def public_part(self) -> "RnsKeyPair":
+        """Evaluator view without the secret key."""
+        return RnsKeyPair(sk=None, pk=self.pk, relin=self.relin, galois=self.galois)  # type: ignore[arg-type]

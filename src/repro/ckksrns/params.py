@@ -1,0 +1,125 @@
+"""Parameter set for the full-RNS CKKS scheme.
+
+Mirrors the paper's Table II: a chain of NTT-friendly primes whose bit
+lengths are given explicitly (e.g. ``[40, 26, ..., 26]``), a scaling
+factor ``Δ = 2^scale_bits``, plus one *special* prime used only inside
+key switching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ckks.sampling import DEFAULT_SIGMA
+
+__all__ = ["CkksRnsParams"]
+
+
+@dataclass(frozen=True)
+class CkksRnsParams:
+    """CKKS-RNS parameters.
+
+    Parameters
+    ----------
+    n:
+        Ring degree (power of two); ``N/2`` slots.
+    moduli_bits:
+        Bit lengths of the ciphertext moduli chain ``[q_0, q_1, ..., q_L]``
+        — the paper's "moduli chain length" is ``len(moduli_bits)``.
+        ``q_0`` is the base (never dropped); rescaling drops from the end.
+    scale_bits:
+        ``log2 Δ``.  Middle primes are usually chosen at this size so one
+        rescale divides by ≈ Δ.
+    special_bits:
+        Bit length of the key-switching special prime ``P``.
+    hw:
+        Secret-key Hamming weight (chi_key = HW(h)).
+    sigma:
+        Error standard deviation (chi_err).
+    """
+
+    n: int = 2**12
+    moduli_bits: tuple[int, ...] = (40, 26, 26, 26, 26, 26, 26)
+    scale_bits: int = 26
+    special_bits: int = 49
+    hw: int = 64
+    sigma: float = DEFAULT_SIGMA
+
+    def __post_init__(self) -> None:
+        if self.n < 8 or self.n & (self.n - 1):
+            raise ValueError("n must be a power of two >= 8")
+        if len(self.moduli_bits) < 1:
+            raise ValueError("need at least one ciphertext modulus")
+        if any(not 18 <= b <= 50 for b in self.moduli_bits):
+            raise ValueError("modulus bit sizes must be in [18, 50]")
+        if not 18 <= self.special_bits <= 50:
+            raise ValueError("special prime bits must be in [18, 50]")
+        if max(self.moduli_bits) > self.special_bits:
+            raise ValueError(
+                "special prime must be at least as large as every ciphertext prime "
+                "(key-switching noise control)"
+            )
+
+    @property
+    def chain_length(self) -> int:
+        """Number of ciphertext moduli (the paper's "moduli chain length")."""
+        return len(self.moduli_bits)
+
+    @property
+    def levels(self) -> int:
+        """Maximum multiplicative depth L = chain_length - 1."""
+        return self.chain_length - 1
+
+    @property
+    def scale(self) -> float:
+        return float(1 << self.scale_bits)
+
+    @property
+    def log_q(self) -> int:
+        """Approximate total modulus bits (Table II 'log q')."""
+        return sum(self.moduli_bits)
+
+    @classmethod
+    def paper_table2(cls, n: int = 2**14) -> "CkksRnsParams":
+        """The paper's Table II setting: q = [40, 26, ..., 26, 40].
+
+        N = 2^14, Δ = 2^26, log q = 366 = 40 + 11*26 + 40 (13 primes),
+        λ = 128 per the HE standard (438-bit budget at N = 2^14 covers
+        log q plus the 50-bit key-switching prime).
+        """
+        return cls(
+            n=n,
+            moduli_bits=(40,) + (26,) * 11 + (40,),
+            scale_bits=26,
+            special_bits=50,
+            hw=64,
+        )
+
+    @classmethod
+    def for_chain_length(
+        cls,
+        k: int,
+        n: int = 2**12,
+        total_bits: int = 366,
+        scale_bits: int = 26,
+        max_prime_bits: int = 50,
+    ) -> "CkksRnsParams":
+        """Moduli chain of length *k* under a fixed total-precision budget.
+
+        Used by the Table IV / VI sweeps: the target ``log q`` stays fixed
+        while the number of co-prime moduli varies, so small *k* gets wide
+        (expensive) primes and large *k* narrow (cheap) ones — capped at
+        ``max_prime_bits`` per the SEAL co-prime tool's 60-bit limit
+        (ours: 50, see DESIGN.md).
+        """
+        if k < 1:
+            raise ValueError("chain length must be >= 1")
+        per = min(max_prime_bits, max(20, round(total_bits / k)))
+        bits = tuple([per] * k)
+        return cls(
+            n=n,
+            moduli_bits=bits,
+            scale_bits=scale_bits,
+            special_bits=max(per, scale_bits + 10, 40),
+            hw=64,
+        )

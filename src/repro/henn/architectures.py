@@ -1,0 +1,130 @@
+"""CNN1 / CNN2 builders (paper Figs. 3-4) and their reduced presets.
+
+* **CNN1** (Fig. 3) — the Lo-La-variant: one 5x5 stride-2 convolution
+  (5 maps, padding 1 -> 13x13, i.e. CryptoNets' 845 features), an
+  activation, Dense(845 -> 100), an activation, Dense(100 -> 10).
+* **CNN2** (Fig. 4) — the CryptoNets-based model: two 5x5 stride-2
+  convolutions with a BatchNorm before each activation, then
+  Dense -> BN -> activation -> Dense.  With degree-3 activations its
+  multiplicative depth is 1+3+1+3+1+3+1 = 13 = Table II's ``L``.
+
+Reduced presets (``reduced=True``) shrink spatial size/width so the HE
+benchmarks complete in CI time; the architecture *shape* (layer kinds,
+activation placement, depth profile) is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import BatchNorm2d, Conv2d, Flatten, Linear, ReLU, Sequential
+from repro.nn.layers.conv import conv_output_shape
+from repro.utils.rng import derive_rng
+
+__all__ = ["build_cnn1", "build_cnn2", "ascii_diagram", "input_shape_for"]
+
+
+_VARIANTS = ("tiny", "reduced", "full")
+
+
+def _check_variant(variant: str) -> str:
+    if variant not in _VARIANTS:
+        raise ValueError(f"variant must be one of {_VARIANTS}, got {variant!r}")
+    return variant
+
+
+def input_shape_for(variant: str = "full") -> tuple[int, int, int]:
+    """Model input shape ``(C, H, W)`` per size variant."""
+    _check_variant(variant)
+    return {"tiny": (1, 12, 12), "reduced": (1, 14, 14), "full": (1, 28, 28)}[variant]
+
+
+def build_cnn1(
+    variant: str = "full", seed: int | np.random.Generator | None = 0
+) -> Sequential:
+    """CNN1: single conv + two dense layers, activations after conv and
+    the first dense layer (in contrast to Lo-La, which activates only
+    once — §V.D).  The ``full`` variant matches Fig. 3 / CryptoNets
+    geometry (5 maps of 13x13 = 845 features, 100 hidden units)."""
+    rng = derive_rng(_check_variant(variant) and seed)
+    _, h, w = input_shape_for(variant)
+    k = 3 if variant == "tiny" else 5
+    maps = {"tiny": 2, "reduced": 3, "full": 5}[variant]
+    hidden = {"tiny": 16, "reduced": 32, "full": 100}[variant]
+    oh, ow = conv_output_shape(h, w, k, k, 2, 1)
+    return Sequential(
+        Conv2d(1, maps, k, stride=2, padding=1, rng=rng),
+        ReLU(),
+        Flatten(),
+        Linear(maps * oh * ow, hidden, rng=rng),
+        ReLU(),
+        Linear(hidden, 10, rng=rng),
+    )
+
+
+def build_cnn2(
+    variant: str = "full", seed: int | np.random.Generator | None = 0
+) -> Sequential:
+    """CNN2: CryptoNets-based, two convs, BatchNorm before each activation
+    (Fig. 4).  With degree-3 SLAFs its depth is 13 — Table II's L."""
+    rng = derive_rng(_check_variant(variant) and seed)
+    _, h, w = input_shape_for(variant)
+    k1 = 3 if variant == "tiny" else 5
+    maps1 = {"tiny": 2, "reduced": 3, "full": 5}[variant]
+    maps2 = {"tiny": 3, "reduced": 5, "full": 10}[variant]
+    hidden = {"tiny": 8, "reduced": 32, "full": 64}[variant]
+    oh1, ow1 = conv_output_shape(h, w, k1, k1, 2, 1)
+    k2 = 3 if variant != "full" else 5
+    oh2, ow2 = conv_output_shape(oh1, ow1, k2, k2, 2, 1)
+    return Sequential(
+        Conv2d(1, maps1, k1, stride=2, padding=1, rng=rng),
+        BatchNorm2d(maps1),
+        ReLU(),
+        Conv2d(maps1, maps2, k2, stride=2, padding=1, rng=rng),
+        BatchNorm2d(maps2),
+        ReLU(),
+        Flatten(),
+        Linear(maps2 * oh2 * ow2, hidden, rng=rng),
+        BatchNorm2d(hidden),
+        ReLU(),
+        Linear(hidden, 10, rng=rng),
+    )
+
+
+_GLYPH = {
+    "Conv2d": "▦ conv",
+    "BatchNorm2d": "≋ batchnorm",
+    "ReLU": "◯ ReLU",
+    "SLAF": "◉ SLAF poly",
+    "Square": "◉ square",
+    "Flatten": "─ flatten",
+    "Linear": "█ dense",
+    "AvgPool2d": "▽ avgpool",
+}
+
+
+def ascii_diagram(model: Sequential, title: str = "", rns_channels: int | None = None) -> str:
+    """Render the architecture as the paper's block diagrams (Figs. 3-5).
+
+    With ``rns_channels`` set, the convolutional stage is drawn as the
+    Fig. 5 RNS pipeline: decompose -> k parallel conv channels ->
+    CRT recompose.
+    """
+    lines = [f"== {title or 'architecture'} =="]
+    first_conv_done = False
+    for layer in model:
+        name = type(layer).__name__
+        glyph = _GLYPH.get(name, f"? {name}")
+        detail = repr(layer)
+        if name == "Conv2d" and rns_channels and not first_conv_done:
+            lines.append("  input ──► RNS decompose ─┬─► residue ch 1 ─ conv ─┐")
+            for c in range(2, rns_channels + 1):
+                lines.append(
+                    f"                            ├─► residue ch {c} ─ conv ─┤"
+                )
+            lines.append("                            └────────► CRT recompose ─► ")
+            lines.append(f"        [{detail} applied per-channel, in parallel]")
+            first_conv_done = True
+        else:
+            lines.append(f"  {glyph:<16} {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,429 @@
+"""HE evaluation backends behind one small interface.
+
+A *handle* is one ciphertext (or its mock) holding a vector of scalars:
+slot *i* belongs to image *i* of the batch (SIMD packing).  The network
+layers in :mod:`repro.henn.layers` are written against this interface
+only, so the same compiled model runs under:
+
+* :class:`MockBackend` — plaintext simulation with identical
+  scale/level bookkeeping and weight quantisation; used for
+  full-test-set accuracy (verified against real HE by the
+  backend-agreement tests).
+* :class:`CkksBackend` — multiprecision CKKS (the paper's CNN-HE).
+* :class:`CkksRnsBackend` — full-RNS CKKS (CNN-HE-RNS), with a
+  vectorised ``weighted_sum`` that batches all taps of a neuron into a
+  few channelwise NumPy kernels and dispatches residue channels through
+  the context executor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.ckks import CkksContext, CkksParams
+from repro.ckksrns import CkksRnsContext, CkksRnsParams, RnsCiphertext
+from repro.nt.modarith import mulmod
+from repro.utils.rng import derive_rng
+
+__all__ = ["HeBackend", "MockBackend", "CkksBackend", "CkksRnsBackend"]
+
+
+class HeBackend(ABC):
+    """Minimal homomorphic-evaluation interface used by the HE layers."""
+
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def scale(self) -> float:
+        """Base plaintext scale Δ."""
+
+    @property
+    @abstractmethod
+    def max_batch(self) -> int:
+        """Number of SIMD slots (images per ciphertext)."""
+
+    @abstractmethod
+    def encrypt(self, values: np.ndarray) -> Any: ...
+
+    @abstractmethod
+    def decrypt(self, handle: Any, count: int | None = None) -> np.ndarray: ...
+
+    @abstractmethod
+    def add(self, a: Any, b: Any) -> Any: ...
+
+    @abstractmethod
+    def add_plain(self, a: Any, value: float) -> Any: ...
+
+    @abstractmethod
+    def mul_plain_scalar(self, a: Any, scalar: float, plain_scale: float | None = None) -> Any: ...
+
+    @abstractmethod
+    def mul(self, a: Any, b: Any) -> Any: ...
+
+    @abstractmethod
+    def square(self, a: Any) -> Any: ...
+
+    @abstractmethod
+    def rescale(self, a: Any) -> Any: ...
+
+    @abstractmethod
+    def scale_of(self, a: Any) -> float: ...
+
+    @abstractmethod
+    def level_of(self, a: Any) -> int: ...
+
+    def mul_plain_vector(self, a: Any, values: "np.ndarray") -> Any:
+        """Slotwise multiply by a plaintext vector (single-image packing)."""
+        raise NotImplementedError(f"{self.name} backend has no vector plain-multiply")
+
+    def rotate(self, a: Any, r: int) -> Any:
+        """Left-rotate slots by *r* (requires rotation keys where real)."""
+        raise NotImplementedError(f"{self.name} backend has no rotations")
+
+    # -- composite operations (overridable fast paths) -------------------------
+
+    def weighted_sum(
+        self, handles: Sequence[Any], weights: np.ndarray, plain_scale: float | None = None
+    ) -> Any:
+        """``sum_i weights[i] * handles[i]`` at a common plain scale.
+
+        The generic implementation multiplies and adds pairwise; RNS
+        overrides it with a batched channelwise kernel (this is where
+        convolutions spend their time).
+        """
+        if len(handles) != len(weights):
+            raise ValueError("handles/weights length mismatch")
+        if len(handles) == 0:
+            raise ValueError("weighted_sum needs at least one term")
+        acc = self.mul_plain_scalar(handles[0], float(weights[0]), plain_scale)
+        for h, w in zip(handles[1:], weights[1:]):
+            acc = self.add(acc, self.mul_plain_scalar(h, float(w), plain_scale))
+        return acc
+
+    def poly_eval(self, x: Any, coeffs: np.ndarray) -> Any:
+        """Evaluate ``sum_k coeffs[k] x^k`` homomorphically (degree <= 3).
+
+        Power-basis evaluation with per-term plain-scale compensation so
+        every branch lands on an identical ciphertext scale; one final
+        rescale returns to ~Δ.  Consumes ``degree`` levels.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        degree = len(coeffs) - 1
+        if degree < 1 or degree > 3:
+            raise ValueError("poly_eval supports degrees 1..3")
+        powers = {1: x}
+        if degree >= 2:
+            powers[2] = self.rescale(self.square(x))
+        if degree >= 3:
+            powers[3] = self.rescale(self.mul(powers[2], x))
+        # Deepest power has the smallest scale; align every term to
+        # target = scale(x^d) * Δ via adjusted plain scales.
+        target = self.scale_of(powers[degree]) * self.scale
+        acc = None
+        for k in range(degree, 0, -1):
+            ps = target / self.scale_of(powers[k])
+            term = self.mul_plain_scalar(powers[k], float(coeffs[k]), ps)
+            acc = term if acc is None else self.add(acc, term)
+        acc = self.add_plain(acc, float(coeffs[0]))
+        return self.rescale(acc)
+
+
+# --------------------------------------------------------------------------- mock
+
+
+@dataclass
+class _MockHandle:
+    values: np.ndarray
+    scale: float
+    level: int
+
+
+class MockBackend(HeBackend):
+    """Plaintext simulation with CKKS bookkeeping.
+
+    Tracks scale and level exactly like the RNS scheme (including the
+    slightly-off-Δ rescale primes when ``rescale_primes`` is given) and
+    quantises plaintext multipliers to the encoding grid, so results
+    match real-HE evaluation to within the scheme's approximation noise.
+    """
+
+    name = "mock"
+
+    def __init__(
+        self,
+        batch: int = 64,
+        scale_bits: int = 26,
+        levels: int = 16,
+        rescale_primes: Sequence[int] | None = None,
+        quantize: bool = True,
+    ):
+        self._scale = float(1 << scale_bits)
+        self._batch = batch
+        self.levels = levels
+        self.quantize = quantize
+        # Per-level divisors used by rescale (default: exactly Δ).
+        self._primes = list(rescale_primes) if rescale_primes else None
+
+    @property
+    def scale(self) -> float:
+        return self._scale
+
+    @property
+    def max_batch(self) -> int:
+        return self._batch
+
+    def _q(self, v: np.ndarray | float, s: float) -> np.ndarray | float:
+        if not self.quantize:
+            return v
+        return np.round(np.asarray(v, dtype=np.float64) * s) / s
+
+    def encrypt(self, values: np.ndarray) -> _MockHandle:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[0] > self._batch:
+            raise ValueError(f"batch {values.shape[0]} exceeds backend capacity {self._batch}")
+        return _MockHandle(np.array(self._q(values, self._scale)), self._scale, self.levels)
+
+    def decrypt(self, handle: _MockHandle, count: int | None = None) -> np.ndarray:
+        v = handle.values
+        return v[:count] if count is not None else v
+
+    def _align(self, a: _MockHandle, b: _MockHandle) -> tuple[_MockHandle, _MockHandle]:
+        lvl = min(a.level, b.level)
+        return (
+            _MockHandle(a.values, a.scale, lvl),
+            _MockHandle(b.values, b.scale, lvl),
+        )
+
+    def add(self, a: _MockHandle, b: _MockHandle) -> _MockHandle:
+        a, b = self._align(a, b)
+        if not np.isclose(a.scale, b.scale, rtol=1e-3):
+            raise ValueError(f"scale mismatch in add: {a.scale} vs {b.scale}")
+        return _MockHandle(a.values + b.values, a.scale, a.level)
+
+    def add_plain(self, a: _MockHandle, value: float) -> _MockHandle:
+        return _MockHandle(a.values + self._q(float(value), a.scale), a.scale, a.level)
+
+    def mul_plain_scalar(self, a: _MockHandle, scalar: float, plain_scale: float | None = None) -> _MockHandle:
+        ps = float(plain_scale or self._scale)
+        w = round(float(scalar) * ps) / ps  # same quantisation as encode
+        return _MockHandle(a.values * w, a.scale * ps, a.level)
+
+    def mul(self, a: _MockHandle, b: _MockHandle) -> _MockHandle:
+        a, b = self._align(a, b)
+        return _MockHandle(a.values * b.values, a.scale * b.scale, a.level)
+
+    def square(self, a: _MockHandle) -> _MockHandle:
+        return _MockHandle(a.values * a.values, a.scale * a.scale, a.level)
+
+    def rescale(self, a: _MockHandle) -> _MockHandle:
+        if a.level <= 0:
+            raise ValueError("mock level budget exhausted (depth overflow)")
+        divisor = float(self._primes[a.level - 1]) if self._primes else self._scale
+        return _MockHandle(a.values, a.scale / divisor, a.level - 1)
+
+    def scale_of(self, a: _MockHandle) -> float:
+        return a.scale
+
+    def level_of(self, a: _MockHandle) -> int:
+        return a.level
+
+    def mul_plain_vector(self, a: _MockHandle, values: np.ndarray) -> _MockHandle:
+        v = np.asarray(self._q(values[: a.values.shape[0]], self._scale))
+        return _MockHandle(a.values * v, a.scale * self._scale, a.level)
+
+    def rotate(self, a: _MockHandle, r: int) -> _MockHandle:
+        return _MockHandle(np.roll(a.values, -r), a.scale, a.level)
+
+
+# --------------------------------------------------------------------------- multiprecision CKKS
+
+
+class CkksBackend(HeBackend):
+    """The non-RNS baseline (paper "CNN-HE"): multiprecision coefficients."""
+
+    name = "ckks"
+
+    def __init__(self, params: CkksParams, seed: int | np.random.Generator | None = 0):
+        self.ctx = CkksContext(params)
+        rng = derive_rng(seed)
+        self.keys = self.ctx.keygen(rng)
+        self._rng = rng
+
+    @property
+    def scale(self) -> float:
+        return self.ctx.params.scale
+
+    @property
+    def max_batch(self) -> int:
+        return self.ctx.slots
+
+    def encrypt(self, values: np.ndarray):
+        return self.ctx.encrypt(self.keys.pk, np.asarray(values, dtype=np.float64), self._rng)
+
+    def decrypt(self, handle, count: int | None = None) -> np.ndarray:
+        return self.ctx.decrypt_real(self.keys.sk, handle, count)
+
+    def add(self, a, b):
+        return self.ctx.add(a, b)
+
+    def add_plain(self, a, value: float):
+        return self.ctx.add_plain(a, float(value))
+
+    def mul_plain_scalar(self, a, scalar: float, plain_scale: float | None = None):
+        return self.ctx.mul_plain_scalar(a, scalar, plain_scale)
+
+    def mul(self, a, b):
+        return self.ctx.mul(a, b, self.keys.relin)
+
+    def square(self, a):
+        return self.ctx.square(a, self.keys.relin)
+
+    def rescale(self, a):
+        return self.ctx.rescale(a)
+
+    def scale_of(self, a) -> float:
+        return a.scale
+
+    def level_of(self, a) -> int:
+        return a.level
+
+    def mul_plain_vector(self, a, values: np.ndarray):
+        return self.ctx.mul_plain(a, np.asarray(values, dtype=np.float64))
+
+    def rotate(self, a, r: int):
+        if self.ctx.galois_element(r) not in self.keys.galois:
+            self.ctx.add_galois_key(self.keys, r, self._rng)
+        return self.ctx.rotate(a, r, self.keys.galois)
+
+    def weighted_sum(self, handles, weights, plain_scale: float | None = None):
+        """Accumulate big-int components lazily, reducing mod q once."""
+        if len(handles) != len(weights) or not len(handles):
+            raise ValueError("bad weighted_sum arguments")
+        ps = float(plain_scale or self.scale)
+        level = min(h.level for h in handles)
+        ring = self.ctx.ring(level)
+        acc0 = np.zeros(self.ctx.n, dtype=object)
+        acc1 = np.zeros(self.ctx.n, dtype=object)
+        for h, w in zip(handles, weights):
+            h = self.ctx.mod_switch_to(h, level)
+            c = int(round(float(w) * ps))
+            if c == 0:
+                continue
+            acc0 = acc0 + h.c0 * c
+            acc1 = acc1 + h.c1 * c
+        from repro.ckks.ciphertext import Ciphertext
+
+        return Ciphertext(
+            np.mod(acc0, ring.q),
+            np.mod(acc1, ring.q),
+            level,
+            handles[0].scale * ps,
+            self.ctx.n,
+        )
+
+
+# --------------------------------------------------------------------------- full-RNS CKKS
+
+
+class CkksRnsBackend(HeBackend):
+    """The paper's CNN-HE-RNS backend: residue channels, parallel dispatch."""
+
+    name = "ckks-rns"
+
+    def __init__(
+        self,
+        params: CkksRnsParams,
+        seed: int | np.random.Generator | None = 0,
+        executor=None,
+    ):
+        self.ctx = CkksRnsContext(params, executor=executor)
+        rng = derive_rng(seed)
+        self.keys = self.ctx.keygen(rng)
+        self._rng = rng
+
+    @property
+    def scale(self) -> float:
+        return self.ctx.params.scale
+
+    @property
+    def max_batch(self) -> int:
+        return self.ctx.slots
+
+    def encrypt(self, values: np.ndarray):
+        return self.ctx.encrypt(self.keys.pk, np.asarray(values, dtype=np.float64), self._rng)
+
+    def decrypt(self, handle, count: int | None = None) -> np.ndarray:
+        return self.ctx.decrypt_real(self.keys.sk, handle, count)
+
+    def add(self, a, b):
+        return self.ctx.add(a, b)
+
+    def add_plain(self, a, value: float):
+        return self.ctx.add_plain(a, float(value))
+
+    def mul_plain_scalar(self, a, scalar: float, plain_scale: float | None = None):
+        return self.ctx.mul_plain_scalar(a, scalar, plain_scale)
+
+    def mul(self, a, b):
+        return self.ctx.mul(a, b, self.keys.relin)
+
+    def square(self, a):
+        return self.ctx.square(a, self.keys.relin)
+
+    def rescale(self, a):
+        return self.ctx.rescale(a)
+
+    def scale_of(self, a) -> float:
+        return a.scale
+
+    def level_of(self, a) -> int:
+        return a.level
+
+    def mul_plain_vector(self, a, values: np.ndarray):
+        return self.ctx.mul_plain(a, np.asarray(values, dtype=np.float64))
+
+    def rotate(self, a, r: int):
+        if self.ctx.galois_element(r) not in self.keys.galois:
+            self.ctx.add_galois_key(self.keys, r, self._rng)
+        return self.ctx.rotate(a, r, self.keys.galois)
+
+    def weighted_sum(self, handles, weights, plain_scale: float | None = None):
+        """Batched channelwise kernel: all taps of a neuron in one sweep.
+
+        For each residue channel *i* the accumulation
+        ``sum_t (c_t * [w_t Δ]_{q_i}) mod q_i`` is two NumPy calls over a
+        ``(taps, n)`` block; channels fan out through the executor.
+        Exactness: per-tap products are reduced, partial sums of up to
+        ``2^13`` terms stay below ``2^63``.
+        """
+        if len(handles) != len(weights) or not len(handles):
+            raise ValueError("bad weighted_sum arguments")
+        ps = float(plain_scale or self.scale)
+        level = min(h.level for h in handles)
+        handles = [self.ctx.mod_switch_to(h, level) for h in handles]
+        consts = [int(round(float(w) * ps)) for w in weights]
+        keep = [t for t, c in enumerate(consts) if c != 0]
+        if not keep:
+            keep = [0]
+        c0_stack = np.stack([handles[t].c0 for t in keep])  # (T, k, n)
+        c1_stack = np.stack([handles[t].c1 for t in keep])
+        moduli = self.ctx.moduli[: level + 1]
+
+        def chan(i: int) -> tuple[np.ndarray, np.ndarray]:
+            m = moduli[i]
+            w_mod = np.array([consts[t] % m for t in keep], dtype=np.int64)[:, None]
+            if len(keep) * m > 2**62:  # pragma: no cover - parameter guard
+                raise ValueError("too many taps for exact int64 accumulation")
+            s0 = mulmod(c0_stack[:, i, :], w_mod, m).sum(axis=0) % m
+            s1 = mulmod(c1_stack[:, i, :], w_mod, m).sum(axis=0) % m
+            return s0, s1
+
+        rows = self.ctx.executor.map(chan, list(range(level + 1)))
+        c0 = np.stack([r[0] for r in rows])
+        c1 = np.stack([r[1] for r in rows])
+        return RnsCiphertext(c0, c1, level, handles[0].scale * ps)

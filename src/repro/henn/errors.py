@@ -1,0 +1,100 @@
+"""Error analysis of §III.C: encoding rounding and activation approximation.
+
+Two error sources the paper discusses:
+
+1. **Encoding error** — numbers near zero can be destroyed when encoded
+   with a small scaling factor Δ.  :func:`paper_encoding_example`
+   reproduces the worked example (M = 8, Δ = 64, z = (0.1, -0.01) — the
+   second slot decodes with the wrong magnitude *and sign*), and
+   :func:`encoding_error_sweep` shows the error shrinking as Δ grows.
+2. **Polynomial-approximation error** — approximating
+   ``ReLU(x) = x (sign(x) + 1) / 2`` with a polynomial sign makes
+   ReLU(x) > 0 for some x < 0.  :func:`approx_sign` implements the
+   composite polynomial iteration of Cheon et al. [19] and
+   :func:`relu_from_sign` exhibits that residual error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.encoder import CkksEncoder
+
+__all__ = [
+    "paper_encoding_example",
+    "encoding_error_sweep",
+    "approx_sign",
+    "relu_from_sign",
+    "relu_negative_leakage",
+]
+
+
+def paper_encoding_example() -> dict[str, object]:
+    """The §III.C worked example: M = 8 (N = 4), Δ = 64, z = (0.1, -0.01).
+
+    Returns the integer polynomial coefficients and the decoded slots;
+    the paper observes the small slot (-0.01) comes back with wrong
+    value and sign (they report ~+0.00268 for one root convention).
+    """
+    enc = CkksEncoder(4)  # N = 4 -> Phi_8, two slots
+    z = np.array([0.1, -0.01])
+    delta = 64.0
+    coeffs = enc.encode(z, delta)
+    decoded = enc.decode(coeffs, delta)
+    return {
+        "z": z,
+        "delta": delta,
+        "coeffs": np.array([int(c) for c in coeffs]),
+        "decoded": decoded,
+        "abs_error": np.abs(np.real(decoded) - z),
+        "sign_flipped": bool(np.sign(np.real(decoded[1])) != np.sign(z[1])),
+    }
+
+
+def encoding_error_sweep(
+    deltas: list[float], values: np.ndarray | None = None, n: int = 64
+) -> list[tuple[float, float]]:
+    """Max round-trip error for each Δ — increasing Δ reduces the error."""
+    enc = CkksEncoder(n)
+    if values is None:
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-1.0, 1.0, n // 2)
+    out = []
+    for d in deltas:
+        err = enc.encoding_error(values, float(d)).max()
+        out.append((float(d), float(err)))
+    return out
+
+
+def approx_sign(x: np.ndarray, iterations: int = 7) -> np.ndarray:
+    """Composite polynomial sign approximation (Cheon et al. style).
+
+    Iterates ``f(t) = (3 t - t^3) / 2``, which contracts toward ±1 on
+    (-1, 1).  Input must lie in [-1, 1]; convergence is slow near 0 —
+    exactly why small negative inputs leak through ReLU (§III.C).
+    """
+    t = np.asarray(x, dtype=np.float64)
+    for _ in range(iterations):
+        t = 0.5 * (3.0 * t - t**3)
+    return t
+
+
+def relu_from_sign(x: np.ndarray, iterations: int = 7) -> np.ndarray:
+    """``ReLU(x) ≈ x (sign(x) + 1) / 2`` with the polynomial sign."""
+    return np.asarray(x) * (approx_sign(x, iterations) + 1.0) / 2.0
+
+
+def relu_negative_leakage(degree: int = 7, grid: int = 2001) -> float:
+    """Maximum positive output of a polynomial ReLU approximation on x < 0.
+
+    The paper's point: "when we calculate ReLU(x) for x < 0 ... the
+    function will be greater than zero".  A least-squares degree-*d*
+    polynomial fit of ReLU necessarily oscillates above zero on part of
+    the negative axis; this measures by how much.
+    """
+    from repro.nn.layers.activations import fit_relu_coeffs
+
+    coeffs = fit_relu_coeffs(degree, lo=-1.0, hi=1.0)
+    xs = np.linspace(-1.0, -1e-6, grid)
+    vals = sum(c * xs**k for k, c in enumerate(coeffs))
+    return float(np.max(vals))

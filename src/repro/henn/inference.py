@@ -1,0 +1,121 @@
+"""HE inference engines: encrypt -> propagate -> decrypt.
+
+:class:`HeInferenceEngine` evaluates a compiled HE graph under any
+backend.  With a :class:`~repro.henn.backend.CkksRnsBackend` whose
+context carries a thread/process executor, residue channels of every
+operation run in parallel — this *is* the CNN-HE-RNS configuration; the
+same engine with :class:`~repro.henn.backend.CkksBackend` is the
+non-RNS CNN-HE baseline of Tables III/V.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.henn.backend import HeBackend
+from repro.henn.layers import HeLayer
+from repro.utils.timing import LatencyStats
+
+__all__ = ["HeInferenceEngine", "LayerTrace"]
+
+
+@dataclass
+class LayerTrace:
+    """Per-layer wall-clock timings from the last run (Fig. 5 pipeline view)."""
+
+    names: list[str] = field(default_factory=list)
+    seconds: list[float] = field(default_factory=list)
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        return list(zip(self.names, self.seconds))
+
+    def total(self) -> float:
+        return float(sum(self.seconds))
+
+
+class HeInferenceEngine:
+    """Batched encrypted classification with latency accounting."""
+
+    def __init__(
+        self,
+        backend: HeBackend,
+        layers: list[HeLayer],
+        input_shape: tuple[int, int, int],
+    ):
+        self.backend = backend
+        self.layers = layers
+        self.input_shape = input_shape
+        self.latency = LatencyStats()
+        self.trace = LayerTrace()
+
+    # -- client side -------------------------------------------------------------
+
+    def encrypt_images(self, images: np.ndarray) -> np.ndarray:
+        """Encrypt ``(B, C, H, W)`` floats into a ``(C, H, W)`` handle array.
+
+        Slot *i* of the handle at position (c, h, w) holds pixel
+        ``images[i, c, h, w]`` — the batch rides along for free.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4 or images.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"expected (B, {self.input_shape[0]}, {self.input_shape[1]}, "
+                f"{self.input_shape[2]}), got {images.shape}"
+            )
+        if images.shape[0] > self.backend.max_batch:
+            raise ValueError(
+                f"batch {images.shape[0]} exceeds backend capacity {self.backend.max_batch}"
+            )
+        c, h, w = self.input_shape
+        enc = np.empty((c, h, w), dtype=object)
+        for ci in range(c):
+            for i in range(h):
+                for j in range(w):
+                    enc[ci, i, j] = self.backend.encrypt(images[:, ci, i, j])
+        return enc
+
+    # -- server side -------------------------------------------------------------
+
+    def run_encrypted(self, enc: np.ndarray) -> np.ndarray:
+        """Propagate encrypted features through the graph, tracing layers."""
+        self.trace = LayerTrace()
+        x = enc
+        for layer in self.layers:
+            t0 = time.perf_counter()
+            x = layer.forward(self.backend, x)
+            self.trace.names.append(type(layer).__name__)
+            self.trace.seconds.append(time.perf_counter() - t0)
+        return x
+
+    # -- end to end ----------------------------------------------------------------
+
+    def classify(self, images: np.ndarray) -> np.ndarray:
+        """Encrypt, classify, decrypt; returns ``(B, 10)`` logits.
+
+        Latency of the homomorphic evaluation (the paper's "Lat": the
+        server-side processing of one classification request) is pushed
+        into :attr:`latency`.
+        """
+        batch = images.shape[0]
+        enc = self.encrypt_images(images)
+        t0 = time.perf_counter()
+        out = self.run_encrypted(enc)
+        self.latency.add(time.perf_counter() - t0)
+        logits = np.stack(
+            [self.backend.decrypt(h, count=batch) for h in out], axis=1
+        )
+        return logits
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Encrypted-classification accuracy over (possibly many) batches."""
+        correct = 0
+        b = self.backend.max_batch
+        for start in range(0, images.shape[0], b):
+            xb = images[start : start + b]
+            yb = labels[start : start + b]
+            logits = self.classify(xb)
+            correct += int((np.argmax(logits, axis=1) == yb).sum())
+        return correct / images.shape[0]

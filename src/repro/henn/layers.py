@@ -1,0 +1,216 @@
+"""Inference-only homomorphic layers.
+
+A feature map is a NumPy ``object`` array of backend handles with the
+*feature* shape — ``(C, H, W)`` after convolutions, ``(F,)`` after
+flattening.  Each handle packs the whole image batch in its SIMD slots,
+so a layer is evaluated once per scalar position regardless of batch
+size (CryptoNets packing).
+
+Linear layers (conv/dense) consume exactly one rescaling level; a
+degree-*d* polynomial activation consumes *d* (see
+``HeBackend.poly_eval``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.henn.backend import HeBackend
+from repro.nn.layers.conv import conv_output_shape
+
+__all__ = ["HeLayer", "HeConv2d", "HeLinear", "HePoly", "HeFlatten", "HeAvgPool"]
+
+
+class HeLayer(ABC):
+    """One compiled layer: maps a handle array to a handle array."""
+
+    #: Rescaling levels consumed per forward pass.
+    depth: int = 0
+
+    @abstractmethod
+    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray: ...
+
+    def __call__(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
+        return self.forward(backend, x)
+
+
+class HeConv2d(HeLayer):
+    """Convolution with plaintext weights over encrypted feature maps.
+
+    Each output position is one :meth:`~HeBackend.weighted_sum` over its
+    receptive-field handles, followed by a single rescale and a
+    plaintext bias addition.  Weights with ``|w| < prune_below`` are
+    dropped (Faster-CryptoNets-style sparsity, §IV).
+    """
+
+    depth = 1
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        stride: int = 1,
+        padding: int = 0,
+        prune_below: float = 0.0,
+    ):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        if self.weight.ndim != 4:
+            raise ValueError("conv weight must be (OC, IC, KH, KW)")
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.stride = stride
+        self.padding = padding
+        self.prune_below = prune_below
+
+    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"expected (C, H, W) handle array, got shape {x.shape}")
+        oc, ic, kh, kw = self.weight.shape
+        c, h, w = x.shape
+        if c != ic:
+            raise ValueError(f"conv expects {ic} input channels, got {c}")
+        s, p = self.stride, self.padding
+        oh, ow = conv_output_shape(h, w, kh, kw, s, p)
+        out = np.empty((oc, oh, ow), dtype=object)
+        for o in range(oc):
+            wmat = self.weight[o]
+            for i in range(oh):
+                for j in range(ow):
+                    taps, ws = [], []
+                    for ci in range(ic):
+                        for di in range(kh):
+                            for dj in range(kw):
+                                yy = i * s - p + di
+                                xx = j * s - p + dj
+                                if 0 <= yy < h and 0 <= xx < w:
+                                    wv = wmat[ci, di, dj]
+                                    if abs(wv) > self.prune_below:
+                                        taps.append(x[ci, yy, xx])
+                                        ws.append(wv)
+                    if not taps:  # fully pruned window: keep a zero term
+                        taps, ws = [x[0, max(0, min(i * s, h - 1)), max(0, min(j * s, w - 1))]], [0.0]
+                    acc = backend.weighted_sum(taps, np.array(ws))
+                    acc = backend.rescale(acc)
+                    if self.bias is not None:
+                        acc = backend.add_plain(acc, float(self.bias[o]))
+                    out[o, i, j] = acc
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        oc, ic, kh, _ = self.weight.shape
+        return f"HeConv2d({ic}->{oc}, k={kh}, s={self.stride}, p={self.padding})"
+
+
+class HeLinear(HeLayer):
+    """Dense layer: one weighted sum per output neuron."""
+
+    depth = 1
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray | None, prune_below: float = 0.0):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError("linear weight must be (out, in)")
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.prune_below = prune_below
+
+    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 1:
+            raise ValueError("HeLinear expects a flat handle vector (use HeFlatten)")
+        out_f, in_f = self.weight.shape
+        if x.shape[0] != in_f:
+            raise ValueError(f"linear expects {in_f} inputs, got {x.shape[0]}")
+        out = np.empty(out_f, dtype=object)
+        handles = list(x)
+        for o in range(out_f):
+            row = self.weight[o]
+            if self.prune_below > 0:
+                keep = np.abs(row) > self.prune_below
+                taps = [h for h, k in zip(handles, keep) if k]
+                ws = row[keep]
+                if not taps:
+                    taps, ws = [handles[0]], np.array([0.0])
+            else:
+                taps, ws = handles, row
+            acc = backend.rescale(backend.weighted_sum(taps, np.asarray(ws)))
+            if self.bias is not None:
+                acc = backend.add_plain(acc, float(self.bias[o]))
+            out[o] = acc
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HeLinear({self.weight.shape[1]}->{self.weight.shape[0]})"
+
+
+class HePoly(HeLayer):
+    """Polynomial (SLAF) activation, per-channel or layer-wide coefficients."""
+
+    def __init__(self, coeffs: np.ndarray, per_channel: bool = False):
+        self.coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.float64))
+        self.per_channel = per_channel
+        self.depth = self.coeffs.shape[1] - 1
+
+    def _row(self, channel: int) -> np.ndarray:
+        if self.per_channel:
+            return self.coeffs[channel]
+        return self.coeffs[0]
+
+    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
+        out = np.empty(x.shape, dtype=object)
+        if x.ndim == 3:
+            for c in range(x.shape[0]):
+                row = self._row(c)
+                for i in range(x.shape[1]):
+                    for j in range(x.shape[2]):
+                        out[c, i, j] = backend.poly_eval(x[c, i, j], row)
+        elif x.ndim == 1:
+            for f in range(x.shape[0]):
+                out[f] = backend.poly_eval(x[f], self._row(f))
+        else:
+            raise ValueError(f"unsupported handle array rank {x.ndim}")
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HePoly(degree={self.depth}, per_channel={self.per_channel})"
+
+
+class HeFlatten(HeLayer):
+    """``(C, H, W) -> (C*H*W,)`` in C-order (matches ``nn.Flatten``)."""
+
+    depth = 0
+
+    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
+        return x.reshape(-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "HeFlatten()"
+
+
+class HeAvgPool(HeLayer):
+    """Mean pooling (a plaintext-weighted sum; consumes one level)."""
+
+    depth = 1
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError("HeAvgPool expects (C, H, W)")
+        c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        oh, ow = conv_output_shape(h, w, k, k, s, 0)
+        inv = 1.0 / (k * k)
+        out = np.empty((c, oh, ow), dtype=object)
+        for ci in range(c):
+            for i in range(oh):
+                for j in range(ow):
+                    taps = [x[ci, i * s + di, j * s + dj] for di in range(k) for dj in range(k)]
+                    out[ci, i, j] = backend.rescale(
+                        backend.weighted_sum(taps, np.full(len(taps), inv))
+                    )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HeAvgPool(k={self.kernel_size}, s={self.stride})"

@@ -1,0 +1,87 @@
+"""Single-image (Lo-La-style) packing.
+
+The default engine packs a *batch* per ciphertext (slot i = image i),
+which optimises throughput.  Lo-La [31] instead packs one image's whole
+feature vector into a single ciphertext and evaluates dense layers with
+rotations, optimising single-query latency and ciphertext count.  This
+module provides that packing for the dense stages:
+
+* :func:`encrypt_features` — one ciphertext holding ``F`` features
+  (padded to a power of two so log-rotations fold cleanly);
+* :func:`dense_single` — ``y_o = <w_o, x>`` per output neuron via
+  plaintext masking + a rotate-and-add tree (log2 F rotations);
+* :func:`rotations_needed` — the power-of-two rotation set whose Galois
+  keys the evaluator must hold.
+
+Backends gain a ``rotate`` operation for this mode; the mock backend
+models it as a slot roll.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.henn.backend import HeBackend
+
+__all__ = ["rotations_needed", "encrypt_features", "dense_single", "decrypt_scores"]
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def rotations_needed(n_features: int) -> tuple[int, ...]:
+    """Left-rotations required by the fold tree for *n_features* inputs."""
+    width = _next_pow2(n_features)
+    out = []
+    r = width // 2
+    while r >= 1:
+        out.append(r)
+        r //= 2
+    return tuple(out)
+
+
+def encrypt_features(backend: HeBackend, features: np.ndarray):
+    """Encrypt one feature vector into a single ciphertext (zero-padded)."""
+    features = np.asarray(features, dtype=np.float64).ravel()
+    width = _next_pow2(len(features))
+    if width > backend.max_batch:
+        raise ValueError(
+            f"{len(features)} features need {width} slots; backend has {backend.max_batch}"
+        )
+    padded = np.zeros(backend.max_batch)
+    padded[: len(features)] = features
+    return backend.encrypt(padded), len(features)
+
+
+def dense_single(backend: HeBackend, x_handle, n_features: int, weight: np.ndarray, bias: np.ndarray | None = None):
+    """Dense layer on a single-image ciphertext.
+
+    For each output neuron: mask with the weight row (one plaintext
+    multiply), then fold slots with ``log2`` rotations so slot 0 carries
+    the inner product.  Returns one handle per output; consumes one
+    rescaling level.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2 or weight.shape[1] != n_features:
+        raise ValueError(f"weight must be (out, {n_features})")
+    width = _next_pow2(n_features)
+    outs = []
+    for o in range(weight.shape[0]):
+        row = np.zeros(backend.max_batch)
+        row[:n_features] = weight[o]
+        t = backend.rescale(backend.mul_plain_vector(x_handle, row))
+        for r in rotations_needed(n_features):
+            t = backend.add(t, backend.rotate(t, r))
+        if bias is not None:
+            t = backend.add_plain(t, float(bias[o]))
+        outs.append(t)
+    return outs
+
+
+def decrypt_scores(backend: HeBackend, handles) -> np.ndarray:
+    """Slot-0 values of the output handles — the class scores."""
+    return np.array([float(backend.decrypt(h, count=1)[0]) for h in handles])

@@ -1,0 +1,59 @@
+"""The Fig. 1 protocol: blind, two-party, non-interactive classification.
+
+* The **client** owns the secret key: it encrypts its images, ships the
+  ciphertexts (and evaluation keys) to the cloud, and decrypts the
+  returned encrypted scores.
+* The **cloud** holds the (plaintext) model and only ever touches
+  ciphertexts: it cannot read the inputs, the features, or the scores.
+
+These classes are a thin choreography over
+:class:`~repro.henn.inference.HeInferenceEngine`; they exist to make
+the trust boundary explicit (and testable: the cloud object never
+receives the secret key).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.henn.backend import HeBackend
+from repro.henn.inference import HeInferenceEngine
+from repro.henn.layers import HeLayer
+
+__all__ = ["Client", "CloudService"]
+
+
+class Client:
+    """Data owner: encrypts queries and decrypts responses."""
+
+    def __init__(self, backend: HeBackend, input_shape: tuple[int, int, int]):
+        self.backend = backend
+        self.input_shape = input_shape
+        # Engine used only for its packing logic; layers stay on the cloud.
+        self._packer = HeInferenceEngine(backend, [], input_shape)
+
+    def encrypt_request(self, images: np.ndarray) -> np.ndarray:
+        """Package a batch of images as ciphertext handles."""
+        return self._packer.encrypt_images(images)
+
+    def decrypt_response(self, encrypted_scores: np.ndarray, batch: int) -> np.ndarray:
+        """Recover ``(batch, classes)`` logits from encrypted scores."""
+        return np.stack(
+            [self.backend.decrypt(h, count=batch) for h in encrypted_scores], axis=1
+        )
+
+
+class CloudService:
+    """Untrusted evaluator: holds the model, never the secret key."""
+
+    def __init__(self, backend: HeBackend, layers: list[HeLayer], input_shape: tuple[int, int, int]):
+        self.engine = HeInferenceEngine(backend, layers, input_shape)
+
+    def classify_encrypted(self, encrypted_images: np.ndarray) -> np.ndarray:
+        """Run the CNN homomorphically; inputs and outputs stay encrypted."""
+        return self.engine.run_encrypted(encrypted_images)
+
+    @property
+    def last_latency(self) -> float:
+        """Seconds spent on the most recent encrypted classification."""
+        return self.engine.trace.total()

@@ -1,0 +1,70 @@
+"""Security-parameter validation against the HE standard [37].
+
+The HomomorphicEncryption.org standard tabulates, for each ring degree
+N and security level λ, the maximum total modulus width log2(Q*P) that
+keeps the RLWE instance λ-bit secure against the best known lattice
+attacks (ternary secrets).  The paper's Table II claims λ = 128 with
+N = 2^14 and log q = 366; :func:`validate_security` checks such claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HE_STANDARD_TABLE", "he_standard_max_logq", "validate_security", "SecurityReport"]
+
+#: max log2(Q) for ternary-secret RLWE, from the HE security standard.
+HE_STANDARD_TABLE: dict[int, dict[int, int]] = {
+    128: {1024: 27, 2048: 54, 4096: 109, 8192: 218, 16384: 438, 32768: 881},
+    192: {1024: 19, 2048: 37, 4096: 75, 8192: 152, 16384: 305, 32768: 611},
+    256: {1024: 14, 2048: 29, 4096: 58, 8192: 118, 16384: 237, 32768: 476},
+}
+
+
+def he_standard_max_logq(n: int, security_bits: int = 128) -> int:
+    """Maximum permitted total modulus bits for ``(n, λ)``.
+
+    For ``n`` below the table (toy/test parameters) the budget is 0 —
+    no security is claimed.
+    """
+    if security_bits not in HE_STANDARD_TABLE:
+        raise ValueError(f"unsupported security level {security_bits}")
+    table = HE_STANDARD_TABLE[security_bits]
+    if n in table:
+        return table[n]
+    if n > max(table):
+        return table[max(table)] * (n // max(table))  # conservative linear extension
+    return 0
+
+
+@dataclass
+class SecurityReport:
+    """Outcome of a parameter check."""
+
+    n: int
+    log_qp: int
+    security_bits: int
+    max_log_qp: int
+    secure: bool
+    margin_bits: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "OK" if self.secure else "INSECURE (toy/test parameters)"
+        return (
+            f"N=2^{self.n.bit_length() - 1}, log(QP)={self.log_qp} <= {self.max_log_qp} "
+            f"@ λ={self.security_bits}: {status} (margin {self.margin_bits} bits)"
+        )
+
+
+def validate_security(n: int, log_qp: int, security_bits: int = 128) -> SecurityReport:
+    """Check ``log2`` of the *total* modulus (ciphertext chain + special
+    prime — key material lives mod Q*P) against the standard."""
+    max_logq = he_standard_max_logq(n, security_bits)
+    return SecurityReport(
+        n=n,
+        log_qp=log_qp,
+        security_bits=security_bits,
+        max_log_qp=max_logq,
+        secure=log_qp <= max_logq,
+        margin_bits=max_logq - log_qp,
+    )

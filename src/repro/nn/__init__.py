@@ -1,0 +1,41 @@
+"""From-scratch NumPy neural-network framework (PyTorch substitute).
+
+Implements exactly what the paper's training recipe (§V.D) needs:
+``Conv2d``, ``Linear``, ``BatchNorm2d``, ``AvgPool2d``, ``Flatten``,
+``ReLU``/``Square``/``SLAF`` activations, SGD with momentum,
+cross-entropy loss, Kaiming initialisation and the 1-cycle learning-rate
+policy [40].  Every layer carries a hand-written backward pass.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.batchnorm import BatchNorm2d
+from repro.nn.layers.pooling import AvgPool2d
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.activations import ReLU, SLAF, Square
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.optim import SGD
+from repro.nn.schedule import OneCycleLR
+from repro.nn.trainer import Trainer, TrainConfig
+from repro.nn.metrics import accuracy
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "AvgPool2d",
+    "Flatten",
+    "ReLU",
+    "Square",
+    "SLAF",
+    "CrossEntropyLoss",
+    "SGD",
+    "OneCycleLR",
+    "Trainer",
+    "TrainConfig",
+    "accuracy",
+]

@@ -1,0 +1,10 @@
+"""Layer implementations (each with a hand-written backward pass)."""
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.batchnorm import BatchNorm2d
+from repro.nn.layers.pooling import AvgPool2d
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.activations import ReLU, SLAF, Square
+
+__all__ = ["Conv2d", "Linear", "BatchNorm2d", "AvgPool2d", "Flatten", "ReLU", "Square", "SLAF"]

@@ -1,0 +1,86 @@
+"""Batch normalisation (2-D feature maps and 1-D feature vectors).
+
+CNN2 places one before each activation "to encourage the activation
+inputs to fit in the approximated interval" (§V.D) — i.e. it keeps SLAF
+inputs near N(0, 1) where the polynomial fit is accurate.  At inference
+the affine map is *folded into the neighbouring linear layer* by the HE
+compiler, so BatchNorm costs nothing homomorphically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+__all__ = ["BatchNorm2d"]
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch norm for ``(N, C, H, W)`` or ``(N, C)`` inputs."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features), name="bn.gamma")
+        self.beta = Parameter(np.zeros(num_features), name="bn.beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def _axes(self, x: np.ndarray) -> tuple[int, ...]:
+        if x.ndim == 4:
+            return (0, 2, 3)
+        if x.ndim == 2:
+            return (0,)
+        raise ValueError(f"BatchNorm2d expects 2-D or 4-D input, got {x.ndim}-D")
+
+    def _shape(self, x: np.ndarray) -> tuple[int, ...]:
+        return (1, self.num_features, 1, 1) if x.ndim == 4 else (1, self.num_features)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes, shp = self._axes(x), self._shape(x)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean.reshape(shp)) * inv_std.reshape(shp)
+        out = self.gamma.data.reshape(shp) * xhat + self.beta.data.reshape(shp)
+        if self.training:
+            self._cache = (xhat, inv_std, axes, shp, x.shape)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (training mode)")
+        xhat, inv_std, axes, shp, x_shape = self._cache
+        m = float(np.prod([x_shape[a] for a in axes]))
+        self.gamma.grad += (grad * xhat).sum(axis=axes)
+        self.beta.grad += grad.sum(axis=axes)
+        g = grad * self.gamma.data.reshape(shp)
+        dx = (
+            inv_std.reshape(shp)
+            / m
+            * (m * g - g.sum(axis=axes, keepdims=True) - xhat * (g * xhat).sum(axis=axes, keepdims=True))
+        )
+        return dx
+
+    def inference_affine(self) -> tuple[np.ndarray, np.ndarray]:
+        """Fold to ``y = scale * x + shift`` using running statistics.
+
+        Returned per-channel ``(scale, shift)`` is what the HE compiler
+        merges into the adjacent linear layer.
+        """
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        scale = self.gamma.data * inv_std
+        shift = self.beta.data - self.running_mean * scale
+        return scale, shift
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchNorm2d({self.num_features})"

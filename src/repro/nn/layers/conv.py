@@ -1,0 +1,121 @@
+"""2-D convolution via im2col, with stride and zero padding.
+
+The forward pass lowers each window to a row (``sliding_window_view``,
+no copies until the GEMM) and performs one matrix product — the standard
+HPC formulation.  The backward pass is the exact adjoint: a GEMM for the
+weight gradient and a strided scatter-add (col2im) for the input
+gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import kaiming_normal
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Conv2d", "im2col", "conv_output_shape"]
+
+
+def conv_output_shape(h: int, w: int, kh: int, kw: int, stride: int, padding: int) -> tuple[int, int]:
+    """Output spatial dimensions of a conv/pool window sweep."""
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ValueError(f"window {kh}x{kw} stride {stride} too large for {h}x{w} input")
+    return oh, ow
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Lower ``(N, C, H, W)`` to windows ``(N, OH, OW, C, KH, KW)``.
+
+    Supports ``object`` (big-integer) tensors for the exact RNS
+    pipeline; zero-padding then inserts Python-int zeros (``np.pad``
+    would inject ``np.int64`` scalars whose arithmetic overflows).
+    """
+    if padding:
+        if x.dtype == object:
+            n, c, h, w = x.shape
+            padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=object)
+            padded[:, :, padding : padding + h, padding : padding + w] = x
+            x = padded
+        else:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    win = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    win = win[:, :, ::stride, ::stride]  # (N, C, OH, OW, KH, KW)
+    return np.ascontiguousarray(win.transpose(0, 2, 3, 1, 4, 5))
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution layer.
+
+    Parameters follow the paper's architectures: CNN1 uses one 5x5
+    stride-2 layer; CNN2 (CryptoNets-based) stacks two.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng),
+            name="conv.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="conv.bias") if bias else None
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {c}")
+        k, s, p = self.kernel_size, self.stride, self.padding
+        oh, ow = conv_output_shape(h, w, k, k, s, p)
+        cols = im2col(x, k, k, s, p).reshape(n, oh * ow, c * k * k)
+        wmat = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ wmat.T  # (N, OH*OW, OC)
+        if self.bias is not None:
+            out = out + self.bias.data
+        self._cache = (x.shape, cols, oh, ow)
+        return out.transpose(0, 2, 1).reshape(n, self.out_channels, oh, ow)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, cols, oh, ow = self._cache
+        n, c, h, w = x_shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        g = grad.reshape(n, self.out_channels, oh * ow).transpose(0, 2, 1)  # (N, OH*OW, OC)
+        wmat = self.weight.data.reshape(self.out_channels, -1)
+        # Parameter grads.
+        self.weight.grad += np.einsum("npo,npk->ok", g, cols).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += g.sum(axis=(0, 1))
+        # Input grad: back through the GEMM then col2im scatter-add.
+        dcols = (g @ wmat).reshape(n, oh, ow, c, k, k)
+        dxp = np.zeros((n, c, h + 2 * p, w + 2 * p))
+        for i in range(k):
+            for j in range(k):
+                dxp[:, :, i : i + s * oh : s, j : j + s * ow : s] += dcols[
+                    :, :, :, :, i, j
+                ].transpose(0, 3, 1, 2)
+        return dxp[:, :, p : p + h, p : p + w] if p else dxp
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding})"
+        )

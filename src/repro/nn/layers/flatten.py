@@ -1,0 +1,29 @@
+"""Flatten feature maps to vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """``(N, C, H, W) -> (N, C*H*W)`` (and the inverse on backward)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad.reshape(self._shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Flatten()"

@@ -1,0 +1,51 @@
+"""Fully connected (dense) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import kaiming_normal
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """``y = x W^T + b`` for ``x`` of shape ``(N, in_features)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            kaiming_normal((out_features, in_features), in_features, rng), name="linear.weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), name="linear.bias") if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"expected (N, {self.in_features}), got {x.shape}")
+        self._x = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += grad.T @ self._x
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Linear({self.in_features}, {self.out_features})"

@@ -1,0 +1,45 @@
+"""Average pooling — the HE-friendly pooling (a linear map, depth-free)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.conv import conv_output_shape
+from repro.nn.module import Module
+
+__all__ = ["AvgPool2d"]
+
+
+class AvgPool2d(Module):
+    """Non-overlapping (or strided) mean pooling over ``(N, C, H, W)``."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        oh, ow = conv_output_shape(h, w, k, k, s, 0)
+        win = np.lib.stride_tricks.sliding_window_view(x, (k, k), axis=(2, 3))[:, :, ::s, ::s]
+        out = win.mean(axis=(4, 5))
+        self._cache = (x.shape, oh, ow)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, oh, ow = self._cache
+        n, c, h, w = x_shape
+        k, s = self.kernel_size, self.stride
+        dx = np.zeros(x_shape)
+        g = grad / (k * k)
+        for i in range(k):
+            for j in range(k):
+                dx[:, :, i : i + s * oh : s, j : j + s * ow : s] += g
+        return dx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AvgPool2d(k={self.kernel_size}, s={self.stride})"

@@ -1,0 +1,45 @@
+"""Cross-entropy loss with integrated softmax (numerically stable)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CrossEntropyLoss", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise stable softmax."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class CrossEntropyLoss:
+    """Mean cross-entropy over a batch of integer class labels."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError("logits must be (N, classes)")
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.shape != (logits.shape[0],):
+            raise ValueError("targets must be (N,) integer labels")
+        probs = softmax(logits)
+        self._probs, self._targets = probs, targets
+        picked = probs[np.arange(len(targets)), targets]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._targets] -= 1.0
+        return grad / n
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)

@@ -1,0 +1,25 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "confusion_matrix"]
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of argmax predictions equal to the labels."""
+    preds = np.argmax(logits, axis=1)
+    targets = np.asarray(targets)
+    if preds.shape != targets.shape:
+        raise ValueError("shape mismatch between predictions and targets")
+    return float((preds == targets).mean())
+
+
+def confusion_matrix(logits: np.ndarray, targets: np.ndarray, n_classes: int) -> np.ndarray:
+    """``(n_classes, n_classes)`` counts, rows = true, cols = predicted."""
+    preds = np.argmax(logits, axis=1)
+    cm = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for t, p in zip(np.asarray(targets), preds):
+        cm[int(t), int(p)] += 1
+    return cm

@@ -1,0 +1,132 @@
+"""Module/Parameter machinery: a minimal layered-network core.
+
+Only sequential topologies are needed for CNN1/CNN2, so backpropagation
+is a simple reverse sweep — no tape or graph.  Each layer implements
+``forward`` (caching what it needs) and ``backward`` (returning the
+gradient w.r.t. its input and accumulating parameter gradients).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator.
+
+    ``frozen`` parameters keep their values under any optimiser step —
+    used by the SLAF recipe, where network weights are fixed and only
+    polynomial coefficients are retrained.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "", frozen: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.frozen = frozen
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name or 'unnamed'}, shape={self.data.shape}, frozen={self.frozen})"
+
+
+class Module:
+    """Base class for layers."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # Subclasses override.
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        out: list[Parameter] = []
+        for v in self.__dict__.values():
+            if isinstance(v, Parameter):
+                out.append(v)
+            elif isinstance(v, Module):
+                out.extend(v.parameters())
+        return out
+
+    def train(self) -> "Module":
+        self.training = True
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def n_params(self) -> int:
+        return sum(int(np.prod(p.shape)) for p in self.parameters())
+
+
+class Sequential(Module):
+    """Chain of modules; forward left-to-right, backward right-to-left."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        out: list[Parameter] = []
+        for layer in self.layers:
+            out.extend(layer.parameters())
+        return out
+
+    def train(self) -> "Sequential":
+        super().train()
+        for layer in self.layers:
+            layer.train()
+        return self
+
+    def eval(self) -> "Sequential":
+        super().eval()
+        for layer in self.layers:
+            layer.eval()
+        return self
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def summary(self) -> str:
+        """Human-readable architecture listing (used for Figs. 3/4)."""
+        lines = []
+        for i, layer in enumerate(self.layers):
+            lines.append(f"  [{i:2d}] {layer!r}")
+        lines.append(f"  total parameters: {self.n_params():,}")
+        return "\n".join(lines)

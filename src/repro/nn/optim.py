@@ -1,0 +1,51 @@
+"""Stochastic gradient descent with classical momentum (§V.D: 0.9)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """``v <- mu v - lr g;  w <- w + v``; frozen parameters are skipped."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        clip_norm: float | None = None,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.clip_norm = clip_norm
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.frozen:
+                continue
+            g = p.grad
+            if self.clip_norm is not None:
+                norm = float(np.linalg.norm(g))
+                if norm > self.clip_norm:
+                    g = g * (self.clip_norm / norm)
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v -= self.lr * g
+            p.data += v
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

@@ -1,0 +1,59 @@
+"""1-cycle learning-rate policy (Smith & Topin [40], §V.D).
+
+One triangular-ish cycle: the LR warms up linearly from ``max_lr /
+div_factor`` to ``max_lr`` over ``pct_start`` of training, then anneals
+(cosine) down to ``max_lr / final_div``; the large mid-training LR acts
+as a regulariser ("super-convergence").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import SGD
+
+__all__ = ["OneCycleLR"]
+
+
+class OneCycleLR:
+    """Steps the optimiser LR once per batch."""
+
+    def __init__(
+        self,
+        optimizer: SGD,
+        max_lr: float,
+        total_steps: int,
+        pct_start: float = 0.3,
+        div_factor: float = 25.0,
+        final_div: float = 1e4,
+    ):
+        if total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        if not 0 < pct_start < 1:
+            raise ValueError("pct_start must be in (0, 1)")
+        self.optimizer = optimizer
+        self.max_lr = max_lr
+        self.total_steps = total_steps
+        self.pct_start = pct_start
+        self.initial_lr = max_lr / div_factor
+        self.final_lr = max_lr / final_div
+        self._step = 0
+        self.optimizer.lr = self.lr_at(0)
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate for a given 0-based step index."""
+        step = min(step, self.total_steps - 1)
+        up_steps = max(1, int(self.total_steps * self.pct_start))
+        if step < up_steps:
+            frac = step / up_steps
+            return self.initial_lr + frac * (self.max_lr - self.initial_lr)
+        frac = (step - up_steps) / max(1, self.total_steps - up_steps)
+        return self.final_lr + 0.5 * (self.max_lr - self.final_lr) * (1 + math.cos(math.pi * frac))
+
+    def step(self) -> None:
+        self._step += 1
+        self.optimizer.lr = self.lr_at(self._step)
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr

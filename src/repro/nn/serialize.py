@@ -1,0 +1,59 @@
+"""Save/load trained models (weights + BatchNorm running statistics).
+
+State is stored positionally: the loader requires an architecturally
+identical model (same builder, same flags), which is how the benchmark
+harness caches trained CNN1/CNN2 instances between runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers.batchnorm import BatchNorm2d
+from repro.nn.module import Sequential
+
+__all__ = ["save_model", "load_model"]
+
+
+def _state_arrays(model: Sequential) -> dict[str, np.ndarray]:
+    state: dict[str, np.ndarray] = {}
+    for i, p in enumerate(model.parameters()):
+        state[f"param_{i}"] = p.data
+    bn_idx = 0
+    for layer in model:
+        if isinstance(layer, BatchNorm2d):
+            state[f"bn_{bn_idx}_mean"] = layer.running_mean
+            state[f"bn_{bn_idx}_var"] = layer.running_var
+            bn_idx += 1
+    return state
+
+
+def save_model(model: Sequential, path: str | Path) -> None:
+    """Write all parameters and BN buffers to a ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **_state_arrays(model))
+
+
+def load_model(model: Sequential, path: str | Path) -> Sequential:
+    """Load state saved by :func:`save_model` into a same-shaped model."""
+    data = np.load(Path(path))
+    params = model.parameters()
+    for i, p in enumerate(params):
+        key = f"param_{i}"
+        if key not in data:
+            raise ValueError(f"state file missing {key}; architecture mismatch?")
+        if data[key].shape != p.data.shape:
+            raise ValueError(
+                f"shape mismatch for {key}: file {data[key].shape} vs model {p.data.shape}"
+            )
+        p.data[...] = data[key]
+    bn_idx = 0
+    for layer in model:
+        if isinstance(layer, BatchNorm2d):
+            layer.running_mean[...] = data[f"bn_{bn_idx}_mean"]
+            layer.running_var[...] = data[f"bn_{bn_idx}_var"]
+            bn_idx += 1
+    return model

@@ -1,0 +1,141 @@
+"""Training loop implementing the paper's §V.D recipe.
+
+SGD + momentum 0.9, batch size 64, cross-entropy, 1-cycle LR policy,
+Kaiming-initialised weights; plus the SLAF two-phase recipe helpers
+(freeze weights, retrain polynomial coefficients only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.metrics import accuracy
+from repro.nn.module import Sequential
+from repro.nn.optim import SGD
+from repro.nn.schedule import OneCycleLR
+from repro.utils.rng import derive_rng
+
+__all__ = ["TrainConfig", "Trainer"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters; defaults mirror §V.D."""
+
+    epochs: int = 30
+    batch_size: int = 64
+    max_lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    clip_norm: float | None = None
+    shuffle: bool = True
+    verbose: bool = False
+    seed: int | None = None
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch curves recorded during a fit."""
+
+    loss: list[float] = field(default_factory=list)
+    train_acc: list[float] = field(default_factory=list)
+    val_acc: list[float] = field(default_factory=list)
+
+
+class Trainer:
+    """Fits a :class:`~repro.nn.module.Sequential` classifier."""
+
+    def __init__(self, model: Sequential, config: TrainConfig | None = None):
+        self.model = model
+        self.config = config or TrainConfig()
+        self.loss_fn = CrossEntropyLoss()
+        self.history = TrainHistory()
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+    ) -> TrainHistory:
+        cfg = self.config
+        rng = derive_rng(cfg.seed)
+        n = x.shape[0]
+        steps_per_epoch = max(1, n // cfg.batch_size)
+        opt = SGD(
+            self.model.parameters(),
+            lr=cfg.max_lr,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+            clip_norm=cfg.clip_norm,
+        )
+        sched = OneCycleLR(opt, cfg.max_lr, total_steps=cfg.epochs * steps_per_epoch)
+        for epoch in range(cfg.epochs):
+            self.model.train()
+            order = rng.permutation(n) if cfg.shuffle else np.arange(n)
+            epoch_loss, correct, seen = 0.0, 0, 0
+            for b in range(steps_per_epoch):
+                idx = order[b * cfg.batch_size : (b + 1) * cfg.batch_size]
+                xb, yb = x[idx], y[idx]
+                logits = self.model.forward(xb)
+                loss = self.loss_fn(logits, yb)
+                opt.zero_grad()
+                self.model.backward(self.loss_fn.backward())
+                opt.step()
+                sched.step()
+                epoch_loss += loss * len(idx)
+                correct += int((np.argmax(logits, axis=1) == yb).sum())
+                seen += len(idx)
+            self.history.loss.append(epoch_loss / seen)
+            self.history.train_acc.append(correct / seen)
+            if x_val is not None and y_val is not None:
+                va = self.evaluate(x_val, y_val)
+                self.history.val_acc.append(va)
+                if cfg.verbose:  # pragma: no cover - logging only
+                    print(
+                        f"epoch {epoch + 1}/{cfg.epochs} loss={self.history.loss[-1]:.4f} "
+                        f"train_acc={self.history.train_acc[-1]:.4f} val_acc={va:.4f}"
+                    )
+            elif cfg.verbose:  # pragma: no cover - logging only
+                print(
+                    f"epoch {epoch + 1}/{cfg.epochs} loss={self.history.loss[-1]:.4f} "
+                    f"train_acc={self.history.train_acc[-1]:.4f}"
+                )
+        return self.history
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+        """Test-set accuracy in eval mode (BatchNorm running stats)."""
+        self.model.eval()
+        correct = 0
+        for start in range(0, x.shape[0], batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = self.model.forward(xb)
+            correct += int((np.argmax(logits, axis=1) == yb).sum())
+        return correct / x.shape[0]
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Logits for a dataset in eval mode."""
+        self.model.eval()
+        outs = []
+        for start in range(0, x.shape[0], batch_size):
+            outs.append(self.model.forward(x[start : start + batch_size]))
+        return np.concatenate(outs, axis=0)
+
+
+def freeze_non_slaf(model: Sequential) -> None:
+    """Freeze everything except SLAF coefficients (phase-2 of the recipe)."""
+    from repro.nn.layers.activations import SLAF
+
+    for layer in model:
+        is_slaf = isinstance(layer, SLAF)
+        for p in layer.parameters():
+            p.frozen = not is_slaf
+
+
+def unfreeze_all(model: Sequential) -> None:
+    for p in model.parameters():
+        p.frozen = False

@@ -1,0 +1,106 @@
+"""Chinese Remainder Theorem over pairwise co-prime moduli.
+
+This is the mathematical heart of the paper's Fig. 2: a large integer
+``x`` is represented by its residues ``(x mod q_1, ..., x mod q_k)``;
+addition and multiplication act componentwise; :meth:`CrtBasis.compose`
+recovers ``x mod Q`` with ``Q = prod(q_i)``.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import reduce
+
+import numpy as np
+
+__all__ = ["CrtBasis"]
+
+
+class CrtBasis:
+    """Precomputed CRT data for a fixed list of pairwise co-prime moduli."""
+
+    def __init__(self, moduli: list[int]):
+        moduli = [int(m) for m in moduli]
+        if not moduli:
+            raise ValueError("need at least one modulus")
+        if any(m < 2 for m in moduli):
+            raise ValueError("moduli must be >= 2")
+        for i in range(len(moduli)):
+            for j in range(i + 1, len(moduli)):
+                if math.gcd(moduli[i], moduli[j]) != 1:
+                    raise ValueError(
+                        f"moduli {moduli[i]} and {moduli[j]} are not co-prime"
+                    )
+        self.moduli = moduli
+        self.k = len(moduli)
+        #: Dynamic range Q = prod(q_i).
+        self.modulus = reduce(lambda a, b: a * b, moduli, 1)
+        #: Q / q_i ("hat" values).
+        self.hats = [self.modulus // m for m in moduli]
+        #: (Q/q_i)^{-1} mod q_i.
+        self.hat_invs = [pow(h, -1, m) for h, m in zip(self.hats, moduli)]
+        #: Garner-free reconstruction coefficients e_i = hat_i * hat_inv_i mod Q.
+        self.recomb = [h * hi % self.modulus for h, hi in zip(self.hats, self.hat_invs)]
+
+    # -- scalar / array decomposition -------------------------------------
+
+    def decompose(self, x: np.ndarray | int) -> list[np.ndarray]:
+        """Residues of *x* (array of arbitrary Python/NumPy ints) per modulus.
+
+        Negative inputs are mapped to the canonical representative in
+        ``[0, q_i)``; recomposition restores them via :meth:`compose_centered`.
+        """
+        arr = np.asarray(x, dtype=object)
+        out = []
+        for m in self.moduli:
+            res = np.mod(arr, m)
+            out.append(res.astype(np.int64) if m.bit_length() <= 62 else res)
+        return out
+
+    def compose(self, residues: list[np.ndarray]) -> np.ndarray:
+        """Inverse of :meth:`decompose`: canonical value in ``[0, Q)``."""
+        self._check_channels(residues)
+        acc = np.zeros(np.asarray(residues[0]).shape, dtype=object)
+        for res, e in zip(residues, self.recomb):
+            acc = acc + np.asarray(res, dtype=object) * e
+        return np.mod(acc, self.modulus)
+
+    def compose_centered(self, residues: list[np.ndarray]) -> np.ndarray:
+        """Like :meth:`compose` but returns values in ``[-Q/2, Q/2)``.
+
+        This is the representation needed to recover *signed* integers —
+        e.g. negative convolution outputs in the paper's CNN-RNS layers.
+        """
+        v = self.compose(residues)
+        half = self.modulus // 2
+        return np.where(v >= half, v - self.modulus, v)
+
+    def _check_channels(self, residues: list[np.ndarray]) -> None:
+        if len(residues) != self.k:
+            raise ValueError(f"expected {self.k} residue channels, got {len(residues)}")
+
+    # -- componentwise ring operations ------------------------------------
+
+    def add(self, a: list[np.ndarray], b: list[np.ndarray]) -> list[np.ndarray]:
+        """Componentwise residue addition (Fig. 2 semantics)."""
+        self._check_channels(a)
+        self._check_channels(b)
+        return [(np.asarray(x) + np.asarray(y)) % m for x, y, m in zip(a, b, self.moduli)]
+
+    def mul(self, a: list[np.ndarray], b: list[np.ndarray]) -> list[np.ndarray]:
+        """Componentwise residue multiplication (Fig. 2 semantics)."""
+        self._check_channels(a)
+        self._check_channels(b)
+        out = []
+        for x, y, m in zip(a, b, self.moduli):
+            xo = np.asarray(x, dtype=object)
+            yo = np.asarray(y, dtype=object)
+            r = np.mod(xo * yo, m)
+            out.append(r.astype(np.int64) if m.bit_length() <= 62 else r)
+        return out
+
+    def __len__(self) -> int:
+        return self.k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CrtBasis(k={self.k}, log2(Q)~{self.modulus.bit_length()})"

@@ -1,0 +1,158 @@
+"""Negacyclic Number Theoretic Transform (NTT).
+
+Implements the merged-twiddle iterative transforms of Longa & Naehrig:
+the forward transform is decimation-in-time Cooley-Tukey (natural input,
+bit-reversed output) and the inverse is decimation-in-frequency
+Gentleman-Sande (bit-reversed input, natural output).  Multiplication in
+the transformed domain is elementwise, which — together with ``p ≡ 1
+(mod 2N)`` primes — gives O(N log N) negacyclic polynomial products per
+RNS channel.
+
+Each stage is fully vectorised over NumPy views (see the hpc guide on
+vectorising loops): a length-``n`` transform is ``log2 n`` reshaped
+butterfly sweeps, with optional leading batch axes transformed together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nt.modarith import addmod, mulmod, submod
+from repro.nt.primes import is_prime
+
+__all__ = ["NttPlan", "bit_reverse_permutation"]
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation reversing ``log2 n`` bits (n must be a power of 2)."""
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    logn = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(logn):
+        rev |= ((idx >> b) & 1) << (logn - 1 - b)
+    return rev
+
+
+def _find_primitive_2n_root(p: int, n: int) -> int:
+    """Smallest-witness primitive 2n-th root of unity modulo prime *p*.
+
+    Requires ``p ≡ 1 (mod 2n)`` with ``n`` a power of two: then any
+    ``c^((p-1)/2n)`` with ``psi^n ≡ -1`` has order exactly 2n.
+    """
+    if (p - 1) % (2 * n) != 0:
+        raise ValueError(f"prime {p} is not ≡ 1 (mod {2 * n}); NTT of length {n} unavailable")
+    exp = (p - 1) // (2 * n)
+    for c in range(2, 10_000):
+        psi = pow(c, exp, p)
+        if pow(psi, n, p) == p - 1:
+            return psi
+    raise RuntimeError(f"no primitive 2n-th root found modulo {p}")  # pragma: no cover
+
+
+class NttPlan:
+    """Precomputed negacyclic NTT for one ``(n, prime)`` pair.
+
+    Parameters
+    ----------
+    n:
+        Transform length (ring degree), a power of two.
+    p:
+        NTT-friendly prime, ``p ≡ 1 (mod 2n)``.
+
+    Notes
+    -----
+    The "evaluation domain" used throughout :mod:`repro.ckksrns` is the
+    bit-reversed output order of :meth:`forward`; :meth:`inverse` undoes
+    it.  ``forward(inverse(x)) == x`` and dyadic products in that domain
+    equal negacyclic convolution in the coefficient domain.
+    """
+
+    def __init__(self, n: int, p: int):
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"n must be a power of two >= 2, got {n}")
+        if not is_prime(p):
+            raise ValueError(f"{p} is not prime")
+        self.n = int(n)
+        self.p = int(p)
+        psi = _find_primitive_2n_root(self.p, self.n)
+        self.psi = psi
+        psi_inv = pow(psi, -1, self.p)
+        rev = bit_reverse_permutation(self.n)
+        pow_psi = self._power_table(psi)
+        pow_psi_inv = self._power_table(psi_inv)
+        # Twiddles indexed as table[m + i] at stage with m groups.
+        self._tw = pow_psi[rev]
+        self._tw_inv = pow_psi_inv[rev]
+        self.n_inv = pow(self.n, -1, self.p)
+
+    def _power_table(self, base: int) -> np.ndarray:
+        out = np.empty(self.n, dtype=np.int64)
+        acc = 1
+        for i in range(self.n):
+            out[i] = acc
+            acc = acc * base % self.p
+        return out
+
+    # -- transforms ------------------------------------------------------
+
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        """Negacyclic forward NTT along the last axis (returns a new array)."""
+        a = self._prepare(a)
+        p = self.p
+        batch = a.shape[0]
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            view = a.reshape(batch, m, 2 * t)
+            left = view[:, :, :t]
+            right = view[:, :, t:]
+            w = self._tw[m : 2 * m].reshape(1, m, 1)
+            v = mulmod(right, w, p)
+            new_left = addmod(left, v, p)
+            new_right = submod(left, v, p)
+            view[:, :, :t] = new_left
+            view[:, :, t:] = new_right
+            m *= 2
+        return a.reshape(self._out_shape)
+
+    def inverse(self, a: np.ndarray) -> np.ndarray:
+        """Negacyclic inverse NTT along the last axis (returns a new array)."""
+        a = self._prepare(a)
+        p = self.p
+        batch = a.shape[0]
+        t = 1
+        m = self.n // 2
+        while m >= 1:
+            view = a.reshape(batch, m, 2 * t)
+            left = view[:, :, :t]
+            right = view[:, :, t:]
+            w = self._tw_inv[m : 2 * m].reshape(1, m, 1)
+            s = addmod(left, right, p)
+            d = mulmod(submod(left, right, p), w, p)
+            view[:, :, :t] = s
+            view[:, :, t:] = d
+            t *= 2
+            m //= 2
+        a = mulmod(a, np.int64(self.n_inv), p)
+        return a.reshape(self._out_shape)
+
+    def _prepare(self, a: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.int64)
+        if a.shape[-1] != self.n:
+            raise ValueError(f"last axis must have length {self.n}, got {a.shape[-1]}")
+        self._out_shape = a.shape
+        return a.reshape(-1, self.n).copy()
+
+    # -- convenience -----------------------------------------------------
+
+    def negacyclic_convolve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``a * b mod (X^n + 1, p)`` via forward/dyadic/inverse."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(mulmod(fa, fb, self.p))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NttPlan(n={self.n}, p={self.p})"

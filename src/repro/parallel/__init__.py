@@ -1,0 +1,33 @@
+"""Executors for dispatching independent RNS residue channels.
+
+The paper's speed-up source ("RNS representation enables parallel
+processing") is channel independence.  Three interchangeable executors
+realise it:
+
+* :class:`SerialExecutor` — baseline, runs channels in order.
+* :class:`ThreadExecutor` — ``concurrent.futures`` threads; NumPy
+  elementwise kernels release the GIL, so residue NTTs overlap.
+* :class:`ProcessExecutor` — process pool for fully GIL-free dispatch.
+
+All share one API: :meth:`~Executor.map` over a list of per-channel work
+items.
+"""
+
+from repro.parallel.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.parallel.sharding import shard_indices, interleave
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "shard_indices",
+    "interleave",
+]

@@ -1,0 +1,103 @@
+"""Executor abstraction: one ``map`` API, three concurrency backends."""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor", "make_executor"]
+
+
+class Executor(ABC):
+    """Maps a function over independent work items, preserving order."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to each item; results are returned in input order."""
+
+    def starmap(self, fn: Callable[..., Any], items: Iterable[tuple]) -> list[Any]:
+        """Like :meth:`map` but unpacks each item as positional arguments."""
+        return self.map(lambda args: fn(*args), list(items))
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run channels one after another — the non-parallel reference point."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
+        return [fn(it) for it in items]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool dispatch; effective because NumPy kernels drop the GIL."""
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers or min(32, os.cpu_count() or 1)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
+        if len(items) <= 1:
+            return [fn(it) for it in items]
+        return list(self._ensure().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(Executor):
+    """Process-pool dispatch (fork-based); items and results are pickled."""
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers or (os.cpu_count() or 1)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
+        if len(items) <= 1:
+            return [fn(it) for it in items]
+        return list(self._ensure().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(kind: str, workers: int | None = None) -> Executor:
+    """Factory keyed by name: ``"serial" | "thread" | "process"``."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(workers)
+    if kind == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(f"unknown executor kind {kind!r} (serial|thread|process)")

@@ -1,0 +1,36 @@
+"""Work-partitioning helpers for channel dispatch."""
+
+from __future__ import annotations
+
+__all__ = ["shard_indices", "interleave"]
+
+
+def shard_indices(n_items: int, n_shards: int) -> list[list[int]]:
+    """Split ``range(n_items)`` into at most *n_shards* contiguous balanced shards.
+
+    Earlier shards receive the remainder items so sizes differ by at most 1.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be >= 0")
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    n_shards = min(n_shards, max(n_items, 1))
+    base, extra = divmod(n_items, n_shards)
+    out: list[list[int]] = []
+    start = 0
+    for s in range(n_shards):
+        size = base + (1 if s < extra else 0)
+        out.append(list(range(start, start + size)))
+        start += size
+    return [s for s in out if s] or [[]]
+
+
+def interleave(shard_results: list[list], shards: list[list[int]], n_items: int) -> list:
+    """Inverse of sharding: scatter per-shard results back to item order."""
+    flat: list = [None] * n_items
+    for shard, results in zip(shards, shard_results):
+        if len(shard) != len(results):
+            raise ValueError("shard/result length mismatch")
+        for idx, res in zip(shard, results):
+            flat[idx] = res
+    return flat

@@ -1,0 +1,75 @@
+"""RNS bases: co-prime moduli chains with CRT precomputation.
+
+A :class:`RnsBase` is what the paper calls a "moduli chain": *k* pairwise
+co-prime (here: prime) moduli whose product ``Q`` is the dynamic range.
+It extends :class:`repro.nt.crt.CrtBasis` with NTT-friendliness metadata
+and SEAL-style construction from bit lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nt.crt import CrtBasis
+from repro.nt.primes import gen_ntt_primes
+
+__all__ = ["RnsBase"]
+
+
+class RnsBase(CrtBasis):
+    """A CRT basis whose moduli are NTT-friendly primes for degree *n*.
+
+    Construct either from an explicit list of primes or, like the SEAL
+    co-prime generation tool referenced in §VI.A, from a list of bit
+    lengths via :meth:`from_bit_sizes`.
+    """
+
+    def __init__(self, moduli: list[int], n: int | None = None):
+        super().__init__(moduli)
+        self.n = n
+        if n is not None:
+            for m in self.moduli:
+                if (m - 1) % (2 * n) != 0:
+                    raise ValueError(
+                        f"modulus {m} is not NTT-friendly for n={n} (p != 1 mod 2n)"
+                    )
+
+    @classmethod
+    def from_bit_sizes(
+        cls, bit_sizes: list[int], n: int, exclude: set[int] | None = None
+    ) -> "RnsBase":
+        """Build a base of distinct NTT primes with the given bit lengths."""
+        return cls(gen_ntt_primes(bit_sizes, n, exclude=exclude), n=n)
+
+    @property
+    def bit_sizes(self) -> list[int]:
+        """Bit length of each modulus (the paper's Table II "q" row)."""
+        return [m.bit_length() for m in self.moduli]
+
+    @property
+    def total_bits(self) -> int:
+        """``log2 Q`` rounded up — the paper's Table II "log q" row."""
+        return self.modulus.bit_length()
+
+    def drop_last(self) -> "RnsBase":
+        """Sub-base without the final modulus (one rescaling step down)."""
+        if self.k == 1:
+            raise ValueError("cannot drop the only modulus")
+        return RnsBase(self.moduli[:-1], n=self.n)
+
+    def prefix(self, k: int) -> "RnsBase":
+        """Sub-base of the first *k* moduli."""
+        if not 1 <= k <= self.k:
+            raise ValueError(f"k must be in [1, {self.k}], got {k}")
+        return RnsBase(self.moduli[:k], n=self.n)
+
+    def max_representable(self) -> int:
+        """Largest magnitude of signed values exactly representable: Q//2."""
+        return self.modulus // 2
+
+    def channel_dtype_ok(self) -> bool:
+        """True when every channel fits the fast int64 vectorised path."""
+        return all(m.bit_length() <= 62 for m in self.moduli)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RnsBase(k={self.k}, bits={self.bit_sizes}, n={self.n})"

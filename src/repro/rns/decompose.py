@@ -1,0 +1,81 @@
+"""Residue decomposition of integer tensors (paper Fig. 2 / Fig. 5).
+
+The CNN-RNS architectures decompose the (scaled-integer) input image into
+one residue tensor per modulus; convolution then acts on each channel
+independently — they "can be processed independently in parallel" — and
+the channels are recombined by CRT after the convolutional stage.
+
+Functions here operate on whole NumPy tensors at once: the residue stack
+has shape ``(k, *x.shape)`` and stays in ``int64`` whenever the moduli
+allow it (they always do for the paper's <= 60-bit chains).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rns.base import RnsBase
+
+__all__ = ["rns_decompose", "rns_recompose", "rns_recompose_signed"]
+
+
+def rns_decompose(x: np.ndarray, base: RnsBase) -> np.ndarray:
+    """Decompose an integer tensor into residue channels.
+
+    Parameters
+    ----------
+    x:
+        Integer tensor (any shape).  Signed values are allowed as long as
+        ``|x| < Q/2``; they are stored as canonical residues and recovered
+        by :func:`rns_recompose_signed`.
+    base:
+        The moduli chain.
+
+    Returns
+    -------
+    ``int64`` array of shape ``(k, *x.shape)`` — channel *i* holds
+    ``x mod q_i``.
+    """
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.integer) and x.dtype != object:
+        raise TypeError(f"rns_decompose needs an integer tensor, got dtype {x.dtype}")
+    chans = []
+    for m in base.moduli:
+        if x.dtype == object:
+            chans.append(np.mod(x, m).astype(np.int64))
+        else:
+            chans.append(np.mod(x.astype(np.int64, copy=False), np.int64(m)))
+    return np.stack(chans, axis=0)
+
+
+def rns_recompose(channels: np.ndarray, base: RnsBase) -> np.ndarray:
+    """CRT recomposition to canonical representatives in ``[0, Q)``.
+
+    Returns an ``object`` array when ``Q`` exceeds int64, else ``int64``.
+    """
+    _check(channels, base)
+    out = base.compose([channels[i] for i in range(base.k)])
+    if base.modulus.bit_length() <= 62:
+        return out.astype(np.int64)
+    return out
+
+
+def rns_recompose_signed(channels: np.ndarray, base: RnsBase) -> np.ndarray:
+    """CRT recomposition to signed values in ``[-Q/2, Q/2)``.
+
+    This is the variant the CNN-RNS pipeline uses after convolution,
+    where outputs may be negative.
+    """
+    _check(channels, base)
+    out = base.compose_centered([channels[i] for i in range(base.k)])
+    if base.modulus.bit_length() <= 62:
+        return out.astype(np.int64)
+    return out
+
+
+def _check(channels: np.ndarray, base: RnsBase) -> None:
+    channels = np.asarray(channels)
+    if channels.shape[0] != base.k:
+        raise ValueError(
+            f"residue stack has {channels.shape[0]} channels, base expects {base.k}"
+        )

@@ -1,0 +1,161 @@
+"""Vectorised multi-limb (multiprecision) modular arithmetic.
+
+This is the cost model of the "multi-precision library" the paper's
+non-RNS baseline pays for (§II): integers wider than a machine word are
+held as little-endian limbs of ``LIMB_BITS`` bits in int64 NumPy
+arrays; multiplication is schoolbook over limb pairs, so the work grows
+**quadratically** with the operand width.  An RNS decomposition into
+``k`` channels of ``B/k`` bits therefore costs ``k * (B/(k*LIMB)) ** 2
+∝ B^2 / k`` limb products — monotonically *decreasing* in ``k`` until
+each channel fits a single limb, after which per-channel overhead makes
+cost grow again.  That crossover is the minimum the paper observes at
+nine moduli (Tables IV/VI).
+
+All kernels are elementwise over arbitrary leading axes; the limb axis
+is axis 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LIMB_BITS", "LIMB_MASK", "n_limbs", "split_limbs", "carry_normalize", "fold_mod", "limbs_to_int"]
+
+#: Limb width: 28 bits keeps tap-sum products of limb pairs inside int64.
+LIMB_BITS = 28
+LIMB_MASK = (1 << LIMB_BITS) - 1
+
+
+def n_limbs(modulus: int) -> int:
+    """Limbs needed for canonical residues of *modulus*."""
+    return max(1, -(-modulus.bit_length() // LIMB_BITS))
+
+
+def split_limbs(values: np.ndarray, d: int) -> np.ndarray:
+    """Non-negative integers (object or int64) -> ``(d, *shape)`` int64 limbs."""
+    values = np.asarray(values)
+    out = np.empty((d,) + values.shape, dtype=np.int64)
+    if values.dtype == object:
+        v = values.copy()
+        for k in range(d):
+            out[k] = np.bitwise_and(v, LIMB_MASK).astype(np.int64)
+            v = np.right_shift(v, LIMB_BITS)
+        if np.any(v != 0):
+            raise ValueError(
+                "value does not fit the requested limb count (or is negative)"
+            )
+    else:
+        v = values.astype(np.int64, copy=True)
+        if np.any(v < 0):
+            raise ValueError("split_limbs needs canonical (non-negative) values")
+        for k in range(d):
+            out[k] = v & LIMB_MASK
+            v >>= LIMB_BITS
+        if np.any(v):
+            raise ValueError("value does not fit the requested limb count")
+    return out
+
+
+def carry_normalize(acc: np.ndarray) -> np.ndarray:
+    """Propagate carries so every limb is in ``[0, 2^LIMB_BITS)``.
+
+    Input limbs may hold partial sums up to ~2^62; one extra limb is
+    appended to absorb the final carry.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    d = acc.shape[0]
+    out = np.zeros((d + 2,) + acc.shape[1:], dtype=np.int64)
+    carry = np.zeros(acc.shape[1:], dtype=np.int64)
+    for k in range(d):
+        total = acc[k] + carry
+        out[k] = total & LIMB_MASK
+        carry = total >> LIMB_BITS
+    out[d] = carry & LIMB_MASK
+    out[d + 1] = carry >> LIMB_BITS
+    return out
+
+
+def fold_mod(limbs: np.ndarray, modulus: int) -> np.ndarray:
+    """Reduce normalised limbs modulo *m*: ``sum_k limb_k * (2^(28k) mod m)``.
+
+    Fast int64 path when the partial sums fit (m below ~2^31 after the
+    per-term reduction); otherwise an exact object-precision fold.
+    Returns canonical residues (int64 if m fits, else object).
+    """
+    limbs = np.asarray(limbs, dtype=np.int64)
+    d = limbs.shape[0]
+    pows = [pow(1 << (LIMB_BITS * k), 1, modulus) for k in range(d)]
+    mbits = modulus.bit_length()
+    if mbits + LIMB_BITS + int(np.ceil(np.log2(d))) <= 62:
+        acc = np.zeros(limbs.shape[1:], dtype=np.int64)
+        for k in range(d):
+            acc += limbs[k] * np.int64(pows[k])  # limb < 2^28, pow < m
+        return acc % modulus
+    if mbits <= 50:
+        # Two-stage int64 fold: split each pow into 25-bit halves so all
+        # partial sums stay below 2^62, then merge with one wide mulmod.
+        from repro.nt.modarith import mulmod  # local import avoids a cycle
+
+        half_bits = 25
+        mask = (1 << half_bits) - 1
+        lo_acc = np.zeros(limbs.shape[1:], dtype=np.int64)
+        hi_acc = np.zeros(limbs.shape[1:], dtype=np.int64)
+        for k in range(d):
+            lo_acc += limbs[k] * np.int64(pows[k] & mask)  # < d * 2^53
+            hi_acc += limbs[k] * np.int64(pows[k] >> half_bits)
+        merged = mulmod(hi_acc % modulus, np.int64((1 << half_bits) % modulus), modulus)
+        return (lo_acc % modulus + merged) % modulus
+    # Wide modulus: contract to ~n_limbs(m) limbs with int64 arithmetic
+    # first, then finish with a short exact object fold.
+    short = partial_residue_limbs(limbs, modulus)
+    acc_obj = np.zeros(short.shape[1:], dtype=object)
+    for k in range(short.shape[0]):
+        chunk = short[k]
+        if not chunk.any():
+            continue
+        acc_obj = acc_obj + (chunk.astype(object) << (LIMB_BITS * k))
+    res = np.mod(acc_obj, modulus)
+    if mbits <= 62:
+        return res.astype(np.int64)
+    return res
+
+
+def partial_residue_limbs(limbs: np.ndarray, modulus: int) -> np.ndarray:
+    """Partially reduce full-width limb vectors modulo *m*, staying in limbs.
+
+    Computes ``r = sum_j limb_j * (2^(28 j) mod m)`` with pure int64
+    limb arithmetic.  The result is **not** canonical — it is bounded by
+    ``D * 2^28 * m`` (a couple of extra limbs) — but is congruent to the
+    input mod *m*, which is all the downstream convolution needs (its
+    output is folded mod *m* anyway).  This keeps the per-channel
+    residue derivation free of big-int operations.
+    """
+    limbs = np.asarray(limbs, dtype=np.int64)
+    big_d = limbs.shape[0]
+    dw = n_limbs(modulus)
+    # pow_j = 2^(28 j) mod m, split into dw limbs each.
+    pows = np.empty((big_d, dw), dtype=np.int64)
+    for j in range(big_d):
+        p = pow(1 << (LIMB_BITS * j), 1, modulus)
+        for t in range(dw):
+            pows[j, t] = p & LIMB_MASK
+            p >>= LIMB_BITS
+    acc = np.zeros((dw + 2,) + limbs.shape[1:], dtype=np.int64)
+    for j in range(big_d):
+        lj = limbs[j]
+        for t in range(dw):
+            if pows[j, t] == 0:
+                continue
+            prod = lj * pows[j, t]  # < 2^56
+            acc[t] += prod & LIMB_MASK
+            acc[t + 1] += prod >> LIMB_BITS
+    return carry_normalize(acc)
+
+
+def limbs_to_int(limbs: np.ndarray) -> np.ndarray:
+    """Exact object-integer reconstruction (testing/reference)."""
+    limbs = np.asarray(limbs, dtype=np.int64)
+    acc = np.zeros(limbs.shape[1:], dtype=object)
+    for k in range(limbs.shape[0]):
+        acc = acc + (limbs[k].astype(object) << (LIMB_BITS * k))
+    return acc

@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic RNG handling and wall-clock timing."""
+
+from repro.utils.rng import derive_rng, spawn_rngs
+from repro.utils.timing import LatencyStats, Timer, time_call
+
+__all__ = ["derive_rng", "spawn_rngs", "LatencyStats", "Timer", "time_call"]

@@ -1,0 +1,50 @@
+"""Benchmark harness plumbing: presets, table formatting, static tables."""
+
+import numpy as np
+import pytest
+
+from repro.bench.presets import PRESETS, get_preset
+from repro.bench.tables import TABLE1_REFERENCE, format_table, table1_rows, table2_rows
+from repro.ckksrns import CkksRnsParams
+
+
+def test_presets_resolve(monkeypatch):
+    assert get_preset("tiny").name == "tiny"
+    monkeypatch.setenv("REPRO_BENCH_PRESET", "reduced")
+    assert get_preset().name == "reduced"
+    with pytest.raises(ValueError):
+        get_preset("giant")
+
+
+def test_preset_params_cover_depth():
+    for preset in PRESETS.values():
+        p = preset.rns_params(depth=9)
+        assert p.levels == 9
+        mp = preset.mp_params(depth=9)
+        assert mp.levels == 9
+
+
+def test_format_table():
+    out = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "2.50" in out
+
+
+def test_table1_reference_matches_paper_rows():
+    names = {r[1] for r in TABLE1_REFERENCE}
+    assert {"CryptoNets", "Lo-La", "nGraph-HE", "E2DM", "HCNN"} <= names
+    headers, rows = table1_rows(measured=[("CNN1-HE-RNS", 1.23, 98.0)])
+    assert headers[0] == "Year"
+    assert rows[-1][1] == "CNN1-HE-RNS"
+    assert len(rows) == len(TABLE1_REFERENCE) + 1
+
+
+def test_table2_reports_paper_setting():
+    headers, rows = table2_rows(CkksRnsParams.paper_table2())
+    d = {r[0]: r[1] for r in rows}
+    assert d["N"] == 2**14
+    assert d["log q"] == 366
+    assert d["L"] == 12  # 13 primes -> 12 rescale levels in our convention
+    assert d["HE-standard OK"] is True

@@ -1,0 +1,105 @@
+"""Canonical-embedding encoder: roundtrips, slot ordering, error model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.encoder import CkksEncoder
+
+
+@pytest.fixture(scope="module")
+def enc():
+    return CkksEncoder(64)
+
+
+def test_embed_project_roundtrip(enc, rng):
+    z = rng.uniform(-1, 1, enc.slots) + 1j * rng.uniform(-1, 1, enc.slots)
+    back = enc.project(enc.embed(z))
+    assert np.max(np.abs(back - z)) < 1e-10
+
+
+def test_embed_gives_real_coeffs(enc, rng):
+    z = rng.uniform(-1, 1, enc.slots) + 1j * rng.uniform(-1, 1, enc.slots)
+    coeffs = enc.embed(z)
+    assert coeffs.dtype == np.float64
+    assert coeffs.shape == (enc.n,)
+
+
+def test_encode_decode_roundtrip(enc, rng):
+    z = rng.uniform(-10, 10, enc.slots)
+    scale = 2.0**30
+    back = enc.decode(enc.encode(z, scale), scale)
+    assert np.max(np.abs(np.real(back) - z)) < 1e-6
+    assert np.max(np.abs(np.imag(back))) < 1e-6
+
+
+def test_encode_partial_vector(enc):
+    z = np.array([1.0, 2.0, 3.0])
+    back = enc.decode(enc.encode(z, 2.0**26), 2.0**26)
+    assert np.allclose(np.real(back[:3]), z, atol=1e-5)
+    assert np.allclose(np.real(back[3:]), 0.0, atol=1e-5)
+
+
+def test_encoding_error_shrinks_with_scale(enc, rng):
+    z = rng.uniform(-0.05, 0.05, enc.slots)
+    err_small = enc.encoding_error(z, 2.0**8).max()
+    err_big = enc.encoding_error(z, 2.0**30).max()
+    assert err_big < err_small
+
+
+def test_additive_homomorphism(enc, rng):
+    scale = 2.0**26
+    a = rng.uniform(-1, 1, enc.slots)
+    b = rng.uniform(-1, 1, enc.slots)
+    ca = enc.encode(a, scale)
+    cb = enc.encode(b, scale)
+    back = enc.decode(ca + cb, scale)
+    assert np.max(np.abs(np.real(back) - (a + b))) < 1e-6
+
+
+def test_rotation_ordering(enc, rng):
+    """Galois map X -> X^5 left-rotates slots by one in the 5^j ordering."""
+    from repro.nt.polynomial import PolyRing
+
+    scale = 2.0**26
+    z = rng.uniform(-1, 1, enc.slots)
+    q = 1 << 50
+    ring = PolyRing(enc.n, q)
+    m = np.mod(enc.encode(z, scale), q)
+    m5 = ring.automorphism(m, 5)
+    back = enc.decode(ring.to_centered(m5), scale)
+    assert np.max(np.abs(np.real(back) - np.roll(z, -1))) < 1e-5
+
+
+def test_conjugation_element(enc, rng):
+    """X -> X^(2n-1) conjugates the slots."""
+    from repro.nt.polynomial import PolyRing
+
+    scale = 2.0**26
+    z = rng.uniform(-1, 1, enc.slots) + 1j * rng.uniform(-1, 1, enc.slots)
+    q = 1 << 50
+    ring = PolyRing(enc.n, q)
+    m = np.mod(enc.encode(z, scale), q)
+    mc = ring.automorphism(m, 2 * enc.n - 1)
+    back = enc.decode(ring.to_centered(mc), scale)
+    assert np.max(np.abs(back - np.conj(z))) < 1e-5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CkksEncoder(6)
+    enc = CkksEncoder(16)
+    with pytest.raises(ValueError):
+        enc.encode(np.zeros(100), 2.0**20)  # too many slots
+    with pytest.raises(ValueError):
+        enc.encode(np.zeros(4), -1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=8, max_size=8))
+def test_roundtrip_property(values):
+    enc = CkksEncoder(16)
+    z = np.array(values)
+    back = np.real(enc.decode(enc.encode(z, 2.0**32), 2.0**32))
+    assert np.max(np.abs(back - z)) < 1e-4

@@ -1,0 +1,50 @@
+"""RLWE distributions: HW(h), ZO, rounded Gaussian."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.sampling import sample_gaussian, sample_hwt, sample_zo
+
+
+def test_hwt_exact_weight(rng):
+    s = sample_hwt(256, 32, rng)
+    assert np.count_nonzero(s) == 32
+    assert set(np.unique(s[s != 0])) <= {-1, 1}
+
+
+def test_hwt_validation(rng):
+    with pytest.raises(ValueError):
+        sample_hwt(10, 0, rng)
+    with pytest.raises(ValueError):
+        sample_hwt(10, 11, rng)
+
+
+def test_zo_support_and_rate(rng):
+    s = sample_zo(20_000, rng, rho=0.5)
+    assert set(np.unique(s)) <= {-1, 0, 1}
+    rate = np.count_nonzero(s) / s.size
+    assert 0.45 < rate < 0.55
+
+
+def test_zo_validation(rng):
+    with pytest.raises(ValueError):
+        sample_zo(10, rng, rho=0.0)
+
+
+def test_gaussian_stats(rng):
+    s = sample_gaussian(50_000, rng, sigma=3.2)
+    assert s.dtype == np.int64
+    assert abs(float(s.mean())) < 0.1
+    assert 2.9 < float(s.std()) < 3.5
+
+
+def test_gaussian_zero_sigma(rng):
+    assert np.all(sample_gaussian(100, rng, sigma=0.0) == 0)
+    with pytest.raises(ValueError):
+        sample_gaussian(10, rng, sigma=-1.0)
+
+
+def test_determinism():
+    a = sample_hwt(64, 8, np.random.default_rng(5))
+    b = sample_hwt(64, 8, np.random.default_rng(5))
+    assert np.array_equal(a, b)

@@ -1,0 +1,42 @@
+"""CKKS-RNS parameter sets, including the paper's Table II."""
+
+import pytest
+
+from repro.ckksrns import CkksRnsParams
+
+
+def test_defaults():
+    p = CkksRnsParams()
+    assert p.chain_length == 7
+    assert p.levels == 6
+    assert p.scale == float(1 << 26)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CkksRnsParams(n=100)
+    with pytest.raises(ValueError):
+        CkksRnsParams(moduli_bits=())
+    with pytest.raises(ValueError):
+        CkksRnsParams(moduli_bits=(60,))  # beyond 50-bit cap
+    with pytest.raises(ValueError):
+        CkksRnsParams(moduli_bits=(40,), special_bits=30)  # special < largest
+
+
+def test_paper_table2():
+    p = CkksRnsParams.paper_table2()
+    assert p.n == 2**14
+    assert p.log_q == 366
+    assert p.moduli_bits[0] == 40 and p.moduli_bits[-1] == 40
+    assert set(p.moduli_bits[1:-1]) == {26}
+    assert p.scale_bits == 26
+
+
+def test_for_chain_length_budget():
+    p3 = CkksRnsParams.for_chain_length(3, total_bits=120)
+    assert p3.chain_length == 3
+    assert all(b <= 50 for b in p3.moduli_bits)
+    p9 = CkksRnsParams.for_chain_length(9, total_bits=366)
+    assert p9.chain_length == 9
+    with pytest.raises(ValueError):
+        CkksRnsParams.for_chain_length(0)

@@ -1,0 +1,40 @@
+"""Shared fixtures: small, fast parameter sets reused across suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksParams
+from repro.ckksrns import CkksRnsContext, CkksRnsParams
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def ckks_ctx():
+    """Small multiprecision CKKS context shared by the ckks suites."""
+    return CkksContext(CkksParams(n=128, scale_bits=24, q0_bits=36, levels=4, hw=16))
+
+
+@pytest.fixture(scope="session")
+def ckks_keys(ckks_ctx):
+    return ckks_ctx.keygen(7, rotations=(1, 2, 5))
+
+
+@pytest.fixture(scope="session")
+def rns_ctx():
+    """Small CKKS-RNS context shared by the ckksrns suites."""
+    return CkksRnsContext(
+        CkksRnsParams(
+            n=128, moduli_bits=(36, 26, 26, 26, 26), scale_bits=26, special_bits=45, hw=16
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def rns_keys(rns_ctx):
+    return rns_ctx.keygen(7, rotations=(1, 2, 5))

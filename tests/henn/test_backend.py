@@ -1,0 +1,126 @@
+"""Backend interface: mock semantics and mock/real agreement."""
+
+import numpy as np
+import pytest
+
+from repro.ckksrns import CkksRnsParams
+from repro.henn.backend import CkksRnsBackend, MockBackend
+
+
+@pytest.fixture(scope="module")
+def mock():
+    return MockBackend(batch=8, scale_bits=26, levels=10)
+
+
+@pytest.fixture(scope="module")
+def real():
+    return CkksRnsBackend(
+        CkksRnsParams(n=128, moduli_bits=(36,) + (26,) * 6, scale_bits=26, special_bits=45, hw=16),
+        seed=0,
+    )
+
+
+def test_mock_roundtrip(mock, rng):
+    v = rng.uniform(-1, 1, 8)
+    h = mock.encrypt(v)
+    assert np.allclose(mock.decrypt(h), v, atol=1e-6)
+    assert mock.level_of(h) == 10
+    assert mock.scale_of(h) == mock.scale
+
+
+def test_mock_batch_capacity(mock):
+    with pytest.raises(ValueError):
+        mock.encrypt(np.zeros(9))
+
+
+def test_mock_depth_overflow_detected(mock, rng):
+    h = mock.encrypt(rng.uniform(-1, 1, 4))
+    for _ in range(10):
+        h = mock.rescale(mock.mul_plain_scalar(h, 1.0))
+    with pytest.raises(ValueError, match="depth"):
+        mock.rescale(mock.mul_plain_scalar(h, 1.0))
+
+
+def test_mock_scale_tracking(mock, rng):
+    h = mock.encrypt(rng.uniform(-1, 1, 4))
+    h2 = mock.mul_plain_scalar(h, 0.5)
+    assert mock.scale_of(h2) == mock.scale**2
+    h3 = mock.rescale(h2)
+    assert mock.scale_of(h3) == mock.scale
+
+
+def test_mock_scale_mismatch_add(mock, rng):
+    h = mock.encrypt(rng.uniform(-1, 1, 4))
+    with pytest.raises(ValueError):
+        mock.add(h, mock.mul_plain_scalar(h, 1.0))
+
+
+def test_weighted_sum_default_vs_override(real, mock, rng):
+    """The RNS fast-path weighted_sum matches the generic pairwise one."""
+    vs = [rng.uniform(-1, 1, 8) for _ in range(6)]
+    ws = rng.uniform(-1, 1, 6)
+    hs_real = [real.encrypt(v) for v in vs]
+    fast = real.decrypt(real.weighted_sum(hs_real, ws), count=8)
+    generic = real.decrypt(
+        super(CkksRnsBackend, real).weighted_sum(hs_real, ws), count=8
+    )
+    want = sum(w * v for w, v in zip(ws, vs))
+    assert np.allclose(fast, want, atol=1e-3)
+    assert np.allclose(fast, generic, atol=1e-3)
+
+
+def test_weighted_sum_zero_weights(real, rng):
+    vs = [rng.uniform(-1, 1, 8) for _ in range(3)]
+    hs = [real.encrypt(v) for v in vs]
+    out = real.decrypt(real.weighted_sum(hs, np.zeros(3)), count=8)
+    assert np.allclose(out, 0.0, atol=1e-3)
+
+
+def test_weighted_sum_validation(mock):
+    with pytest.raises(ValueError):
+        mock.weighted_sum([], np.array([]))
+    h = mock.encrypt(np.zeros(4))
+    with pytest.raises(ValueError):
+        mock.weighted_sum([h], np.array([1.0, 2.0]))
+
+
+@pytest.mark.parametrize("coeffs", [[0.1, 0.9], [0.3, -0.5, 0.2], [0.05, 0.5, 0.0, 0.25]])
+def test_poly_eval_mock_matches_numpy(mock, coeffs, rng):
+    x = rng.uniform(-1, 1, 8)
+    h = mock.encrypt(x)
+    out = mock.decrypt(mock.poly_eval(h, np.array(coeffs)))
+    want = sum(c * x**k for k, c in enumerate(coeffs))
+    assert np.allclose(out, want, atol=1e-5)
+
+
+def test_poly_eval_real_matches_mock(real, mock, rng):
+    coeffs = np.array([0.2, -0.4, 0.3, 0.15])
+    x = rng.uniform(-1, 1, 8)
+    hr = real.encrypt(x)
+    hm = mock.encrypt(x)
+    got_r = real.decrypt(real.poly_eval(hr, coeffs), count=8)
+    got_m = mock.decrypt(mock.poly_eval(hm, coeffs))
+    assert np.allclose(got_r, got_m, atol=5e-3)
+
+
+def test_poly_eval_degree_bounds(mock, rng):
+    h = mock.encrypt(rng.uniform(-1, 1, 4))
+    with pytest.raises(ValueError):
+        mock.poly_eval(h, np.array([1.0]))  # degree 0
+    with pytest.raises(ValueError):
+        mock.poly_eval(h, np.ones(5))  # degree 4
+
+
+def test_poly_eval_consumes_degree_levels(mock, rng):
+    h = mock.encrypt(rng.uniform(-1, 1, 4))
+    out = mock.poly_eval(h, np.array([0.0, 1.0, 1.0, 1.0]))
+    assert mock.level_of(h) - mock.level_of(out) == 3
+
+
+def test_real_backend_square_mul(real, rng):
+    x = rng.uniform(-1, 1, 8)
+    h = real.encrypt(x)
+    sq = real.decrypt(real.rescale(real.square(h)), count=8)
+    assert np.allclose(sq, x * x, atol=2e-3)
+    mu = real.decrypt(real.rescale(real.mul(h, h)), count=8)
+    assert np.allclose(mu, x * x, atol=2e-3)

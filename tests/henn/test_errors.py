@@ -1,0 +1,56 @@
+"""§III.C error analysis: the paper's worked example and ReLU leakage."""
+
+import numpy as np
+import pytest
+
+from repro.henn.errors import (
+    approx_sign,
+    encoding_error_sweep,
+    paper_encoding_example,
+    relu_from_sign,
+    relu_negative_leakage,
+)
+
+
+def test_paper_example_small_slot_destroyed():
+    """Encoding (0.1, -0.01) at Δ=64, M=8 loses the small slot (§III.C)."""
+    result = paper_encoding_example()
+    errs = result["abs_error"]
+    # the small slot's relative error is catastrophic
+    assert errs[1] > 0.005  # absolute error comparable to the value itself
+    assert errs[1] / 0.01 > 0.5
+    # the large slot survives reasonably
+    assert errs[0] / 0.1 < 0.2
+    # integer coefficients really are tiny at Δ=64
+    assert np.max(np.abs(result["coeffs"])) < 10
+
+
+def test_increasing_delta_reduces_error():
+    sweep = encoding_error_sweep([2.0**6, 2.0**12, 2.0**20, 2.0**26])
+    errors = [e for _, e in sweep]
+    assert errors == sorted(errors, reverse=True)
+    assert errors[-1] < 1e-6
+
+
+def test_approx_sign_converges_away_from_zero():
+    xs = np.array([-0.9, -0.5, -0.2, 0.2, 0.5, 0.9])
+    s = approx_sign(xs, iterations=10)
+    assert np.allclose(s, np.sign(xs), atol=1e-3)
+
+
+def test_approx_sign_slow_near_zero():
+    assert abs(approx_sign(np.array([0.001]), iterations=5)[0]) < 0.5
+
+
+def test_relu_leaks_positive_for_negative_inputs():
+    """The paper's claim: polynomial ReLU(x) > 0 for some x < 0."""
+    leak = relu_negative_leakage(degree=7)
+    assert leak > 0.0
+    # and the approximation is still decent overall
+    xs = np.linspace(-1, 1, 101)
+    err = np.abs(relu_from_sign(xs, 9) - np.maximum(xs, 0))
+    assert np.median(err) < 0.05
+
+
+def test_more_iterations_reduce_leakage():
+    assert relu_negative_leakage(degree=11) <= relu_negative_leakage(degree=5)

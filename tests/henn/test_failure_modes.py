@@ -1,0 +1,89 @@
+"""Failure injection: corrupted ciphertexts, wrong keys, depth exhaustion.
+
+HE provides confidentiality, not integrity — these tests pin down what
+*does* happen when the pipeline is abused, so regressions in error
+behaviour are caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckksrns import CkksRnsContext, CkksRnsParams, RnsCiphertext
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ctx = CkksRnsContext(
+        CkksRnsParams(n=64, moduli_bits=(36, 26, 26), scale_bits=26, special_bits=45, hw=8)
+    )
+    keys = ctx.keygen(0, rotations=(1, 2))
+    rng = np.random.default_rng(1)
+    z = rng.uniform(-1, 1, ctx.slots)
+    return ctx, keys, z, ctx.encrypt(keys.pk, z, rng)
+
+
+def test_corrupted_channel_destroys_plaintext(setup):
+    ctx, keys, z, ct = setup
+    bad = ct.copy()
+    bad.c0[0] = (bad.c0[0] + 12345) % ctx.moduli[0]
+    out = ctx.decrypt_real(keys.sk, bad)
+    assert np.max(np.abs(out - z)) > 0.5  # corruption is catastrophic, not subtle
+
+
+def test_truncated_channel_stack_rejected(setup):
+    ctx, keys, z, ct = setup
+    with pytest.raises(ValueError):
+        RnsCiphertext(ct.c0[:1], ct.c1[:1], level=ct.level, scale=ct.scale)
+
+
+def test_mismatched_component_shapes_rejected(setup):
+    ctx, _, _, ct = setup
+    with pytest.raises(ValueError):
+        RnsCiphertext(ct.c0, ct.c1[:, :32], level=ct.level, scale=ct.scale)
+
+
+def test_wrong_galois_key_gives_wrong_rotation(setup):
+    """Using the key for rotation 2 on a rotation-1 request must be caught
+    by the element lookup (keys are indexed by Galois element)."""
+    ctx, keys, z, ct = setup
+    g1 = ctx.galois_element(1)
+    g2 = ctx.galois_element(2)
+    swapped = {g1: keys.galois[g2], g2: keys.galois[g1]}
+    # engine-level misuse: key material for the wrong element decrypts to noise
+    out = ctx.decrypt_real(keys.sk, ctx.rotate(ct, 1, swapped))
+    assert not np.allclose(out, np.roll(z, -1), atol=0.05)
+
+
+def test_depth_exhaustion_raises(setup):
+    ctx, keys, _, ct = setup
+    c = ct
+    for _ in range(ctx.top_level):
+        c = ctx.rescale(ctx.mul_plain_scalar(c, 0.9))
+    assert c.level == 0
+    with pytest.raises(ValueError, match="rescale"):
+        ctx.rescale(ctx.mul_plain_scalar(c, 0.9))
+
+
+def test_scale_overflow_degrades_gracefully(setup):
+    """Stacking plain mults without rescaling blows the scale past q and
+    the decryption error becomes macroscopic (documented behaviour)."""
+    ctx, keys, z, ct = setup
+    c = ct
+    for _ in range(4):  # scale Δ^5 ~ 2^130 >> q ~ 2^88
+        c = ctx.mul_plain_scalar(c, 1.0)
+    out = ctx.decrypt_real(keys.sk, c)
+    assert np.max(np.abs(out - z)) > 0.1
+
+
+def test_cross_context_ciphertext_rejected_or_garbage(setup):
+    """A ciphertext from different parameters cannot silently decrypt."""
+    ctx, keys, z, ct = setup
+    other = CkksRnsContext(
+        CkksRnsParams(n=64, moduli_bits=(36, 26), scale_bits=26, special_bits=45, hw=8)
+    )
+    okeys = other.keygen(0)
+    try:
+        out = other.decrypt_real(okeys.sk, ct)
+    except (ValueError, IndexError, KeyError):
+        return  # rejection is fine
+    assert np.max(np.abs(out - z)) > 0.5  # garbage is fine too; silence is not

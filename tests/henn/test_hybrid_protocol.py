@@ -1,0 +1,81 @@
+"""Hybrid Fig. 5 engine and the Fig. 1 client/cloud protocol."""
+
+import numpy as np
+import pytest
+
+from repro.henn.architectures import build_cnn1
+from repro.henn.backend import MockBackend
+from repro.henn.compiler import compile_model, model_depth, slafify
+from repro.henn.hybrid import HybridRnsEngine
+from repro.henn.protocol import Client, CloudService
+from repro.nn import Trainer
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, (400, 1, 12, 12))
+    y = rng.integers(0, 10, 400)
+    from repro.nn import TrainConfig
+
+    model = build_cnn1(variant="tiny", seed=0)
+    Trainer(model, TrainConfig(epochs=2, batch_size=32, max_lr=0.05, seed=0)).fit(x, y)
+    slaf = slafify(model, x, y, epochs=1, seed=0)
+    layers = compile_model(slaf)
+    return slaf, layers, x, y
+
+
+def _mock(layers):
+    return MockBackend(batch=8, levels=model_depth(layers) + 1)
+
+
+@pytest.mark.parametrize("k", [1, 3, 9])
+def test_hybrid_matches_standard_engine(setup, k):
+    slaf, layers, x, _ = setup
+    backend = _mock(layers)
+    hybrid = HybridRnsEngine(backend, layers, (1, 12, 12), k_moduli=k, total_bits=240)
+    logits = hybrid.classify(x[:8])
+    want = Trainer(slaf).predict(x[:8])
+    # conv stage is exact integers; tail is the same HE graph
+    assert np.array_equal(logits.argmax(1), want.argmax(1))
+    assert np.max(np.abs(logits - want)) < 0.05
+
+
+def test_hybrid_stage_timings(setup):
+    _, layers, x, _ = setup
+    hybrid = HybridRnsEngine(_mock(layers), layers, (1, 12, 12), k_moduli=3)
+    hybrid.classify(x[:4])
+    assert hybrid.stages.conv_stage > 0
+    assert hybrid.stages.he_stage > 0
+    assert hybrid.latency.count == 1
+    assert np.isclose(hybrid.stages.total, hybrid.latency.samples[-1])
+
+
+def test_hybrid_requires_leading_conv(setup):
+    _, layers, _, _ = setup
+    with pytest.raises(ValueError):
+        HybridRnsEngine(_mock(layers), layers[1:], (1, 12, 12))
+
+
+def test_hybrid_accuracy_loop(setup):
+    _, layers, x, y = setup
+    hybrid = HybridRnsEngine(_mock(layers), layers, (1, 12, 12), k_moduli=3)
+    acc = hybrid.accuracy(x[:16], y[:16])
+    assert 0.0 <= acc <= 1.0
+
+
+def test_protocol_roundtrip_and_isolation(setup):
+    """Fig. 1: the cloud never sees plaintext or the secret key."""
+    slaf, layers, x, _ = setup
+    backend = _mock(layers)
+    client = Client(backend, (1, 12, 12))
+    cloud = CloudService(backend, layers, (1, 12, 12))
+    enc = client.encrypt_request(x[:4])
+    enc_scores = cloud.classify_encrypted(enc)
+    logits = client.decrypt_response(enc_scores, batch=4)
+    want = Trainer(slaf).predict(x[:4])
+    assert np.array_equal(logits.argmax(1), want.argmax(1))
+    assert cloud.last_latency > 0
+    # the cloud object holds no secret material
+    assert not hasattr(cloud, "sk")
+    assert not any("sk" in attr for attr in vars(cloud))

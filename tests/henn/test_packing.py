@@ -1,0 +1,80 @@
+"""Single-image (Lo-La-style) packing: dense layers via rotate-and-sum."""
+
+import numpy as np
+import pytest
+
+from repro.ckksrns import CkksRnsParams
+from repro.henn.backend import CkksRnsBackend, MockBackend
+from repro.henn.packing import (
+    decrypt_scores,
+    dense_single,
+    encrypt_features,
+    rotations_needed,
+)
+
+
+def test_rotations_needed():
+    assert rotations_needed(8) == (4, 2, 1)
+    assert rotations_needed(5) == (4, 2, 1)  # padded to 8
+    assert rotations_needed(1) == ()
+
+
+def test_dense_single_mock_matches_matvec(rng):
+    backend = MockBackend(batch=32, levels=6)
+    x = rng.uniform(-1, 1, 10)
+    w = rng.uniform(-1, 1, (4, 10))
+    b = rng.uniform(-1, 1, 4)
+    h, nf = encrypt_features(backend, x)
+    outs = dense_single(backend, h, nf, w, b)
+    got = decrypt_scores(backend, outs)
+    assert np.allclose(got, w @ x + b, atol=1e-4)
+
+
+def test_dense_single_real_rns(rng):
+    backend = CkksRnsBackend(
+        CkksRnsParams(n=64, moduli_bits=(36, 26, 26), scale_bits=26, special_bits=45, hw=8),
+        seed=0,
+    )
+    x = rng.uniform(-1, 1, 12)
+    w = rng.uniform(-1, 1, (3, 12))
+    h, nf = encrypt_features(backend, x)
+    outs = dense_single(backend, h, nf, w)
+    got = decrypt_scores(backend, outs)
+    assert np.allclose(got, w @ x, atol=5e-3)
+
+
+def test_encrypt_features_capacity():
+    backend = MockBackend(batch=8)
+    with pytest.raises(ValueError):
+        encrypt_features(backend, np.zeros(9))
+
+
+def test_dense_single_validation(rng):
+    backend = MockBackend(batch=16, levels=4)
+    h, nf = encrypt_features(backend, rng.uniform(-1, 1, 6))
+    with pytest.raises(ValueError):
+        dense_single(backend, h, nf, np.zeros((2, 7)))
+
+
+def test_rotation_backend_support(rng):
+    from repro.henn.backend import HeBackend
+
+    class Stub(HeBackend):
+        scale = 1.0
+        max_batch = 4
+
+        def encrypt(self, v):
+            return v
+
+        def decrypt(self, h, count=None):
+            return h
+
+        add = add_plain = mul_plain_scalar = mul = square = rescale = (
+            lambda self, *a, **k: None
+        )
+        scale_of = level_of = lambda self, a: 0
+
+    with pytest.raises(NotImplementedError):
+        Stub().rotate(None, 1)
+    with pytest.raises(NotImplementedError):
+        Stub().mul_plain_vector(None, np.zeros(2))

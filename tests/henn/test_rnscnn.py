@@ -1,0 +1,95 @@
+"""Fig. 2/5 integer-RNS convolution: exactness, sweep machinery."""
+
+import numpy as np
+import pytest
+
+from repro.henn.rnscnn import (
+    QuantizedConvSpec,
+    RnsIntegerConv,
+    basis_for_budget,
+    rns_conv_pipeline,
+)
+from repro.parallel import ThreadExecutor
+
+
+@pytest.fixture(scope="module")
+def weight():
+    return np.random.default_rng(0).normal(0, 0.4, (3, 1, 3, 3))
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.random.default_rng(1).random((4, 10, 10))
+
+
+def test_basis_for_budget():
+    b = basis_for_budget(5, 120)
+    assert b.k == 5
+    assert b.modulus.bit_length() >= 120
+    with pytest.raises(ValueError):
+        basis_for_budget(0, 100)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5, 9])
+def test_pipeline_exact_for_all_k(weight, images, k):
+    r = rns_conv_pipeline(images, weight, k=k, total_bits=250, stride=2, padding=1)
+    assert r["exact"], f"k={k} deviation {r['max_dev']}"
+
+
+def test_pipeline_matches_float_conv(weight, images):
+    """Dequantised output approximates the real-valued convolution."""
+    from repro.nn import Conv2d
+
+    r = rns_conv_pipeline(images, weight, k=4, total_bits=250, stride=2, padding=1)
+    conv = Conv2d(1, 3, 3, stride=2, padding=1, bias=False)
+    conv.weight.data[...] = weight
+    want = conv.forward(images[:, None, :, :])
+    assert np.max(np.abs(r["rns"] - want)) < 1e-2  # weight quantisation at 2^-20
+
+
+def test_executor_agreement(weight, images):
+    base = basis_for_budget(3, 250)
+    spec = QuantizedConvSpec(input_bits=100, weight_bits=100)
+    serial = RnsIntegerConv(weight, base, 2, 1, spec=spec)
+    with ThreadExecutor(workers=3) as ex:
+        threaded = RnsIntegerConv(weight, base, 2, 1, spec=spec, executor=ex)
+        a = serial.forward(images)
+        b = threaded.forward(images)
+    assert np.array_equal(a, b)
+
+
+def test_dynamic_range_guard(weight):
+    small = basis_for_budget(2, 40)  # far too small for the default spec
+    with pytest.raises(ValueError, match="dynamic range"):
+        RnsIntegerConv(weight, small, 2, 1)
+
+
+def test_quantizer_exactness():
+    spec = QuantizedConvSpec(input_bits=64, weight_bits=64)
+    px = np.array([[0.0, 1.0], [0.5, 0.25]])
+    q = spec.quantize_input(px)
+    assert int(q[0, 1]) == 255 << 56
+    assert q.dtype == object
+    w = spec.quantize_weight(np.array([1.0, -0.5]))
+    assert int(w[0]) == 1 << 64
+    assert int(w[1]) == -(1 << 63)
+
+
+def test_quantizer_validation():
+    with pytest.raises(ValueError):
+        QuantizedConvSpec(input_bits=4).quantize_input(np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        QuantizedConvSpec(weight_bits=10, weight_frac_bits=20).quantize_weight(np.zeros(2))
+
+
+def test_weight_shape_validated():
+    with pytest.raises(ValueError):
+        RnsIntegerConv(np.zeros((3, 3)), basis_for_budget(2, 240))
+
+
+def test_channel_count_validated(weight, images):
+    conv = RnsIntegerConv(weight, basis_for_budget(2, 250), 2, 1)
+    with pytest.raises(ValueError, match="channels"):
+        conv.forward_quantized(
+            conv.spec.quantize_input(np.random.random((1, 2, 10, 10)))
+        )

@@ -1,0 +1,99 @@
+"""End-to-end pipeline on real homomorphic encryption.
+
+The headline claims of the paper, at test scale:
+
+* both schemes classify identically to the plaintext SLAF model
+  (accuracy parity, Tables III/V);
+* CKKS-RNS is faster than multiprecision CKKS on the same network;
+* mock-backend accuracy equals real-HE accuracy on the same inputs.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksParams
+from repro.ckksrns import CkksRnsParams
+from repro.data import load_synth_mnist, normalize_unit, to_nchw
+from repro.henn import (
+    CkksBackend,
+    CkksRnsBackend,
+    MockBackend,
+    build_cnn1,
+    compile_model,
+    slafify,
+)
+from repro.henn.compiler import model_depth
+from repro.henn.inference import HeInferenceEngine
+from repro.nn import TrainConfig, Trainer
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    xtr, ytr, xte, yte = load_synth_mnist(n_train=2000, n_test=300, seed=7, image_size=12)
+    x = to_nchw(normalize_unit(xtr))
+    xv = to_nchw(normalize_unit(xte))
+    model = build_cnn1(variant="tiny", seed=0)
+    Trainer(model, TrainConfig(epochs=8, batch_size=64, max_lr=0.08, seed=0)).fit(x, ytr)
+    slaf = slafify(model, x, ytr, epochs=2, per_channel=True, seed=0)
+    layers = compile_model(slaf)
+    return slaf, layers, xv, yte
+
+
+def test_real_rns_matches_plaintext_predictions(pipeline):
+    slaf, layers, xv, yte = pipeline
+    depth = model_depth(layers)
+    backend = CkksRnsBackend(
+        CkksRnsParams(n=256, moduli_bits=(40,) + (26,) * depth, special_bits=49, hw=32),
+        seed=0,
+    )
+    eng = HeInferenceEngine(backend, layers, (1, 12, 12))
+    logits = eng.classify(xv[:8])
+    want = Trainer(slaf).predict(xv[:8])
+    assert np.max(np.abs(logits - want)) < 0.02
+    assert np.array_equal(logits.argmax(1), want.argmax(1))
+
+
+def test_rns_faster_than_multiprecision_and_same_answers(pipeline):
+    """The paper's central comparison at test scale."""
+    slaf, layers, xv, _ = pipeline
+    depth = model_depth(layers)
+    img = xv[:2]
+
+    rns_backend = CkksRnsBackend(
+        CkksRnsParams(n=256, moduli_bits=(40,) + (26,) * depth, special_bits=49, hw=32),
+        seed=0,
+    )
+    rns_eng = HeInferenceEngine(rns_backend, layers, (1, 12, 12))
+    t0 = time.perf_counter()
+    rns_logits = rns_eng.classify(img)
+    rns_time = time.perf_counter() - t0
+
+    mp_backend = CkksBackend(
+        CkksParams(n=256, scale_bits=26, q0_bits=40, levels=depth, hw=32), seed=0
+    )
+    mp_eng = HeInferenceEngine(mp_backend, layers, (1, 12, 12))
+    t0 = time.perf_counter()
+    mp_logits = mp_eng.classify(img)
+    mp_time = time.perf_counter() - t0
+
+    assert np.array_equal(rns_logits.argmax(1), mp_logits.argmax(1))
+    assert np.max(np.abs(rns_logits - mp_logits)) < 0.05
+    assert rns_time < mp_time, f"RNS {rns_time:.2f}s vs MP {mp_time:.2f}s"
+
+
+def test_mock_equals_real_accuracy_on_batch(pipeline):
+    slaf, layers, xv, yte = pipeline
+    depth = model_depth(layers)
+    mock = MockBackend(batch=16, levels=depth + 1)
+    mock_eng = HeInferenceEngine(mock, layers, (1, 12, 12))
+    real = CkksRnsBackend(
+        CkksRnsParams(n=256, moduli_bits=(40,) + (26,) * depth, special_bits=49, hw=32),
+        seed=0,
+    )
+    real_eng = HeInferenceEngine(real, layers, (1, 12, 12))
+    m_logits = mock_eng.classify(xv[:8])
+    r_logits = real_eng.classify(xv[:8])
+    assert np.array_equal(m_logits.argmax(1), r_logits.argmax(1))
+    assert np.max(np.abs(m_logits - r_logits)) < 0.02

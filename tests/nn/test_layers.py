@@ -1,0 +1,203 @@
+"""Layer forward/backward correctness: numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    ReLU,
+    SLAF,
+    Sequential,
+    Square,
+)
+from repro.nn.layers.conv import conv_output_shape, im2col
+
+
+def numeric_gradcheck(layer, x, rng, eps=1e-6, atol=1e-6):
+    """Check input and parameter gradients against central differences."""
+    out = layer.forward(x)
+    g = rng.normal(size=out.shape)
+    layer.zero_grad()
+    dx = layer.backward(g)
+    assert dx.shape == x.shape
+    for _ in range(4):
+        idx = tuple(rng.integers(0, s) for s in x.shape)
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        num = ((layer.forward(xp) * g).sum() - (layer.forward(xm) * g).sum()) / (2 * eps)
+        assert abs(num - dx[idx]) < atol, f"input grad at {idx}"
+    layer.zero_grad()
+    layer.forward(x)
+    layer.backward(g)
+    for p in layer.parameters():
+        flat = p.data.reshape(-1)
+        i = int(rng.integers(0, flat.size))
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = (layer.forward(x) * g).sum()
+        flat[i] = orig - eps
+        dn = (layer.forward(x) * g).sum()
+        flat[i] = orig
+        assert abs((up - dn) / (2 * eps) - p.grad.reshape(-1)[i]) < atol, p.name
+
+
+@pytest.fixture
+def x4(rng):
+    return np.random.default_rng(3).normal(size=(3, 2, 9, 9))
+
+
+@pytest.fixture
+def x2():
+    return np.random.default_rng(4).normal(size=(5, 7))
+
+
+def test_conv_output_shape():
+    assert conv_output_shape(28, 28, 5, 5, 2, 1) == (13, 13)
+    with pytest.raises(ValueError):
+        conv_output_shape(3, 3, 5, 5, 1, 0)
+
+
+def test_im2col_values(rng):
+    x = np.arange(2 * 1 * 4 * 4, dtype=np.float64).reshape(2, 1, 4, 4)
+    cols = im2col(x, 2, 2, 2, 0)
+    assert cols.shape == (2, 2, 2, 1, 2, 2)
+    assert np.array_equal(cols[0, 0, 0, 0], x[0, 0, :2, :2])
+    assert np.array_equal(cols[1, 1, 1, 0], x[1, 0, 2:, 2:])
+
+
+@pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (3, 2)])
+def test_conv_grad(stride, padding, x4, rng):
+    numeric_gradcheck(Conv2d(2, 3, 3, stride=stride, padding=padding, rng=rng), x4, rng)
+
+
+def test_conv_matches_scipy(rng):
+    from scipy.signal import correlate2d
+
+    conv = Conv2d(1, 1, 3, stride=1, padding=0, rng=rng)
+    x = rng.normal(size=(1, 1, 8, 8))
+    out = conv.forward(x)[0, 0]
+    ref = correlate2d(x[0, 0], conv.weight.data[0, 0], mode="valid") + conv.bias.data[0]
+    assert np.allclose(out, ref)
+
+
+def test_conv_channel_check(rng, x4):
+    with pytest.raises(ValueError):
+        Conv2d(5, 3, 3, rng=rng).forward(x4)
+
+
+def test_linear_grad(x2, rng):
+    numeric_gradcheck(Linear(7, 4, rng=rng), x2, rng)
+
+
+def test_linear_no_bias(rng, x2):
+    lin = Linear(7, 4, bias=False, rng=rng)
+    assert lin.bias is None
+    assert np.allclose(lin.forward(x2), x2 @ lin.weight.data.T)
+
+
+def test_batchnorm_grad(x4, rng):
+    numeric_gradcheck(BatchNorm2d(2), x4, rng, atol=1e-5)
+
+
+def test_batchnorm_2d_input(rng, x2):
+    bn = BatchNorm2d(7)
+    out = bn.forward(x2)
+    assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+    assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+
+def test_batchnorm_eval_uses_running_stats(rng, x4):
+    bn = BatchNorm2d(2)
+    for _ in range(50):
+        bn.forward(np.random.default_rng(1).normal(2.0, 3.0, size=(16, 2, 4, 4)))
+    bn.eval()
+    out = bn.forward(np.full((1, 2, 2, 2), 2.0))
+    assert np.max(np.abs(out)) < 0.2  # mean ~2 normalised to ~0
+
+
+def test_batchnorm_inference_affine(rng, x4):
+    bn = BatchNorm2d(2)
+    bn.forward(x4)
+    bn.eval()
+    scale, shift = bn.inference_affine()
+    ref = bn.forward(x4)
+    manual = x4 * scale[None, :, None, None] + shift[None, :, None, None]
+    assert np.allclose(ref, manual)
+
+
+def test_avgpool_grad(x4, rng):
+    numeric_gradcheck(AvgPool2d(3, stride=2), x4, rng)
+
+
+def test_avgpool_values():
+    x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+    out = AvgPool2d(2).forward(x)
+    assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+
+def test_flatten_roundtrip(x4):
+    f = Flatten()
+    flat = f.forward(x4)
+    assert flat.shape == (3, 2 * 9 * 9)
+    assert np.array_equal(f.backward(flat), x4)
+
+
+def test_relu_square_grads(x2, rng):
+    numeric_gradcheck(ReLU(), x2 + 0.1, rng)  # keep away from the kink
+    numeric_gradcheck(Square(), x2, rng)
+
+
+def test_slaf_grad_layerwise(x2, rng):
+    numeric_gradcheck(SLAF(3, init="relu"), x2, rng, atol=1e-5)
+
+
+def test_slaf_grad_channelwise(x4, rng):
+    numeric_gradcheck(SLAF(3, init="relu", channels=2), x4, rng, atol=1e-5)
+
+
+def test_slaf_inits():
+    assert np.allclose(SLAF(3, init="zero").coeffs.data, 0.0)
+    sq = SLAF(2, init="square")
+    assert np.allclose(sq.coeffs.data[0], [0.0, 0.0, 1.0])
+    relu = SLAF(3, init="relu")
+    xs = np.linspace(-1, 1, 7)
+    approx = relu.forward(xs)
+    assert np.max(np.abs(approx - np.maximum(xs, 0))) < 0.5
+
+
+def test_slaf_validation():
+    with pytest.raises(ValueError):
+        SLAF(0)
+    with pytest.raises(ValueError):
+        SLAF(1, init="square")
+    with pytest.raises(ValueError):
+        SLAF(3, init="nope")
+
+
+def test_slaf_polynomial_semantics(rng):
+    s = SLAF(3, init="zero")
+    s.coeffs.data[0] = [1.0, -2.0, 0.5, 0.25]
+    x = rng.normal(size=(4, 3))
+    want = 1.0 - 2.0 * x + 0.5 * x**2 + 0.25 * x**3
+    assert np.allclose(s.forward(x), want)
+
+
+def test_sequential_backward_chain(rng, x2):
+    model = Sequential(Linear(7, 5, rng=rng), ReLU(), Linear(5, 2, rng=rng))
+    out = model.forward(x2)
+    g = rng.normal(size=out.shape)
+    dx = model.backward(g)
+    assert dx.shape == x2.shape
+    assert len(model.parameters()) == 4
+    assert model.n_params() == 7 * 5 + 5 + 5 * 2 + 2
+
+
+def test_backward_before_forward_raises(rng):
+    for layer in (Linear(3, 2, rng=rng), Conv2d(1, 1, 3, rng=rng), ReLU(), Flatten()):
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((2, 2)))

@@ -1,0 +1,36 @@
+"""Model state save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2d, Conv2d, Flatten, Linear, ReLU, Sequential
+from repro.nn.serialize import load_model, save_model
+
+
+def _model(seed):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(1, 2, 3, rng=rng), BatchNorm2d(2), ReLU(), Flatten(), Linear(2 * 36, 4, rng=rng)
+    )
+
+
+def test_roundtrip(tmp_path, rng):
+    m = _model(0)
+    # give BN non-trivial running stats
+    m.forward(rng.normal(size=(8, 1, 8, 8)))
+    path = tmp_path / "model.npz"
+    save_model(m, path)
+    m2 = _model(99)  # different init
+    load_model(m2, path)
+    m.eval(), m2.eval()
+    x = rng.normal(size=(3, 1, 8, 8))
+    assert np.allclose(m.forward(x), m2.forward(x))
+
+
+def test_architecture_mismatch_detected(tmp_path):
+    m = _model(0)
+    save_model(m, tmp_path / "m.npz")
+    rng = np.random.default_rng(1)
+    other = Sequential(Linear(3, 2, rng=rng))
+    with pytest.raises(ValueError):
+        load_model(other, tmp_path / "m.npz")

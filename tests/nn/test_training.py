@@ -1,0 +1,162 @@
+"""Optimiser, scheduler, loss, trainer and the SLAF freeze recipe."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    CrossEntropyLoss,
+    Linear,
+    OneCycleLR,
+    ReLU,
+    SGD,
+    SLAF,
+    Sequential,
+    TrainConfig,
+    Trainer,
+    accuracy,
+)
+from repro.nn.loss import softmax
+from repro.nn.metrics import confusion_matrix
+from repro.nn.module import Parameter
+from repro.nn.trainer import freeze_non_slaf, unfreeze_all
+
+
+def test_softmax_rows_sum_to_one(rng):
+    p = softmax(rng.normal(size=(6, 10)) * 20)
+    assert np.allclose(p.sum(axis=1), 1.0)
+    assert np.all(p >= 0)
+
+
+def test_cross_entropy_value_and_grad(rng):
+    loss = CrossEntropyLoss()
+    logits = rng.normal(size=(4, 3))
+    y = np.array([0, 2, 1, 0])
+    val = loss(logits, y)
+    p = softmax(logits)
+    want = -np.log(p[np.arange(4), y]).mean()
+    assert np.isclose(val, want)
+    # numeric grad
+    g = loss.backward()
+    eps = 1e-6
+    for idx in [(0, 0), (1, 2), (3, 1)]:
+        lp, lm = logits.copy(), logits.copy()
+        lp[idx] += eps
+        lm[idx] -= eps
+        num = (CrossEntropyLoss()(lp, y) - CrossEntropyLoss()(lm, y)) / (2 * eps)
+        assert abs(num - g[idx]) < 1e-6
+
+
+def test_cross_entropy_validation():
+    with pytest.raises(ValueError):
+        CrossEntropyLoss()(np.zeros((2, 3, 4)), np.zeros(2))
+    with pytest.raises(ValueError):
+        CrossEntropyLoss()(np.zeros((2, 3)), np.zeros(3))
+    with pytest.raises(RuntimeError):
+        CrossEntropyLoss().backward()
+
+
+def test_sgd_step_and_momentum():
+    p = Parameter(np.array([1.0]))
+    opt = SGD([p], lr=0.1, momentum=0.5)
+    p.grad[:] = 1.0
+    opt.step()
+    assert np.isclose(p.data[0], 0.9)
+    opt.step()  # velocity builds: v = 0.5*(-0.1) - 0.1 = -0.15
+    assert np.isclose(p.data[0], 0.75)
+
+
+def test_sgd_frozen_and_clip():
+    p = Parameter(np.array([1.0]), frozen=True)
+    q = Parameter(np.array([1.0]))
+    opt = SGD([p, q], lr=1.0, momentum=0.0, clip_norm=0.5)
+    p.grad[:] = 10.0
+    q.grad[:] = 10.0
+    opt.step()
+    assert p.data[0] == 1.0  # frozen untouched
+    assert np.isclose(q.data[0], 0.5)  # clipped to norm 0.5
+
+
+def test_sgd_weight_decay():
+    p = Parameter(np.array([2.0]))
+    opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5)
+    p.grad[:] = 0.0
+    opt.step()
+    assert np.isclose(p.data[0], 2.0 - 0.1 * 0.5 * 2.0)
+
+
+def test_sgd_validation():
+    with pytest.raises(ValueError):
+        SGD([], lr=-1)
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1, momentum=1.5)
+
+
+def test_one_cycle_shape():
+    p = Parameter(np.zeros(1))
+    opt = SGD([p], lr=1.0)
+    sched = OneCycleLR(opt, max_lr=1.0, total_steps=100, pct_start=0.3)
+    lrs = [sched.lr_at(t) for t in range(100)]
+    peak = int(np.argmax(lrs))
+    assert 25 <= peak <= 32  # warm-up ends near 30%
+    assert np.isclose(max(lrs), 1.0, atol=0.05)
+    assert lrs[0] < 0.1  # starts low
+    assert lrs[-1] < 0.01  # anneals to ~0
+    assert sched.current_lr == sched.lr_at(0)
+    sched.step()
+    assert opt.lr == sched.lr_at(1)
+
+
+def test_one_cycle_validation():
+    p = Parameter(np.zeros(1))
+    with pytest.raises(ValueError):
+        OneCycleLR(SGD([p], lr=1.0), 1.0, total_steps=0)
+    with pytest.raises(ValueError):
+        OneCycleLR(SGD([p], lr=1.0), 1.0, total_steps=10, pct_start=1.5)
+
+
+def _blob_data(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = ((x[:, 0] + 2 * x[:, 1]) > 0).astype(np.int64)
+    return x, y
+
+
+def test_trainer_converges_and_history():
+    x, y = _blob_data()
+    model = Sequential(Linear(2, 16, rng=np.random.default_rng(0)), ReLU(), Linear(16, 2, rng=np.random.default_rng(1)))
+    tr = Trainer(model, TrainConfig(epochs=15, batch_size=32, max_lr=0.1, seed=0))
+    hist = tr.fit(x, y, x, y)
+    assert tr.evaluate(x, y) > 0.95
+    assert len(hist.loss) == 15
+    assert len(hist.val_acc) == 15
+    assert hist.loss[-1] < hist.loss[0]
+
+
+def test_predict_matches_evaluate():
+    x, y = _blob_data(200)
+    model = Sequential(Linear(2, 8, rng=np.random.default_rng(0)), ReLU(), Linear(8, 2, rng=np.random.default_rng(1)))
+    tr = Trainer(model, TrainConfig(epochs=5, batch_size=32, max_lr=0.1, seed=0))
+    tr.fit(x, y)
+    logits = tr.predict(x)
+    assert np.isclose(accuracy(logits, y), tr.evaluate(x, y))
+
+
+def test_freeze_non_slaf_only_trains_coefficients():
+    model = Sequential(Linear(2, 4, rng=np.random.default_rng(0)), SLAF(3, init="relu"), Linear(4, 2, rng=np.random.default_rng(1)))
+    freeze_non_slaf(model)
+    frozen = [p.frozen for p in model.parameters()]
+    # linear weights+biases frozen, slaf coeffs not
+    assert frozen == [True, True, False, True, True]
+    unfreeze_all(model)
+    assert not any(p.frozen for p in model.parameters())
+
+
+def test_metrics():
+    logits = np.array([[2.0, 1.0], [0.0, 1.0], [3.0, 0.0]])
+    y = np.array([0, 1, 1])
+    assert np.isclose(accuracy(logits, y), 2 / 3)
+    cm = confusion_matrix(logits, y, 2)
+    assert cm.sum() == 3
+    assert cm[1, 0] == 1  # the mistake
+    with pytest.raises(ValueError):
+        accuracy(logits, np.array([0]))

@@ -1,0 +1,98 @@
+"""CRT compose/decompose — the Fig. 2 mathematics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nt.crt import CrtBasis
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return CrtBasis([97, 101, 103, 65537])
+
+
+def test_rejects_non_coprime():
+    with pytest.raises(ValueError, match="co-prime"):
+        CrtBasis([6, 10])
+
+
+def test_rejects_empty_and_small():
+    with pytest.raises(ValueError):
+        CrtBasis([])
+    with pytest.raises(ValueError):
+        CrtBasis([1, 7])
+
+
+def test_roundtrip_scalars(basis, rng):
+    xs = rng.integers(0, basis.modulus, 50).astype(object)
+    back = basis.compose(basis.decompose(xs))
+    assert all(int(a) == int(b) for a, b in zip(back, xs))
+
+
+def test_roundtrip_signed(basis, rng):
+    half = basis.modulus // 2
+    xs = np.array([int(v) for v in rng.integers(-(10**9), 10**9, 50)], dtype=object)
+    back = basis.compose_centered(basis.decompose(xs))
+    assert all(int(a) == int(b) for a, b in zip(back, xs))
+    assert half > 10**9  # sanity: range covers the test values
+
+
+def test_componentwise_add_mul(basis, rng):
+    # products must stay below Q ~ 6.6e10 for exact recovery
+    x = rng.integers(0, 10**5, 20).astype(object)
+    y = rng.integers(0, 10**5, 20).astype(object)
+    rx, ry = basis.decompose(x), basis.decompose(y)
+    s = basis.compose(basis.add(rx, ry))
+    p = basis.compose(basis.mul(rx, ry))
+    assert all(int(a) == int(u) + int(v) for a, u, v in zip(s, x, y))
+    assert all(int(a) == int(u) * int(v) for a, u, v in zip(p, x, y))
+
+
+def test_channel_count_checked(basis):
+    with pytest.raises(ValueError):
+        basis.compose([np.array([1])])  # wrong channel count
+    with pytest.raises(ValueError):
+        basis.add([np.array([1])], [np.array([1])])
+
+
+def test_tensor_shapes(basis, rng):
+    x = rng.integers(0, 10**6, (3, 4, 5)).astype(object)
+    res = basis.decompose(x)
+    assert len(res) == 4 and res[0].shape == (3, 4, 5)
+    assert basis.compose(res).shape == (3, 4, 5)
+
+
+def test_wide_modulus_channels():
+    """Channels wider than int64 stay as object arrays."""
+    from repro.nt.primes import gen_primes
+
+    wide = gen_primes([80, 80])
+    basis = CrtBasis(wide)
+    x = np.array([1 << 100, 12345], dtype=object)
+    res = basis.decompose(x)
+    assert res[0].dtype == object
+    assert np.array_equal(basis.compose(res), x)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=97 * 101 * 103 - 1))
+def test_roundtrip_property(x):
+    basis = CrtBasis([97, 101, 103])
+    res = basis.decompose(np.array([x], dtype=object))
+    assert int(basis.compose(res)[0]) == x
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=-(10**4), max_value=10**4),
+    st.integers(min_value=-(10**4), max_value=10**4),
+)
+def test_ring_homomorphism_property(a, b):
+    """decompose is a ring homomorphism: ops commute with CRT."""
+    basis = CrtBasis([2**13 - 1, 2**17 - 1, 2**19 - 1])
+    ra = basis.decompose(np.array([a], dtype=object))
+    rb = basis.decompose(np.array([b], dtype=object))
+    assert int(basis.compose_centered(basis.mul(ra, rb))[0]) == a * b
+    assert int(basis.compose_centered(basis.add(ra, rb))[0]) == a + b

@@ -1,0 +1,120 @@
+"""Negacyclic NTT: roundtrip, convolution theorem, batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nt.ntt import NttPlan, bit_reverse_permutation
+from repro.nt.primes import gen_ntt_primes
+
+
+def naive_negacyclic(a, b, p):
+    n = len(a)
+    out = [0] * n
+    for i in range(n):
+        for j in range(n):
+            k = i + j
+            v = int(a[i]) * int(b[j])
+            if k >= n:
+                out[k - n] = (out[k - n] - v) % p
+            else:
+                out[k] = (out[k] + v) % p
+    return np.array(out, dtype=np.int64)
+
+
+def test_bit_reverse_permutation():
+    assert list(bit_reverse_permutation(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+    perm = bit_reverse_permutation(64)
+    assert sorted(perm) == list(range(64))
+    with pytest.raises(ValueError):
+        bit_reverse_permutation(10)
+
+
+@pytest.mark.parametrize("n,bits", [(16, 20), (64, 26), (256, 40), (1024, 50)])
+def test_roundtrip(n, bits, rng):
+    p = gen_ntt_primes([bits], n)[0]
+    plan = NttPlan(n, p)
+    a = rng.integers(0, p, n)
+    assert np.array_equal(plan.inverse(plan.forward(a)), a)
+    assert np.array_equal(plan.forward(plan.inverse(a)), a)
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_convolution_theorem_vs_naive(n, rng):
+    p = gen_ntt_primes([26], n)[0]
+    plan = NttPlan(n, p)
+    a = rng.integers(0, p, n)
+    b = rng.integers(0, p, n)
+    assert np.array_equal(plan.negacyclic_convolve(a, b), naive_negacyclic(a, b, p))
+
+
+def test_negacyclic_wraparound_sign():
+    """X^(n-1) * X = X^n = -1: the defining negacyclic identity."""
+    n = 16
+    p = gen_ntt_primes([26], n)[0]
+    plan = NttPlan(n, p)
+    a = np.zeros(n, dtype=np.int64)
+    b = np.zeros(n, dtype=np.int64)
+    a[n - 1] = 1
+    b[1] = 1
+    out = plan.negacyclic_convolve(a, b)
+    expect = np.zeros(n, dtype=np.int64)
+    expect[0] = p - 1  # -1 mod p
+    assert np.array_equal(out, expect)
+
+
+def test_batched_transforms(rng):
+    n = 64
+    p = gen_ntt_primes([30], n)[0]
+    plan = NttPlan(n, p)
+    batch = rng.integers(0, p, (5, n))
+    fwd = plan.forward(batch)
+    assert fwd.shape == (5, n)
+    for i in range(5):
+        assert np.array_equal(fwd[i], plan.forward(batch[i]))
+    assert np.array_equal(plan.inverse(fwd), batch)
+
+
+def test_constant_poly_is_constant_in_eval_domain(rng):
+    """Evaluations of a constant polynomial are that constant everywhere —
+    the property mul_plain_scalar relies on."""
+    n = 32
+    p = gen_ntt_primes([26], n)[0]
+    plan = NttPlan(n, p)
+    c = np.zeros(n, dtype=np.int64)
+    c[0] = 12345
+    assert np.all(plan.forward(c) == 12345)
+
+
+def test_linearity(rng):
+    n = 64
+    p = gen_ntt_primes([30], n)[0]
+    plan = NttPlan(n, p)
+    a = rng.integers(0, p, n)
+    b = rng.integers(0, p, n)
+    left = plan.forward((a + b) % p)
+    right = (plan.forward(a) + plan.forward(b)) % p
+    assert np.array_equal(left, right)
+
+
+def test_wrong_length_rejected():
+    p = gen_ntt_primes([26], 64)[0]
+    plan = NttPlan(64, p)
+    with pytest.raises(ValueError):
+        plan.forward(np.zeros(32, dtype=np.int64))
+
+
+def test_non_ntt_prime_rejected():
+    with pytest.raises(ValueError):
+        NttPlan(64, 1_000_003)  # prime but not 1 mod 128
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**26 - 1), min_size=16, max_size=16))
+def test_roundtrip_property(coeffs):
+    n = 16
+    p = gen_ntt_primes([26], n)[0]
+    plan = NttPlan(n, p)
+    a = np.array(coeffs, dtype=np.int64) % p
+    assert np.array_equal(plan.inverse(plan.forward(a)), a)

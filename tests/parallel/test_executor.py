@@ -1,0 +1,109 @@
+"""Executors: order preservation, result agreement, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    interleave,
+    make_executor,
+    shard_indices,
+)
+
+
+def _square(x):
+    return x * x
+
+
+@pytest.mark.parametrize("kind", ["serial", "thread"])
+def test_map_order_preserved(kind):
+    with make_executor(kind, workers=4) as ex:
+        out = ex.map(_square, list(range(20)))
+    assert out == [i * i for i in range(20)]
+
+
+def test_process_executor():
+    with ProcessExecutor(workers=2) as ex:
+        out = ex.map(_square, [1, 2, 3, 4])
+    assert out == [1, 4, 9, 16]
+
+
+def test_single_item_short_circuit():
+    ex = ThreadExecutor(workers=2)
+    assert ex.map(_square, [7]) == [49]
+    assert ex._pool is None  # no pool spun up for one item
+    ex.close()
+
+
+def test_starmap():
+    with SerialExecutor() as ex:
+        assert ex.starmap(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
+
+
+def test_executors_agree_on_numpy_work(rng):
+    data = [rng.integers(0, 100, 50) for _ in range(6)]
+
+    def work(a):
+        return (a * 3 + 1) % 97
+
+    serial = SerialExecutor().map(work, data)
+    with ThreadExecutor(workers=3) as tex:
+        threaded = tex.map(work, data)
+    for s, t in zip(serial, threaded):
+        assert np.array_equal(s, t)
+
+
+def test_make_executor_unknown():
+    with pytest.raises(ValueError):
+        make_executor("gpu")
+
+
+def test_close_idempotent():
+    ex = ThreadExecutor(workers=2)
+    ex.map(_square, [1, 2])
+    ex.close()
+    ex.close()
+
+
+def test_shard_indices_balanced():
+    shards = shard_indices(10, 3)
+    assert [len(s) for s in shards] == [4, 3, 3]
+    assert sorted(i for s in shards for i in s) == list(range(10))
+    assert shard_indices(2, 5) == [[0], [1]]
+    assert shard_indices(0, 3) == [[]]
+    with pytest.raises(ValueError):
+        shard_indices(-1, 2)
+    with pytest.raises(ValueError):
+        shard_indices(5, 0)
+
+
+def test_interleave_inverse_of_sharding():
+    shards = shard_indices(11, 4)
+    results = [[i * 10 for i in s] for s in shards]
+    flat = interleave(results, shards, 11)
+    assert flat == [i * 10 for i in range(11)]
+    with pytest.raises(ValueError):
+        interleave([[1, 2]], [[0]], 2)
+
+
+def test_rns_context_with_thread_executor(rng):
+    """The CKKS-RNS context computes identical results under any executor."""
+    from repro.ckksrns import CkksRnsContext, CkksRnsParams
+    from repro.parallel import ThreadExecutor
+
+    params = CkksRnsParams(n=64, moduli_bits=(36, 26, 26), scale_bits=26, special_bits=45, hw=8)
+    serial_ctx = CkksRnsContext(params)
+    thread_ctx = CkksRnsContext(params, executor=ThreadExecutor(workers=3))
+    ks = serial_ctx.keygen(5)
+    kt = thread_ctx.keygen(5)
+    assert np.array_equal(ks.pk.b, kt.pk.b)
+    z = rng.uniform(-1, 1, serial_ctx.slots)
+    cs = serial_ctx.encrypt(ks.pk, z, 9)
+    ct = thread_ctx.encrypt(kt.pk, z, 9)
+    assert np.array_equal(cs.c0, ct.c0)
+    ms = serial_ctx.rescale(serial_ctx.mul(cs, cs, ks.relin))
+    mt = thread_ctx.rescale(thread_ctx.mul(ct, ct, kt.relin))
+    assert np.array_equal(ms.c0, mt.c0)
+    thread_ctx.executor.close()

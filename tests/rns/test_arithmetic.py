@@ -1,0 +1,45 @@
+"""Channelwise residue arithmetic (add/mul/neg/scalar/matmul)."""
+
+import numpy as np
+import pytest
+
+from repro.rns.arithmetic import (
+    channel_add,
+    channel_matmul,
+    channel_mul,
+    channel_neg,
+    channel_scalar_mul,
+)
+from repro.rns.base import RnsBase
+from repro.rns.decompose import rns_decompose, rns_recompose_signed
+
+
+@pytest.fixture(scope="module")
+def base():
+    return RnsBase.from_bit_sizes([30, 30, 30, 30], 64)
+
+
+def test_add_mul_neg_scalar(base, rng):
+    x = rng.integers(-(2**20), 2**20, 40)
+    y = rng.integers(-(2**20), 2**20, 40)
+    rx, ry = rns_decompose(x, base), rns_decompose(y, base)
+    assert np.array_equal(rns_recompose_signed(channel_add(rx, ry, base), base), x + y)
+    assert np.array_equal(rns_recompose_signed(channel_mul(rx, ry, base), base), x * y)
+    assert np.array_equal(rns_recompose_signed(channel_neg(rx, base), base), -x)
+    assert np.array_equal(
+        rns_recompose_signed(channel_scalar_mul(rx, -7, base), base), -7 * x
+    )
+
+
+def test_matmul_matches_integer(base, rng):
+    x = rng.integers(-100, 100, (6, 8))
+    w = rng.integers(-50, 50, (8, 3))
+    rx = rns_decompose(x, base)
+    out = channel_matmul(rx, w, base)
+    assert np.array_equal(rns_recompose_signed(out, base), x @ w)
+
+
+def test_channel_count_validation(base, rng):
+    x = rns_decompose(rng.integers(0, 10, 4), base)
+    with pytest.raises(ValueError):
+        channel_add(x[:2], x, base)

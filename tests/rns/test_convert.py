@@ -1,0 +1,56 @@
+"""Base conversion and digit extension used by RNS key switching."""
+
+import numpy as np
+import pytest
+
+from repro.rns.base import RnsBase
+from repro.rns.convert import approx_base_convert, extend_digit
+from repro.rns.decompose import rns_decompose
+
+
+def test_extend_digit_centered(rng):
+    src_m = 97
+    digit = rng.integers(0, src_m, 20)
+    dst = [101, 65537]
+    out = extend_digit(digit, src_m, dst)
+    assert out.shape == (2, 20)
+    for i, m in enumerate(dst):
+        for j in range(20):
+            v = int(digit[j])
+            centered = v - src_m if v > src_m // 2 else v
+            assert int(out[i, j]) == centered % m
+
+
+def test_approx_base_convert_exact_with_correction(rng):
+    src = RnsBase.from_bit_sizes([26, 26, 26], 64)
+    dst = RnsBase.from_bit_sizes([30, 30], 64, exclude=set(src.moduli))
+    x = rng.integers(0, 2**60, 50).astype(object)
+    got = approx_base_convert(rns_decompose(x, src), src, dst)
+    want = rns_decompose(x, dst)
+    assert np.array_equal(got, want)
+
+
+def test_approx_base_convert_overflow_bounded(rng):
+    """Without correction the result is off by v*Q with 0 <= v < k."""
+    src = RnsBase.from_bit_sizes([26, 26, 26], 64)
+    dst = RnsBase.from_bit_sizes([40], 64, exclude=set(src.moduli))
+    # uniform over [0, Q): Q ~ 2^78 exceeds int64, sample via bigints
+    x = np.array(
+        [int.from_bytes(rng.bytes(12), "little") % src.modulus for _ in range(100)],
+        dtype=object,
+    )
+    got = approx_base_convert(rns_decompose(x, src), src, dst, correct_overflow=False)
+    m = dst.moduli[0]
+    q_mod = src.modulus % m
+    want = rns_decompose(x, dst)[0]
+    diff = (got[0] - want) % m
+    # difference must be v * Q mod m for v in [0, k)
+    allowed = {(v * q_mod) % m for v in range(src.k)}
+    assert set(int(d) for d in diff.ravel()) <= allowed
+
+
+def test_channel_count_validated(rng):
+    src = RnsBase.from_bit_sizes([26, 26], 64)
+    dst = RnsBase.from_bit_sizes([30], 64, exclude=set(src.moduli))
+    with pytest.raises(ValueError):
+        approx_base_convert(np.zeros((3, 4), dtype=np.int64), src, dst)

@@ -1,0 +1,86 @@
+"""Multi-limb arithmetic: split/normalize/fold against big-int reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nt.primes import gen_primes
+from repro.rns.limb import (
+    LIMB_BITS,
+    carry_normalize,
+    fold_mod,
+    limbs_to_int,
+    n_limbs,
+    partial_residue_limbs,
+    split_limbs,
+)
+
+
+def test_n_limbs():
+    assert n_limbs(2**10) == 1
+    assert n_limbs(2**28) == 2  # bit_length 29
+    assert n_limbs(2**28 - 1) == 1
+    assert n_limbs(2**100) == 4
+
+
+def test_split_roundtrip_object(rng):
+    vals = np.array([int(v) << 40 for v in rng.integers(0, 2**60, 20)], dtype=object)
+    d = 4
+    limbs = split_limbs(vals, d)
+    assert limbs.shape == (4, 20)
+    back = limbs_to_int(limbs)
+    assert all(int(a) == int(b) for a, b in zip(back, vals))
+
+
+def test_split_roundtrip_int64(rng):
+    vals = rng.integers(0, 2**56, 50)
+    limbs = split_limbs(vals, 2)
+    assert np.array_equal(limbs_to_int(limbs).astype(np.int64), vals)
+
+
+def test_split_overflow_detected():
+    with pytest.raises(ValueError):
+        split_limbs(np.array([1 << 60], dtype=object), 2)
+    with pytest.raises(ValueError):
+        split_limbs(np.array([-5], dtype=object), 2)
+
+
+def test_carry_normalize(rng):
+    raw = rng.integers(0, 2**60, (3, 10))
+    norm = carry_normalize(raw)
+    assert np.all(norm < (1 << LIMB_BITS))
+    assert np.all(norm >= 0)
+    assert all(
+        int(a) == int(b) for a, b in zip(limbs_to_int(norm), limbs_to_int(raw.astype(np.int64)))
+    )
+
+
+@pytest.mark.parametrize("mbits", [20, 30, 40, 50, 80, 150])
+def test_fold_mod_matches_bigint(mbits, rng):
+    m = gen_primes([mbits])[0]
+    raw = rng.integers(0, 2**55, (5, 30))
+    norm = carry_normalize(raw)
+    got = fold_mod(norm, m)
+    want = np.mod(limbs_to_int(norm), m)
+    assert all(int(a) == int(b) for a, b in zip(np.asarray(got).ravel(), want.ravel()))
+
+
+@pytest.mark.parametrize("mbits", [20, 35, 60, 120])
+def test_partial_residue_congruent_and_bounded(mbits, rng):
+    m = gen_primes([mbits])[0]
+    vals = np.array([int(v) << 100 for v in rng.integers(0, 2**50, 25)], dtype=object)
+    limbs = split_limbs(vals, 6)
+    part = partial_residue_limbs(limbs, m)
+    recon = limbs_to_int(part)
+    assert all(int(r) % m == int(v) % m for r, v in zip(recon, vals))
+    assert np.all(part < (1 << LIMB_BITS))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**120 - 1), st.integers(min_value=5, max_value=50))
+def test_fold_property(value, mbits):
+    m = gen_primes([max(mbits, 5)])[0]
+    limbs = split_limbs(np.array([value], dtype=object), 5)
+    got = fold_mod(limbs, m)
+    assert int(np.asarray(got).ravel()[0]) == value % m
