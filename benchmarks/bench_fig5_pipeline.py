@@ -2,9 +2,13 @@
 
 Decompose -> parallel conv channels -> CRT recompose -> encrypted
 activation / dense tail, with wall-clock per stage.
+
+Run with ``REPRO_BENCH_TRACE=1`` to additionally emit
+``bench_artifacts/fig5_trace.json`` and ``fig5_primitives.txt`` — the
+per-primitive breakdown of the same run, from the ``repro.obs`` spans.
 """
 
-from conftest import save_artifact
+from conftest import save_artifact, save_trace_artifact
 
 from repro.bench.tables import format_table
 from repro.bench.workloads import make_engine
@@ -37,3 +41,4 @@ def test_fig5_stage_trace(benchmark, cnn1_models, preset):
         "fig5",
         format_table(["stage", "seconds"], rows, f"FIG 5 — CNN1-RNS pipeline trace (preset={preset.name})"),
     )
+    save_trace_artifact("fig5")

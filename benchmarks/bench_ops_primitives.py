@@ -7,7 +7,7 @@ primitive on big-int coefficients.
 
 import numpy as np
 import pytest
-from conftest import save_artifact
+from conftest import save_artifact, save_trace_artifact
 
 from repro.bench.tables import format_table
 from repro.ckks import CkksContext, CkksParams
@@ -97,3 +97,4 @@ def test_primitive_summary(benchmark, mp, rns):
             f"Primitive latencies at N={N}, depth={DEPTH}",
         ),
     )
+    save_trace_artifact("primitives")

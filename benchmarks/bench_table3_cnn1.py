@@ -6,7 +6,7 @@ strictly faster than the multiprecision baseline (our pure-Python
 substrate typically widens the gap well beyond 36%).
 """
 
-from conftest import save_artifact
+from conftest import save_artifact, save_trace_artifact
 
 from repro.bench.tables import format_table, run_table3
 
@@ -18,6 +18,7 @@ def test_table3(benchmark, cnn1_models, preset):
     save_artifact(
         "table3", format_table(headers, rows, f"TABLE III — CNN1 (preset={preset.name})")
     )
+    save_trace_artifact("table3")
     he_row, rns_row = rows[0], rows[1]
     assert he_row[-1] == rns_row[-1], "accuracy parity violated"
     assert rns_row[4] < he_row[4], "RNS should be faster than multiprecision"

@@ -3,23 +3,69 @@
 Benchmarks print their tables and also persist them under
 ``bench_artifacts/`` so EXPERIMENTS.md can reference actual runs.
 Select sizes with ``REPRO_BENCH_PRESET`` (tiny | reduced | paper).
+
+Set ``REPRO_BENCH_TRACE=1`` to enable the ``repro.obs`` tracer for the
+whole benchmark session: bench scripts that call
+:func:`save_trace_artifact` then additionally emit a per-primitive
+breakdown (``<name>_primitives.txt``) and a raw span dump
+(``<name>_trace.json``).  The default leaves the no-op tracer in place
+so benchmark timings are unaffected.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.bench import get_preset, prepare_models
 
 ARTIFACTS = Path(__file__).resolve().parent.parent / "bench_artifacts"
+
+
+def _trace_requested() -> bool:
+    return os.environ.get("REPRO_BENCH_TRACE", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_tracing():
+    """Enable the global tracer for the session when REPRO_BENCH_TRACE is set."""
+    if not _trace_requested():
+        yield
+        return
+    obs.enable()
+    try:
+        yield
+    finally:
+        obs.disable()
 
 
 def save_artifact(name: str, text: str) -> None:
     ARTIFACTS.mkdir(exist_ok=True)
     (ARTIFACTS / f"{name}.txt").write_text(text + "\n")
     print("\n" + text)
+
+
+def save_trace_artifact(name: str) -> None:
+    """Persist the current trace as JSON + per-primitive report, then reset.
+
+    No-op when tracing is disabled, so bench scripts can call this
+    unconditionally.  Clears the tracer and metrics registry afterwards so
+    each benchmark's artifact covers only its own spans.
+    """
+    if not obs.enabled():
+        return
+    tracer = obs.get_tracer()
+    registry = obs.get_registry()
+    ARTIFACTS.mkdir(exist_ok=True)
+    obs.dump_json(ARTIFACTS / f"{name}_trace.json", tracer, registry)
+    report = obs.render_report(tracer, registry)
+    (ARTIFACTS / f"{name}_primitives.txt").write_text(report + "\n")
+    print("\n" + report)
+    tracer.clear()
+    registry.reset()
 
 
 @pytest.fixture(scope="session")

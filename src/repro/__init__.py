@@ -18,6 +18,9 @@ The package is organised bottom-up:
     paper's CNN-HE-RNS models run on.
 ``repro.parallel``
     Executors used to dispatch independent RNS residue channels.
+``repro.obs``
+    Observability: nested-span tracer, metrics registry, Chrome-trace/
+    JSON export and the per-primitive report (see docs/OBSERVABILITY.md).
 ``repro.nn``
     From-scratch NumPy neural-network training framework (Conv2d, Linear,
     BatchNorm2d, ReLU, SLAF polynomial activations, SGD + momentum,

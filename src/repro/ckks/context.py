@@ -21,6 +21,7 @@ from repro.ckks.encoder import CkksEncoder
 from repro.ckks.keys import GaloisKey, KeyPair, PublicKey, RelinKey, SecretKey
 from repro.ckks.sampling import DEFAULT_SIGMA, sample_gaussian, sample_hwt, sample_zo
 from repro.nt.polynomial import PolyRing
+from repro.obs.tracer import traced
 from repro.utils.rng import derive_rng
 
 __all__ = ["CkksParams", "CkksContext"]
@@ -100,6 +101,7 @@ class CkksContext:
 
     # -- key generation -------------------------------------------------------
 
+    @traced("ckks.keygen")
     def keygen(
         self, seed: int | np.random.Generator | None = None, rotations: tuple[int, ...] = ()
     ) -> KeyPair:
@@ -158,6 +160,7 @@ class CkksContext:
 
     # -- encryption ------------------------------------------------------------
 
+    @traced("ckks.encrypt")
     def encrypt(
         self,
         pk: PublicKey,
@@ -183,6 +186,7 @@ class CkksContext:
         c1 = ring.add(ring.mul(v, pk.a), ring.from_coeffs(e1))
         return Ciphertext(c0=c0, c1=c1, level=self.top_level, scale=scale, n=self.n)
 
+    @traced("ckks.decrypt")
     def decrypt(self, sk: SecretKey, ct: Ciphertext, count: int | None = None) -> np.ndarray:
         """``Decrypt(c, Δ, sk) -> z`` (complex slot vector)."""
         ring = self.ring(ct.level)
@@ -206,6 +210,7 @@ class CkksContext:
             b = self.mod_switch_to(b, a.level)
         return a, b
 
+    @traced("ckks.add")
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         """Homomorphic addition (scales must match)."""
         a, b = self._align(a, b)
@@ -214,7 +219,9 @@ class CkksContext:
         ring = self.ring(a.level)
         return Ciphertext(ring.add(a.c0, b.c0), ring.add(a.c1, b.c1), a.level, a.scale, self.n)
 
+    @traced("ckks.sub")
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Homomorphic subtraction (scales must match)."""
         a, b = self._align(a, b)
         if not np.isclose(a.scale, b.scale, rtol=1e-9):
             raise ValueError(f"scale mismatch in sub: {a.scale} vs {b.scale}")
@@ -225,6 +232,7 @@ class CkksContext:
         ring = self.ring(a.level)
         return Ciphertext(ring.neg(a.c0), ring.neg(a.c1), a.level, a.scale, self.n)
 
+    @traced("ckks.add_plain")
     def add_plain(self, a: Ciphertext, values: np.ndarray | float) -> Ciphertext:
         """Add a plaintext vector/scalar encoded at the ciphertext's scale."""
         ring = self.ring(a.level)
@@ -233,6 +241,7 @@ class CkksContext:
         m = self.encoder.encode(values, a.scale)
         return Ciphertext(ring.add(a.c0, ring.from_coeffs(m)), a.c1.copy(), a.level, a.scale, self.n)
 
+    @traced("ckks.mul_plain")
     def mul_plain(
         self, a: Ciphertext, values: np.ndarray | float, plain_scale: float | None = None
     ) -> Ciphertext:
@@ -246,6 +255,7 @@ class CkksContext:
             ring.mul(a.c0, m), ring.mul(a.c1, m), a.level, a.scale * plain_scale, self.n
         )
 
+    @traced("ckks.mul_plain_scalar")
     def mul_plain_scalar(
         self, a: Ciphertext, scalar: float, plain_scale: float | None = None
     ) -> Ciphertext:
@@ -261,6 +271,7 @@ class CkksContext:
             self.n,
         )
 
+    @traced("ckks.mul")
     def mul(self, a: Ciphertext, b: Ciphertext, relin: RelinKey) -> Ciphertext:
         """``Mult(c1, c2, ek)`` with immediate relinearisation."""
         a, b = self._align(a, b)
@@ -273,6 +284,7 @@ class CkksContext:
             ring.add(d0, r0), ring.add(d1, r1), a.level, a.scale * b.scale, self.n
         )
 
+    @traced("ckks.square")
     def square(self, a: Ciphertext, relin: RelinKey) -> Ciphertext:
         """Homomorphic squaring (saves one ring product vs. :meth:`mul`)."""
         ring = self.ring(a.level)
@@ -283,6 +295,7 @@ class CkksContext:
         r0, r1 = self._keyswitch(d2, relin.b, relin.a, a.level)
         return Ciphertext(ring.add(d0, r0), ring.add(d1, r1), a.level, a.scale**2, self.n)
 
+    @traced("ckks.keyswitch")
     def _keyswitch(
         self, x: np.ndarray, kb: np.ndarray, ka: np.ndarray, level: int
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -299,6 +312,7 @@ class CkksContext:
         r1 = big.round_div(t1, self.p_special, ring.q)
         return r0, r1
 
+    @traced("ckks.rescale")
     def rescale(self, a: Ciphertext) -> Ciphertext:
         """``Resc(c)``: divide by Δ and drop one level."""
         if a.level == 0:
@@ -322,6 +336,7 @@ class CkksContext:
         c1 = ring.mod_switch(a.c1, new_q)
         return Ciphertext(c0, c1, level, a.scale, self.n)
 
+    @traced("ckks.rotate")
     def rotate(self, a: Ciphertext, rotation: int, galois: dict[int, GaloisKey]) -> Ciphertext:
         """``Rot(c, r)``: left-rotate slots by *rotation* using a Galois key."""
         rotation = rotation % self.slots

@@ -38,6 +38,7 @@ from repro.ckksrns.params import CkksRnsParams
 from repro.nt.modarith import addmod, mulmod, negmod, submod
 from repro.nt.ntt import NttPlan
 from repro.nt.primes import gen_ntt_primes
+from repro.obs.tracer import traced
 from repro.rns.base import RnsBase
 from repro.parallel import Executor, SerialExecutor
 from repro.utils.rng import derive_rng
@@ -145,10 +146,24 @@ class CkksRnsContext:
 
     # -- key generation --------------------------------------------------------
 
+    @traced("ckksrns.keygen")
     def keygen(
         self, seed: int | np.random.Generator | None = None, rotations: tuple[int, ...] = ()
     ) -> RnsKeyPair:
-        """Generate secret/public/relinearisation (and optional Galois) keys."""
+        """Generate secret/public/relinearisation (and optional Galois) keys.
+
+        Parameters
+        ----------
+        seed:
+            Deterministic seed or ready :class:`numpy.random.Generator`.
+        rotations:
+            Slot rotations to pre-generate Galois keys for.
+
+        Returns
+        -------
+        :class:`~repro.ckksrns.keys.RnsKeyPair` holding ``sk``, ``pk``,
+        ``relin`` and any requested ``galois`` keys.
+        """
         rng = derive_rng(seed)
         n = self.n
         s_coeff = sample_hwt(n, self.params.hw, rng)
@@ -235,8 +250,23 @@ class CkksRnsContext:
 
     # -- encoding / encryption ----------------------------------------------------
 
+    @traced("ckksrns.encode")
     def encode(self, values: np.ndarray, scale: float | None = None, level: int | None = None) -> RnsPlaintext:
-        """Encode a slot vector into NTT-domain residue channels."""
+        """Encode a slot vector into NTT-domain residue channels.
+
+        Parameters
+        ----------
+        values:
+            Up to ``n/2`` real or complex slot values.
+        scale:
+            Encoding scale Δ (defaults to the parameter set's).
+        level:
+            Target level (defaults to the top of the chain).
+
+        Returns
+        -------
+        :class:`RnsPlaintext` reusable across ciphertexts at ``level``.
+        """
         scale = float(scale or self.params.scale)
         level = self.top_level if level is None else level
         m = self.encoder.encode(values, scale)
@@ -244,6 +274,7 @@ class CkksRnsContext:
         stack = self._ntt(self._decompose_big(m, moduli), moduli)
         return RnsPlaintext(stack, scale, level)
 
+    @traced("ckksrns.encrypt")
     def encrypt(
         self,
         pk: RnsPublicKey,
@@ -251,7 +282,24 @@ class CkksRnsContext:
         rng: int | np.random.Generator | None = None,
         scale: float | None = None,
     ) -> RnsCiphertext:
-        """``Encrypt(z, Δ, pk)`` at top level."""
+        """``Encrypt(z, Δ, pk)`` at top level.
+
+        Parameters
+        ----------
+        pk:
+            Public key from :meth:`keygen`.
+        values:
+            Slot vector to protect (up to ``n/2`` values).
+        rng:
+            Seed or generator for the encryption randomness.
+        scale:
+            Encoding scale Δ (defaults to the parameter set's).
+
+        Returns
+        -------
+        Fresh :class:`~repro.ckksrns.ciphertext.RnsCiphertext` at the
+        top level.
+        """
         rng = derive_rng(rng)
         scale = float(scale or self.params.scale)
         m = self.encoder.encode(values, scale)
@@ -285,8 +333,23 @@ class CkksRnsContext:
         )
         return RnsCiphertext(c0, c1, self.top_level, scale)
 
+    @traced("ckksrns.decrypt")
     def decrypt(self, sk: RnsSecretKey, ct: RnsCiphertext, count: int | None = None) -> np.ndarray:
-        """``Decrypt(c, Δ, sk)``: complex slot vector."""
+        """``Decrypt(c, Δ, sk)``: complex slot vector.
+
+        Parameters
+        ----------
+        sk:
+            Secret key.
+        ct:
+            Ciphertext at any level of the chain.
+        count:
+            If given, truncate the returned vector to this many slots.
+
+        Returns
+        -------
+        Complex slot values (use :meth:`decrypt_real` for the real parts).
+        """
         moduli = self.moduli[: ct.k]
         m_eval = np.stack(
             [
@@ -318,7 +381,9 @@ class CkksRnsContext:
         if not np.isclose(sa, sb, rtol=1e-3):
             raise ValueError(f"scale mismatch in {op}: {sa} vs {sb}")
 
+    @traced("ckksrns.add")
     def add(self, a: RnsCiphertext, b: RnsCiphertext) -> RnsCiphertext:
+        """Homomorphic addition (levels aligned, scales must agree)."""
         a, b = self._align(a, b)
         self._check_scales(a.scale, b.scale, "add")
         moduli = self.moduli[: a.k]
@@ -326,7 +391,9 @@ class CkksRnsContext:
         c1 = np.stack([addmod(a.c1[i], b.c1[i], m) for i, m in enumerate(moduli)])
         return RnsCiphertext(c0, c1, a.level, a.scale)
 
+    @traced("ckksrns.sub")
     def sub(self, a: RnsCiphertext, b: RnsCiphertext) -> RnsCiphertext:
+        """Homomorphic subtraction (levels aligned, scales must agree)."""
         a, b = self._align(a, b)
         self._check_scales(a.scale, b.scale, "sub")
         moduli = self.moduli[: a.k]
@@ -340,7 +407,9 @@ class CkksRnsContext:
         c1 = np.stack([negmod(a.c1[i], m) for i, m in enumerate(moduli)])
         return RnsCiphertext(c0, c1, a.level, a.scale)
 
+    @traced("ckksrns.add_plain")
     def add_plain(self, a: RnsCiphertext, values: np.ndarray | float) -> RnsCiphertext:
+        """Add a plaintext vector/scalar encoded at the ciphertext's scale."""
         if np.isscalar(values):
             values = np.full(self.slots, float(values))
         pt = self.encode(values, a.scale, a.level)
@@ -348,6 +417,7 @@ class CkksRnsContext:
         c0 = np.stack([addmod(a.c0[i], pt.data[i], m) for i, m in enumerate(moduli)])
         return RnsCiphertext(c0, a.c1.copy(), a.level, a.scale)
 
+    @traced("ckksrns.mul_plain_scalar")
     def mul_plain_scalar(self, a: RnsCiphertext, scalar: float, plain_scale: float | None = None) -> RnsCiphertext:
         """Multiply by one real scalar — a constant per channel, no NTT."""
         plain_scale = float(plain_scale or self.params.scale)
@@ -357,6 +427,7 @@ class CkksRnsContext:
         c1 = np.stack([mulmod(a.c1[i], np.int64(c % m), m) for i, m in enumerate(moduli)])
         return RnsCiphertext(c0, c1, a.level, a.scale * plain_scale)
 
+    @traced("ckksrns.mul_plain")
     def mul_plain(self, a: RnsCiphertext, plain: "RnsPlaintext | np.ndarray", plain_scale: float | None = None) -> RnsCiphertext:
         """Multiply by an encoded plaintext vector (dyadic per channel)."""
         if not isinstance(plain, RnsPlaintext):
@@ -368,8 +439,22 @@ class CkksRnsContext:
         c1 = np.stack([mulmod(a.c1[i], plain.data[i], m) for i, m in enumerate(moduli)])
         return RnsCiphertext(c0, c1, a.level, a.scale * plain.scale)
 
+    @traced("ckksrns.mul")
     def mul(self, a: RnsCiphertext, b: RnsCiphertext, relin: RnsRelinKey) -> RnsCiphertext:
-        """``Mult(c1, c2, ek)`` with immediate relinearisation."""
+        """``Mult(c1, c2, ek)`` with immediate relinearisation.
+
+        Parameters
+        ----------
+        a, b:
+            Operand ciphertexts (levels are aligned automatically).
+        relin:
+            Relinearisation (evaluation) key from :meth:`keygen`.
+
+        Returns
+        -------
+        Degree-1 ciphertext at the common level with scale
+        ``a.scale * b.scale`` (call :meth:`rescale` to return to ~Δ).
+        """
         a, b = self._align(a, b)
         moduli = self.moduli[: a.k]
         d0 = np.stack([mulmod(a.c0[i], b.c0[i], m) for i, m in enumerate(moduli)])
@@ -387,6 +472,7 @@ class CkksRnsContext:
         c1 = np.stack([addmod(d1[i], r1[i], m) for i, m in enumerate(moduli)])
         return RnsCiphertext(c0, c1, a.level, a.scale * b.scale)
 
+    @traced("ckksrns.square")
     def square(self, a: RnsCiphertext, relin: RnsRelinKey) -> RnsCiphertext:
         """Homomorphic squaring (one dyadic product fewer than mul)."""
         moduli = self.moduli[: a.k]
@@ -411,6 +497,7 @@ class CkksRnsContext:
         x_coeff = self._intt(x_eval, self.moduli[: level + 1])
         return self._keyswitch_coeff(x_coeff, kb, ka, level)
 
+    @traced("ckksrns.keyswitch")
     def _keyswitch_coeff(
         self, x_coeff: np.ndarray, kb: np.ndarray, ka: np.ndarray, level: int
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -458,8 +545,20 @@ class CkksRnsContext:
 
     # -- rescaling / level management ---------------------------------------------------
 
+    @traced("ckksrns.rescale")
     def rescale(self, a: RnsCiphertext) -> RnsCiphertext:
-        """``Resc(c)``: exact RNS division by the last prime of the level."""
+        """``Resc(c)``: exact RNS division by the last prime of the level.
+
+        Parameters
+        ----------
+        a:
+            Ciphertext at level >= 1.
+
+        Returns
+        -------
+        Ciphertext one level lower with scale divided by the dropped
+        prime ``q_last`` (≈ Δ for the 26-bit chain primes).
+        """
         if a.level == 0:
             raise ValueError("cannot rescale below level 0")
         k = a.k
@@ -503,8 +602,24 @@ class CkksRnsContext:
 
     # -- rotation -------------------------------------------------------------------------
 
+    @traced("ckksrns.rotate")
     def rotate(self, a: RnsCiphertext, rotation: int, galois: dict[int, RnsGaloisKey]) -> RnsCiphertext:
-        """``Rot(c, r)``: left-rotate slots using the matching Galois key."""
+        """``Rot(c, r)``: left-rotate slots using the matching Galois key.
+
+        Parameters
+        ----------
+        a:
+            Ciphertext whose slots to rotate.
+        rotation:
+            Left-rotation amount (slots), reduced mod ``n/2``.
+        galois:
+            Galois key table (``kp.galois``); must contain the element
+            for *rotation*, else :class:`KeyError` is raised.
+
+        Returns
+        -------
+        Ciphertext with slot *i* holding input slot ``i + rotation``.
+        """
         rotation = rotation % self.slots
         if rotation == 0:
             return a.copy()

@@ -53,6 +53,8 @@ class RnsGaloisKey:
 
 @dataclass
 class RnsKeyPair:
+    """Full key material from one keygen: secret, public, relin, Galois keys."""
+
     sk: RnsSecretKey
     pk: RnsPublicKey
     relin: RnsRelinKey

@@ -72,6 +72,7 @@ class CkksRnsParams:
 
     @property
     def scale(self) -> float:
+        """Plaintext scale Δ = 2^scale_bits."""
         return float(1 << self.scale_bits)
 
     @property

@@ -24,6 +24,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ckks import CkksContext, CkksParams
 from repro.ckksrns import CkksRnsContext, CkksRnsParams, RnsCiphertext
 from repro.nt.modarith import mulmod
@@ -48,34 +49,44 @@ class HeBackend(ABC):
         """Number of SIMD slots (images per ciphertext)."""
 
     @abstractmethod
-    def encrypt(self, values: np.ndarray) -> Any: ...
+    def encrypt(self, values: np.ndarray) -> Any:
+        """Encrypt a 1-D value vector into one ciphertext handle (SIMD slots)."""
 
     @abstractmethod
-    def decrypt(self, handle: Any, count: int | None = None) -> np.ndarray: ...
+    def decrypt(self, handle: Any, count: int | None = None) -> np.ndarray:
+        """Decrypt *handle*, returning the first *count* slots (all if None)."""
 
     @abstractmethod
-    def add(self, a: Any, b: Any) -> Any: ...
+    def add(self, a: Any, b: Any) -> Any:
+        """Ciphertext + ciphertext (scales must match)."""
 
     @abstractmethod
-    def add_plain(self, a: Any, value: float) -> Any: ...
+    def add_plain(self, a: Any, value: float) -> Any:
+        """Ciphertext + plaintext scalar, broadcast over slots."""
 
     @abstractmethod
-    def mul_plain_scalar(self, a: Any, scalar: float, plain_scale: float | None = None) -> Any: ...
+    def mul_plain_scalar(self, a: Any, scalar: float, plain_scale: float | None = None) -> Any:
+        """Ciphertext × plaintext scalar encoded at *plain_scale* (default Δ)."""
 
     @abstractmethod
-    def mul(self, a: Any, b: Any) -> Any: ...
+    def mul(self, a: Any, b: Any) -> Any:
+        """Ciphertext × ciphertext with relinearisation; scale multiplies."""
 
     @abstractmethod
-    def square(self, a: Any) -> Any: ...
+    def square(self, a: Any) -> Any:
+        """Ciphertext squaring (cheaper than ``mul(a, a)`` where supported)."""
 
     @abstractmethod
-    def rescale(self, a: Any) -> Any: ...
+    def rescale(self, a: Any) -> Any:
+        """Drop one modulus level, dividing the scale back toward Δ."""
 
     @abstractmethod
-    def scale_of(self, a: Any) -> float: ...
+    def scale_of(self, a: Any) -> float:
+        """Current plaintext scale of *a*."""
 
     @abstractmethod
-    def level_of(self, a: Any) -> int: ...
+    def level_of(self, a: Any) -> int:
+        """Remaining multiplicative levels of *a*."""
 
     def mul_plain_vector(self, a: Any, values: "np.ndarray") -> Any:
         """Slotwise multiply by a plaintext vector (single-image packing)."""
@@ -95,15 +106,29 @@ class HeBackend(ABC):
         The generic implementation multiplies and adds pairwise; RNS
         overrides it with a batched channelwise kernel (this is where
         convolutions spend their time).
+
+        Parameters
+        ----------
+        handles:
+            Ciphertext handles of the summands.
+        weights:
+            Matching plaintext weights (same length as *handles*).
+        plain_scale:
+            Encoding scale of the weights (defaults to Δ).
+
+        Returns
+        -------
+        A handle for the weighted sum at scale ``scale * plain_scale``.
         """
         if len(handles) != len(weights):
             raise ValueError("handles/weights length mismatch")
         if len(handles) == 0:
             raise ValueError("weighted_sum needs at least one term")
-        acc = self.mul_plain_scalar(handles[0], float(weights[0]), plain_scale)
-        for h, w in zip(handles[1:], weights[1:]):
-            acc = self.add(acc, self.mul_plain_scalar(h, float(w), plain_scale))
-        return acc
+        with obs.span("henn.weighted_sum", backend=self.name, taps=len(handles)):
+            acc = self.mul_plain_scalar(handles[0], float(weights[0]), plain_scale)
+            for h, w in zip(handles[1:], weights[1:]):
+                acc = self.add(acc, self.mul_plain_scalar(h, float(w), plain_scale))
+            return acc
 
     def poly_eval(self, x: Any, coeffs: np.ndarray) -> Any:
         """Evaluate ``sum_k coeffs[k] x^k`` homomorphically (degree <= 3).
@@ -111,11 +136,26 @@ class HeBackend(ABC):
         Power-basis evaluation with per-term plain-scale compensation so
         every branch lands on an identical ciphertext scale; one final
         rescale returns to ~Δ.  Consumes ``degree`` levels.
+
+        Parameters
+        ----------
+        x:
+            Input ciphertext handle.
+        coeffs:
+            Polynomial coefficients, constant term first (length 2..4).
+
+        Returns
+        -------
+        Handle for ``p(x)`` rescaled back to ~Δ.
         """
         coeffs = np.asarray(coeffs, dtype=np.float64)
         degree = len(coeffs) - 1
         if degree < 1 or degree > 3:
             raise ValueError("poly_eval supports degrees 1..3")
+        with obs.span("henn.poly_eval", backend=self.name, degree=degree):
+            return self._poly_eval(x, coeffs, degree)
+
+    def _poly_eval(self, x: Any, coeffs: np.ndarray, degree: int) -> Any:
         powers = {1: x}
         if degree >= 2:
             powers[2] = self.rescale(self.square(x))
@@ -301,9 +341,16 @@ class CkksBackend(HeBackend):
         return self.ctx.rotate(a, r, self.keys.galois)
 
     def weighted_sum(self, handles, weights, plain_scale: float | None = None):
-        """Accumulate big-int components lazily, reducing mod q once."""
+        """Accumulate big-int components lazily, reducing mod q once.
+
+        See :meth:`HeBackend.weighted_sum` for the argument contract.
+        """
         if len(handles) != len(weights) or not len(handles):
             raise ValueError("bad weighted_sum arguments")
+        with obs.span("henn.weighted_sum", backend=self.name, taps=len(handles)):
+            return self._weighted_sum(handles, weights, plain_scale)
+
+    def _weighted_sum(self, handles, weights, plain_scale: float | None = None):
         ps = float(plain_scale or self.scale)
         level = min(h.level for h in handles)
         ring = self.ctx.ring(level)
@@ -400,9 +447,15 @@ class CkksRnsBackend(HeBackend):
         ``(taps, n)`` block; channels fan out through the executor.
         Exactness: per-tap products are reduced, partial sums of up to
         ``2^13`` terms stay below ``2^63``.
+
+        See :meth:`HeBackend.weighted_sum` for the argument contract.
         """
         if len(handles) != len(weights) or not len(handles):
             raise ValueError("bad weighted_sum arguments")
+        with obs.span("henn.weighted_sum", backend=self.name, taps=len(handles)):
+            return self._weighted_sum(handles, weights, plain_scale)
+
+    def _weighted_sum(self, handles, weights, plain_scale: float | None = None):
         ps = float(plain_scale or self.scale)
         level = min(h.level for h in handles)
         handles = [self.ctx.mod_switch_to(h, level) for h in handles]

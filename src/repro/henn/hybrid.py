@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.henn.backend import HeBackend
 from repro.henn.inference import HeInferenceEngine
 from repro.henn.layers import HeConv2d, HeLayer
@@ -47,6 +48,7 @@ class StageTimings:
 
     @property
     def total(self) -> float:
+        """End-to-end seconds: conv stage + encrypted tail."""
         return self.conv_stage + self.he_stage
 
 
@@ -96,28 +98,46 @@ class HybridRnsEngine:
         self.stages = StageTimings()
 
     def classify(self, images: np.ndarray) -> np.ndarray:
-        """Classify ``(B, C, H, W)`` images; returns ``(B, 10)`` logits."""
+        """Classify ``(B, C, H, W)`` images; returns ``(B, 10)`` logits.
+
+        Stage seconds land in :attr:`stages` and — when tracing is
+        enabled — as ``hybrid.stage.conv`` / ``hybrid.stage.he`` spans,
+        with the tail's per-layer ``henn.layer`` spans nested inside
+        the latter.
+
+        Parameters
+        ----------
+        images:
+            ``(B, C, H, W)`` float batch, ``B <= backend.max_batch``.
+
+        Returns
+        -------
+        ``(B, 10)`` array of decrypted logits.
+        """
         images = np.asarray(images, dtype=np.float64)
         batch = images.shape[0]
         t0 = time.perf_counter()
-        feats = self.conv.forward(images)  # (B, OC, OH, OW) floats, exact
-        if self.conv_bias is not None:
-            feats = feats + self.conv_bias[None, :, None, None]
+        with obs.span("hybrid.stage.conv", k_moduli=self.k_moduli):
+            feats = self.conv.forward(images)  # (B, OC, OH, OW) floats, exact
+            if self.conv_bias is not None:
+                feats = feats + self.conv_bias[None, :, None, None]
         t1 = time.perf_counter()
         # Encrypt the feature maps and run the homomorphic tail.
         c, h, w = feats.shape[1:]
         enc = np.empty((c, h, w), dtype=object)
-        for ci in range(c):
-            for i in range(h):
-                for j in range(w):
-                    enc[ci, i, j] = self.backend.encrypt(feats[:, ci, i, j])
-        out = self.tail.run_encrypted(enc)
+        with obs.span("hybrid.stage.he"):
+            for ci in range(c):
+                for i in range(h):
+                    for j in range(w):
+                        enc[ci, i, j] = self.backend.encrypt(feats[:, ci, i, j])
+            out = self.tail.run_encrypted(enc)
         t2 = time.perf_counter()
         self.stages = StageTimings(conv_stage=t1 - t0, he_stage=t2 - t1)
         self.latency.add(self.stages.total)
         return np.stack([self.backend.decrypt(hd, count=batch) for hd in out], axis=1)
 
     def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy over *images*, batched by ``max_batch``."""
         correct = 0
         b = self.backend.max_batch
         for start in range(0, images.shape[0], b):

@@ -6,6 +6,14 @@ context carries a thread/process executor, residue channels of every
 operation run in parallel — this *is* the CNN-HE-RNS configuration; the
 same engine with :class:`~repro.henn.backend.CkksBackend` is the
 non-RNS CNN-HE baseline of Tables III/V.
+
+Timing is span-based (:mod:`repro.obs`): every layer forward is a
+``henn.layer`` span and the classify stages are ``henn.stage.*`` spans,
+so the Fig. 5 per-stage breakdown falls out of the tracer.  When global
+tracing is disabled the engine records layer spans into a private
+tracer (a handful of spans per run — negligible), keeping the
+:attr:`~HeInferenceEngine.trace` view available at all times while the
+primitive-level instrumentation stays a no-op.
 """
 
 from __future__ import annotations
@@ -15,8 +23,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.henn.backend import HeBackend
 from repro.henn.layers import HeLayer
+from repro.obs.tracer import Span, Tracer
 from repro.utils.timing import LatencyStats
 
 __all__ = ["HeInferenceEngine", "LayerTrace"]
@@ -24,20 +34,47 @@ __all__ = ["HeInferenceEngine", "LayerTrace"]
 
 @dataclass
 class LayerTrace:
-    """Per-layer wall-clock timings from the last run (Fig. 5 pipeline view)."""
+    """Per-layer wall-clock view of the last run (Fig. 5 pipeline view).
+
+    Deprecated front: since the observability refactor this is derived
+    from the engine's ``henn.layer`` spans (see
+    :attr:`HeInferenceEngine.trace`), kept so existing callers and
+    benchmark tables do not change shape.
+    """
 
     names: list[str] = field(default_factory=list)
     seconds: list[float] = field(default_factory=list)
 
+    @classmethod
+    def from_spans(cls, spans: list[Span]) -> "LayerTrace":
+        """Build the flat view from finished ``henn.layer`` spans."""
+        t = cls()
+        for s in spans:
+            t.names.append(str(s.tags.get("layer", s.name)))
+            t.seconds.append(s.duration)
+        return t
+
     def as_rows(self) -> list[tuple[str, float]]:
+        """``(layer name, seconds)`` pairs in execution order."""
         return list(zip(self.names, self.seconds))
 
     def total(self) -> float:
+        """Summed per-layer seconds (the evaluate-stage wall-clock)."""
         return float(sum(self.seconds))
 
 
 class HeInferenceEngine:
-    """Batched encrypted classification with latency accounting."""
+    """Batched encrypted classification with latency accounting.
+
+    Parameters
+    ----------
+    backend:
+        Homomorphic evaluation backend (mock / CKKS / CKKS-RNS).
+    layers:
+        Compiled HE layer graph (from :func:`repro.henn.compiler.compile_model`).
+    input_shape:
+        Expected ``(C, H, W)`` of one input image.
+    """
 
     def __init__(
         self,
@@ -49,7 +86,12 @@ class HeInferenceEngine:
         self.layers = layers
         self.input_shape = input_shape
         self.latency = LatencyStats()
-        self.trace = LayerTrace()
+        self._layer_spans: list[Span] = []
+
+    @property
+    def trace(self) -> LayerTrace:
+        """Per-layer timings of the last :meth:`run_encrypted` call."""
+        return LayerTrace.from_spans(self._layer_spans)
 
     # -- client side -------------------------------------------------------------
 
@@ -58,6 +100,16 @@ class HeInferenceEngine:
 
         Slot *i* of the handle at position (c, h, w) holds pixel
         ``images[i, c, h, w]`` — the batch rides along for free.
+
+        Parameters
+        ----------
+        images:
+            Batch of at most ``backend.max_batch`` images matching
+            ``input_shape``.
+
+        Returns
+        -------
+        ``(C, H, W)`` object array of ciphertext handles.
         """
         images = np.asarray(images, dtype=np.float64)
         if images.ndim != 4 or images.shape[1:] != self.input_shape:
@@ -71,23 +123,40 @@ class HeInferenceEngine:
             )
         c, h, w = self.input_shape
         enc = np.empty((c, h, w), dtype=object)
-        for ci in range(c):
-            for i in range(h):
-                for j in range(w):
-                    enc[ci, i, j] = self.backend.encrypt(images[:, ci, i, j])
+        with obs.span("henn.stage.encrypt", pixels=c * h * w):
+            for ci in range(c):
+                for i in range(h):
+                    for j in range(w):
+                        enc[ci, i, j] = self.backend.encrypt(images[:, ci, i, j])
         return enc
 
     # -- server side -------------------------------------------------------------
 
     def run_encrypted(self, enc: np.ndarray) -> np.ndarray:
-        """Propagate encrypted features through the graph, tracing layers."""
-        self.trace = LayerTrace()
+        """Propagate encrypted features through the graph, one span per layer.
+
+        Parameters
+        ----------
+        enc:
+            Encrypted feature handles from :meth:`encrypt_images`.
+
+        Returns
+        -------
+        Flat object array of output ciphertext handles (one per class).
+        """
+        tracer = obs.get_tracer()
+        if not tracer.enabled:
+            # Private always-on tracer: keeps the layer-level Fig. 5 view
+            # available while primitive spans stay no-ops.
+            tracer = Tracer()
+        spans: list[Span] = []
         x = enc
-        for layer in self.layers:
-            t0 = time.perf_counter()
-            x = layer.forward(self.backend, x)
-            self.trace.names.append(type(layer).__name__)
-            self.trace.seconds.append(time.perf_counter() - t0)
+        with tracer.span("henn.stage.evaluate", layers=len(self.layers)):
+            for i, layer in enumerate(self.layers):
+                with tracer.span("henn.layer", layer=type(layer).__name__, index=i) as h:
+                    x = layer.forward(self.backend, x)
+                spans.append(h.record)
+        self._layer_spans = spans
         return x
 
     # -- end to end ----------------------------------------------------------------
@@ -98,19 +167,39 @@ class HeInferenceEngine:
         Latency of the homomorphic evaluation (the paper's "Lat": the
         server-side processing of one classification request) is pushed
         into :attr:`latency`.
+
+        Parameters
+        ----------
+        images:
+            ``(B, C, H, W)`` batch, ``B <= backend.max_batch``.
+
+        Returns
+        -------
+        ``(B, 10)`` array of decrypted logits.
         """
         batch = images.shape[0]
         enc = self.encrypt_images(images)
         t0 = time.perf_counter()
         out = self.run_encrypted(enc)
         self.latency.add(time.perf_counter() - t0)
-        logits = np.stack(
-            [self.backend.decrypt(h, count=batch) for h in out], axis=1
-        )
+        with obs.span("henn.stage.decrypt", handles=len(out)):
+            logits = np.stack(
+                [self.backend.decrypt(h, count=batch) for h in out], axis=1
+            )
         return logits
 
     def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
-        """Encrypted-classification accuracy over (possibly many) batches."""
+        """Encrypted-classification accuracy over (possibly many) batches.
+
+        Parameters
+        ----------
+        images, labels:
+            Full evaluation set; processed in ``backend.max_batch`` chunks.
+
+        Returns
+        -------
+        Fraction of images whose argmax logit matches the label.
+        """
         correct = 0
         b = self.backend.max_batch
         for start in range(0, images.shape[0], b):

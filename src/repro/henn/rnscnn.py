@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.nt.crt import CrtBasis
 from repro.rns.limb import (
     LIMB_BITS,
@@ -218,7 +219,8 @@ class RnsIntegerConv:
         )
         value_bits = self.spec.input_bits + 1
         big_d = max(1, -(-value_bits // LIMB_BITS))
-        limbs_full = split_limbs(x_int, big_d)
+        with obs.span("rnscnn.decompose", k=self.base.k):
+            limbs_full = split_limbs(x_int, big_d)
 
         def one_channel(i: int) -> np.ndarray:
             m = self.base.moduli[i]
@@ -228,8 +230,10 @@ class RnsIntegerConv:
                 xl = partial_residue_limbs(limbs_full, m)
             return self._conv_channel(xl, img_shape, i)
 
-        outs = self.executor.map(one_channel, list(range(self.base.k)))
-        composed = self.base.compose_centered(outs)
+        with obs.span("rnscnn.conv_channels", k=self.base.k):
+            outs = self.executor.map(one_channel, list(range(self.base.k)))
+        with obs.span("rnscnn.recompose", k=self.base.k):
+            composed = self.base.compose_centered(outs)
         return composed.transpose(0, 2, 1).reshape(n, oc, oh, ow)
 
     def _lower(self, x_int: np.ndarray) -> tuple[np.ndarray, tuple]:

@@ -13,6 +13,8 @@ from functools import reduce
 
 import numpy as np
 
+from repro.obs.tracer import traced
+
 __all__ = ["CrtBasis"]
 
 
@@ -44,6 +46,7 @@ class CrtBasis:
 
     # -- scalar / array decomposition -------------------------------------
 
+    @traced("nt.crt.decompose")
     def decompose(self, x: np.ndarray | int) -> list[np.ndarray]:
         """Residues of *x* (array of arbitrary Python/NumPy ints) per modulus.
 
@@ -57,6 +60,7 @@ class CrtBasis:
             out.append(res.astype(np.int64) if m.bit_length() <= 62 else res)
         return out
 
+    @traced("nt.crt.compose")
     def compose(self, residues: list[np.ndarray]) -> np.ndarray:
         """Inverse of :meth:`decompose`: canonical value in ``[0, Q)``."""
         self._check_channels(residues)

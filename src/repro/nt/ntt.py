@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.nt.modarith import addmod, mulmod, submod
 from repro.nt.primes import is_prime
+from repro.obs.tracer import traced
 
 __all__ = ["NttPlan", "bit_reverse_permutation"]
 
@@ -97,6 +98,7 @@ class NttPlan:
 
     # -- transforms ------------------------------------------------------
 
+    @traced("nt.ntt.forward")
     def forward(self, a: np.ndarray) -> np.ndarray:
         """Negacyclic forward NTT along the last axis (returns a new array)."""
         a = self._prepare(a)
@@ -118,6 +120,7 @@ class NttPlan:
             m *= 2
         return a.reshape(self._out_shape)
 
+    @traced("nt.ntt.inverse")
     def inverse(self, a: np.ndarray) -> np.ndarray:
         """Negacyclic inverse NTT along the last axis (returns a new array)."""
         a = self._prepare(a)

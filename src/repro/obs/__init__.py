@@ -1,0 +1,77 @@
+"""Unified observability for the HE stack: tracing + metrics.
+
+The paper's claims are latency claims; this package is how the repo
+accounts for latency.  Three pieces:
+
+* :mod:`repro.obs.tracer` — nested spans with a zero-overhead disabled
+  default.  The CKKS/CKKS-RNS primitives, the NTT/CRT kernels, the
+  channel executors and the inference engines are all instrumented, so
+  enabling the tracer turns one encrypted classification into a span
+  tree from ``henn.stage.*`` down to individual NTTs.
+* :mod:`repro.obs.metrics` — process-global counters/histograms fed by
+  span completions (and usable directly).
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — JSON and
+  Chrome-trace serialisation, plus the per-primitive pretty-printer the
+  benchmark harness writes next to each table.
+
+Quick use::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        engine.classify(images)
+    print(obs.render_report(tracer))
+
+See ``docs/OBSERVABILITY.md`` for the full worked example.
+"""
+
+from repro.obs.tracer import (
+    NullTracer,
+    Span,
+    Tracer,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+    set_tracer,
+    span,
+    traced,
+    tracing,
+)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, get_registry
+from repro.obs.export import (
+    TraceDump,
+    dump_chrome_trace,
+    dump_json,
+    load_json,
+    to_chrome_trace,
+    trace_to_json,
+)
+from repro.obs.report import aggregate_spans, layer_rows, render_report
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+    "enabled",
+    "span",
+    "traced",
+    "tracing",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "TraceDump",
+    "to_chrome_trace",
+    "trace_to_json",
+    "dump_json",
+    "load_json",
+    "dump_chrome_trace",
+    "aggregate_spans",
+    "layer_rows",
+    "render_report",
+]

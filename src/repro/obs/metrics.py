@@ -1,0 +1,159 @@
+"""Process-global named counters and histograms.
+
+Complements :mod:`repro.obs.tracer`: spans answer *where a particular
+run spent its time*; the registry answers *how often and how expensive*
+each operation is across runs, threads and engines.  All mutation is
+lock-protected, so residue-channel workers on a thread executor can
+bump the same counter concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "get_registry"]
+
+
+class Counter:
+    """Monotonic named counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        """Add *n* (must be >= 0) to the counter."""
+        if n < 0:
+            raise ValueError("counters only move forward")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self._value})"
+
+
+class Histogram:
+    """Accumulates float observations; exposes count/sum/min/max/mean.
+
+    Keeps the raw samples (traces here are short-lived profiling runs,
+    not unbounded production telemetry), so exact percentiles are
+    available via :meth:`percentile`.
+    """
+
+    __slots__ = ("name", "_samples", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, x: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._samples.append(float(x))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else math.nan
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else math.nan
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._samples) if self._samples else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Exact *q*-th percentile (0 <= q <= 100) by nearest-rank."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            if not self._samples:
+                return math.nan
+            ordered = sorted(self._samples)
+        rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            s = list(self._samples)
+        return {
+            "type": "histogram",
+            "count": len(s),
+            "total": sum(s),
+            "min": min(s) if s else None,
+            "max": max(s) if s else None,
+            "mean": (sum(s) / len(s)) if s else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.6f})"
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters and histograms (get-or-create)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        """The counter named *name*, creating it on first use."""
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named *name*, creating it on first use."""
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    def _get(self, name: str, cls: type) -> Counter | Histogram:
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = self._metrics[name] = cls(name)
+            elif not isinstance(m, cls):
+                raise TypeError(f"metric {name!r} already registered as {type(m).__name__}")
+            return m
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-ready dump of every metric's current state."""
+        with self._lock:
+            items = list(self._metrics.items())
+        return {name: m.to_dict() for name, m in sorted(items)}
+
+    def reset(self) -> None:
+        """Drop every metric (names included)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (what :func:`repro.obs.enable` feeds)."""
+    return _REGISTRY

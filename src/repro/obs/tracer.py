@@ -1,0 +1,329 @@
+"""Nested-span tracer with a zero-overhead disabled mode.
+
+A *span* is one timed region of the pipeline — a primitive op
+(``ckksrns.mul``), a kernel (``nt.ntt.forward``), an executor dispatch
+(``parallel.map``) or a network layer (``henn.layer``).  Spans nest:
+each carries its parent's id (tracked per thread), so a full encrypted
+classification unfolds into the Fig. 5 stage tree with per-primitive
+attribution at the leaves.
+
+The process-global *active tracer* is a :class:`NullTracer` by default:
+``span()`` then hands back a shared no-op context manager, never reads
+the clock and never allocates, so instrumented hot paths cost one
+attribute lookup and an empty ``with`` when tracing is off.  Enable
+collection with :func:`enable` (or the scoped :func:`tracing` context
+manager) and read the results from :meth:`Tracer.finished`.
+
+Spans opened inside :class:`~repro.parallel.ThreadExecutor` workers are
+recorded with that worker's ``thread_id`` and no parent (each thread has
+its own nesting stack); :class:`~repro.parallel.ProcessExecutor` workers
+run in child processes whose spans cannot propagate back — only the
+parent-side dispatch span is observed.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+    "enabled",
+    "span",
+    "traced",
+    "tracing",
+]
+
+#: Span ids are unique per process (across tracers), so spans can be
+#: merged between tracers without collisions.
+_IDS = itertools.count(1)
+
+
+@dataclass
+class Span:
+    """One finished timed region.
+
+    Parameters
+    ----------
+    name:
+        Dotted identifier of the instrumented region (``"ckksrns.mul"``).
+    start, end:
+        ``time.perf_counter()`` readings bracketing the region.
+    span_id:
+        Process-unique id.
+    parent_id:
+        Id of the enclosing span on the same thread, or ``None`` for a
+        root span.
+    thread_id:
+        ``threading.get_ident()`` of the recording thread.
+    tags:
+        User key/value annotations supplied at ``span()`` time.
+    """
+
+    name: str
+    start: float
+    end: float
+    span_id: int
+    parent_id: int | None
+    thread_id: int
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds spent inside the span (inclusive of children)."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(
+            name=d["name"],
+            start=float(d["start"]),
+            end=float(d["end"]),
+            span_id=int(d["span_id"]),
+            parent_id=None if d.get("parent_id") is None else int(d["parent_id"]),
+            thread_id=int(d.get("thread_id", 0)),
+            tags=dict(d.get("tags", {})),
+        )
+
+
+class _SpanHandle:
+    """Context manager for one in-flight span; exposes the result as ``record``."""
+
+    __slots__ = ("_tracer", "name", "tags", "_start", "span_id", "parent_id", "record")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.tags = tags
+        self.record: Span | None = None
+
+    def __enter__(self) -> "_SpanHandle":
+        stack = self._tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = next(_IDS)
+        stack.append(self.span_id)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        end = perf_counter()
+        self._tracer._stack().pop()
+        self.record = Span(
+            name=self.name,
+            start=self._start,
+            end=end,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            thread_id=threading.get_ident(),
+            tags=self.tags,
+        )
+        self._tracer._record(self.record)
+
+
+class _NullSpan:
+    """Shared do-nothing context manager handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+    record = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans; thread-safe.
+
+    Parameters
+    ----------
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When set,
+        every finished span also increments the counter
+        ``span.<name>.calls`` and feeds ``span.<name>.seconds`` — so the
+        aggregate view survives :meth:`clear` and merges across runs.
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: "Any | None" = None):
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.metrics = metrics
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **tags: Any) -> _SpanHandle:
+        """Open a nested span: ``with tracer.span("ckksrns.mul"): ...``."""
+        return _SpanHandle(self, name, tags)
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, sp: Span) -> None:
+        with self._lock:
+            self._spans.append(sp)
+        if self.metrics is not None:
+            self.metrics.counter(f"span.{sp.name}.calls").inc()
+            self.metrics.histogram(f"span.{sp.name}.seconds").observe(sp.duration)
+
+    def absorb(self, spans: Iterable[Span]) -> None:
+        """Append already-finished spans (e.g. from another tracer)."""
+        with self._lock:
+            self._spans.extend(spans)
+
+    # -- reading -----------------------------------------------------------
+
+    def finished(self) -> list[Span]:
+        """Snapshot of all recorded spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop recorded spans (open spans and metrics are unaffected)."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class NullTracer:
+    """Disabled tracer: no clock reads, no allocation, nothing recorded."""
+
+    enabled = False
+    metrics = None
+
+    def span(self, name: str, **tags: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def finished(self) -> list[Span]:
+        return []
+
+    def absorb(self, spans: Iterable[Span]) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+_ACTIVE: Tracer | NullTracer = NullTracer()
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-global active tracer."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install *tracer* as the active tracer and return it."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return _ACTIVE
+
+
+def enable(metrics: "Any | None" = None) -> Tracer:
+    """Install and return a fresh collecting :class:`Tracer`.
+
+    Parameters
+    ----------
+    metrics:
+        Registry fed by span completions; defaults to the process-global
+        :func:`repro.obs.metrics.get_registry`.
+    """
+    if metrics is None:
+        from repro.obs.metrics import get_registry
+
+        metrics = get_registry()
+    return set_tracer(Tracer(metrics=metrics))  # type: ignore[return-value]
+
+
+def disable() -> None:
+    """Restore the zero-overhead :class:`NullTracer`."""
+    set_tracer(NullTracer())
+
+
+def enabled() -> bool:
+    """Whether spans are currently being collected."""
+    return _ACTIVE.enabled
+
+
+def span(name: str, **tags: Any) -> _SpanHandle | _NullSpan:
+    """Open a span on the active tracer (no-op context when disabled)."""
+    return _ACTIVE.span(name, **tags)
+
+
+class tracing:
+    """Scoped tracing: ``with tracing() as t: ... t.finished()``.
+
+    Restores the previously active tracer on exit, so nested/temporary
+    profiling cannot leak collection into steady-state code.
+    """
+
+    def __init__(self, metrics: "Any | None" = None):
+        self._metrics = metrics
+        self._prev: Tracer | NullTracer | None = None
+
+    def __enter__(self) -> Tracer:
+        self._prev = get_tracer()
+        return enable(self._metrics)
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._prev is not None
+        set_tracer(self._prev)
+
+
+def traced(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator wrapping a function in a span named *name*.
+
+    The disabled fast path is a single global read and truth test before
+    calling through — safe to put on per-channel kernels like the NTT.
+    """
+
+    def deco(fn: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            tracer = _ACTIVE
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return deco

@@ -1,4 +1,12 @@
-"""Executor abstraction: one ``map`` API, three concurrency backends."""
+"""Executor abstraction: one ``map`` API, three concurrency backends.
+
+Dispatch is observable: when :mod:`repro.obs` tracing is enabled, every
+``map`` call records a ``parallel.map`` span tagged with the executor
+kind and item count, and bumps the ``parallel.<kind>.map.calls`` /
+``parallel.<kind>.map.items`` counters — the per-channel dispatch and
+recombination overhead behind the Table IV/VI moduli sweeps is the gap
+between that span and the per-channel work inside it.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +15,25 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.obs import tracer as _obs
+
 __all__ = ["Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor", "make_executor"]
+
+
+class _StarCall:
+    """Picklable ``fn(*args)`` adapter used by :meth:`Executor.starmap`.
+
+    A ``lambda args: fn(*args)`` cannot cross a process boundary; this
+    module-level class can, whenever ``fn`` itself is picklable.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[..., Any]):
+        self.fn = fn
+
+    def __call__(self, args: tuple) -> Any:
+        return self.fn(*args)
 
 
 class Executor(ABC):
@@ -15,13 +41,37 @@ class Executor(ABC):
 
     name: str = "abstract"
 
-    @abstractmethod
     def map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
-        """Apply ``fn`` to each item; results are returned in input order."""
+        """Apply ``fn`` to each item; results are returned in input order.
+
+        Parameters
+        ----------
+        fn:
+            Per-item callable (must be picklable for process dispatch).
+        items:
+            Work items; one ``fn(item)`` call each.
+
+        Returns
+        -------
+        ``[fn(items[0]), fn(items[1]), ...]`` — always in input order,
+        regardless of completion order.
+        """
+        tracer = _obs.get_tracer()
+        if not tracer.enabled:
+            return self._map(fn, items)
+        if tracer.metrics is not None:
+            tracer.metrics.counter(f"parallel.{self.name}.map.calls").inc()
+            tracer.metrics.counter(f"parallel.{self.name}.map.items").inc(len(items))
+        with tracer.span("parallel.map", executor=self.name, items=len(items)):
+            return self._map(fn, items)
+
+    @abstractmethod
+    def _map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
+        """Backend-specific dispatch (see :meth:`map` for the contract)."""
 
     def starmap(self, fn: Callable[..., Any], items: Iterable[tuple]) -> list[Any]:
         """Like :meth:`map` but unpacks each item as positional arguments."""
-        return self.map(lambda args: fn(*args), list(items))
+        return self.map(_StarCall(fn), list(items))
 
     def close(self) -> None:
         """Release worker resources (idempotent)."""
@@ -38,7 +88,7 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
+    def _map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
         return [fn(it) for it in items]
 
 
@@ -56,7 +106,7 @@ class ThreadExecutor(Executor):
             self._pool = ThreadPoolExecutor(max_workers=self.workers)
         return self._pool
 
-    def map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
+    def _map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
         if len(items) <= 1:
             return [fn(it) for it in items]
         return list(self._ensure().map(fn, items))
@@ -81,7 +131,7 @@ class ProcessExecutor(Executor):
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
-    def map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
+    def _map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
         if len(items) <= 1:
             return [fn(it) for it in items]
         return list(self._ensure().map(fn, items))

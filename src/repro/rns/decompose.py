@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.tracer import traced
 from repro.rns.base import RnsBase
 
 __all__ = ["rns_decompose", "rns_recompose", "rns_recompose_signed"]
 
 
+@traced("rns.decompose")
 def rns_decompose(x: np.ndarray, base: RnsBase) -> np.ndarray:
     """Decompose an integer tensor into residue channels.
 
@@ -48,6 +50,7 @@ def rns_decompose(x: np.ndarray, base: RnsBase) -> np.ndarray:
     return np.stack(chans, axis=0)
 
 
+@traced("rns.recompose")
 def rns_recompose(channels: np.ndarray, base: RnsBase) -> np.ndarray:
     """CRT recomposition to canonical representatives in ``[0, Q)``.
 
@@ -60,6 +63,7 @@ def rns_recompose(channels: np.ndarray, base: RnsBase) -> np.ndarray:
     return out
 
 
+@traced("rns.recompose_signed")
 def rns_recompose_signed(channels: np.ndarray, base: RnsBase) -> np.ndarray:
     """CRT recomposition to signed values in ``[-Q/2, Q/2)``.
 

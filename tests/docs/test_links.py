@@ -1,0 +1,38 @@
+"""Docs stay navigable: the link checker passes, and key files exist."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO / "tools" / "check_docs_links.py"
+
+
+def test_docs_link_check_passes():
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER), str(REPO)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_checker_flags_broken_links(tmp_path):
+    (tmp_path / "a.md").write_text("see [other](missing.md) and [anchor](b.md#nope)\n")
+    (tmp_path / "b.md").write_text("# Real Heading\n")
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER), str(tmp_path)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "missing.md" in proc.stderr
+    assert "b.md#nope" in proc.stderr
+
+
+def test_architecture_and_observability_docs_linked_from_readme():
+    readme = (REPO / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/OBSERVABILITY.md" in readme
+    assert (REPO / "docs" / "ARCHITECTURE.md").exists()
+    assert (REPO / "docs" / "OBSERVABILITY.md").exists()

@@ -1,0 +1,85 @@
+"""Export formats: JSON round-trip and Chrome trace-event shape."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    dump_chrome_trace,
+    dump_json,
+    load_json,
+    to_chrome_trace,
+    trace_to_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    t = Tracer()
+    with t.span("henn.layer", layer="HeConv2d", index=0):
+        with t.span("ckksrns.mul"):
+            pass
+        with t.span("ckksrns.rescale"):
+            pass
+    return t
+
+
+def test_json_round_trip(tmp_path):
+    t = _sample_tracer()
+    reg = MetricsRegistry()
+    reg.counter("span.ckksrns.mul.calls").inc()
+    reg.histogram("span.ckksrns.mul.seconds").observe(0.25)
+
+    path = dump_json(tmp_path / "trace.json", t, reg)
+    dump = load_json(path)
+
+    originals = t.finished()
+    assert len(dump.spans) == len(originals)
+    for a, b in zip(dump.spans, originals):
+        assert a.to_dict() == b.to_dict()
+    assert dump.metrics["span.ckksrns.mul.calls"]["value"] == 1
+    assert dump.metrics["span.ckksrns.mul.seconds"]["count"] == 1
+
+
+def test_load_json_rejects_foreign_documents(tmp_path):
+    p = tmp_path / "other.json"
+    p.write_text(json.dumps({"spans": []}))
+    with pytest.raises(ValueError):
+        load_json(p)
+
+
+def test_trace_to_json_accepts_span_lists():
+    t = _sample_tracer()
+    doc = trace_to_json(t.finished())
+    assert doc["format"] == "repro.obs/1"
+    assert len(doc["spans"]) == 3
+    assert doc["metrics"] == {}
+
+
+def test_chrome_trace_event_shape():
+    t = _sample_tracer()
+    doc = to_chrome_trace(t)
+    events = doc["traceEvents"]
+    assert len(events) == 3
+    for ev in events:
+        assert ev["ph"] == "X"
+        assert ev["ts"] >= 0 and ev["dur"] >= 0
+        assert ev["pid"] == 0 and isinstance(ev["tid"], int)
+    layer = next(e for e in events if e["name"] == "henn.layer")
+    assert layer["cat"] == "henn"
+    assert layer["args"]["layer"] == "HeConv2d"
+    # children carry their parent's id for tree reconstruction
+    mul = next(e for e in events if e["name"] == "ckksrns.mul")
+    assert mul["args"]["parent_id"] == layer["args"]["span_id"]
+
+
+def test_chrome_trace_is_valid_json_on_disk(tmp_path):
+    t = _sample_tracer()
+    path = dump_chrome_trace(tmp_path / "chrome.json", t)
+    doc = json.loads(path.read_text())
+    assert "traceEvents" in doc and doc["displayTimeUnit"] == "ms"
+
+
+def test_chrome_trace_empty_tracer():
+    assert to_chrome_trace(Tracer())["traceEvents"] == []

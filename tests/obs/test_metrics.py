@@ -1,0 +1,82 @@
+"""Counters and histograms: aggregation, thread safety, registry semantics."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.parallel import ThreadExecutor
+
+
+def test_counter_basics():
+    c = Counter("x")
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.to_dict() == {"type": "counter", "value": 6}
+
+
+def test_histogram_statistics():
+    h = Histogram("lat")
+    for v in [3.0, 1.0, 2.0]:
+        h.observe(v)
+    assert h.count == 3
+    assert h.total == 6.0
+    assert h.min == 1.0 and h.max == 3.0
+    assert h.mean == 2.0
+    assert h.percentile(0) == 1.0
+    assert h.percentile(50) == 2.0
+    assert h.percentile(100) == 3.0
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_empty_histogram_is_nan_not_crash():
+    h = Histogram("empty")
+    assert math.isnan(h.mean) and math.isnan(h.min) and math.isnan(h.max)
+    assert math.isnan(h.percentile(50))
+    d = h.to_dict()
+    assert d["count"] == 0 and d["mean"] is None
+
+
+def test_registry_get_or_create_and_type_conflict():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.histogram("b") is reg.histogram("b")
+    with pytest.raises(TypeError):
+        reg.histogram("a")
+    assert reg.names() == ["a", "b"]
+    reg.reset()
+    assert reg.names() == []
+
+
+def test_aggregation_across_thread_workers():
+    """Residue-channel workers bump shared metrics without losing updates."""
+    reg = MetricsRegistry()
+    n_items, per_item = 64, 25
+
+    def work(i):
+        for _ in range(per_item):
+            reg.counter("channels.processed").inc()
+        reg.histogram("channel.seconds").observe(float(i))
+        return i
+
+    with ThreadExecutor(workers=8) as ex:
+        out = ex.map(work, list(range(n_items)))
+    assert out == list(range(n_items))
+    assert reg.counter("channels.processed").value == n_items * per_item
+    h = reg.histogram("channel.seconds")
+    assert h.count == n_items
+    assert h.total == sum(range(n_items))
+
+
+def test_snapshot_is_json_shaped():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(3)
+    reg.histogram("h").observe(1.5)
+    snap = reg.snapshot()
+    assert snap["c"] == {"type": "counter", "value": 3}
+    assert snap["h"]["type"] == "histogram"
+    assert snap["h"]["count"] == 1 and snap["h"]["mean"] == 1.5

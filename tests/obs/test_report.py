@@ -1,0 +1,110 @@
+"""Aggregation and report rendering, including end-to-end engine traces."""
+
+import numpy as np
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import aggregate_spans, layer_rows, render_report
+from repro.obs.tracer import Tracer
+
+
+def _tree_tracer() -> Tracer:
+    t = Tracer()
+    with t.span("root"):
+        with t.span("child"):
+            with t.span("leaf"):
+                pass
+        with t.span("child"):
+            pass
+    return t
+
+
+def test_aggregate_counts_and_self_time():
+    t = _tree_tracer()
+    aggs = aggregate_spans(t)
+    assert aggs["root"].count == 1
+    assert aggs["child"].count == 2
+    assert aggs["leaf"].count == 1
+    # Self time excludes direct children: root self = root - both childs.
+    by_name = {s.name: s for s in t.finished()}
+    child_total = aggs["child"].total
+    assert aggs["root"].self_total <= aggs["root"].total
+    assert abs(aggs["root"].self_total - (aggs["root"].total - child_total)) < 1e-9
+    # Sum of all self times equals the root wall-clock.
+    self_sum = sum(a.self_total for a in aggs.values())
+    assert abs(self_sum - by_name["root"].duration) < 1e-9
+
+
+def test_layer_rows_ordered_by_start():
+    t = Tracer()
+    with t.span("henn.stage.evaluate"):
+        with t.span("henn.layer", layer="HeConv2d", index=0):
+            pass
+        with t.span("henn.layer", layer="HePoly", index=1):
+            pass
+    rows = layer_rows(t)
+    assert [n for n, _ in rows] == ["HeConv2d", "HePoly"]
+    assert all(s >= 0 for _, s in rows)
+
+
+def test_render_report_contains_primitive_and_layer_sections():
+    t = Tracer()
+    with t.span("henn.layer", layer="HeLinear", index=0):
+        with t.span("ckksrns.mul"):
+            pass
+    reg = MetricsRegistry()
+    reg.counter("span.ckksrns.mul.calls").inc()
+    text = render_report(t, reg)
+    assert "per-primitive breakdown" in text
+    assert "ckksrns.mul" in text
+    assert "per-layer breakdown" in text
+    assert "HeLinear" in text
+    assert "metrics" in text
+
+
+def test_render_report_empty_tracer_is_safe():
+    text = render_report(Tracer())
+    assert "per-primitive breakdown" in text
+
+
+def test_engine_trace_report_end_to_end():
+    """A real (mock-backend) inference produces layer spans + report."""
+    from repro.henn.backend import MockBackend
+    from repro.henn.inference import HeInferenceEngine
+    from repro.henn.layers import HeFlatten, HeLinear
+
+    rng = np.random.default_rng(0)
+    layers = [HeFlatten(), HeLinear(rng.normal(0, 0.4, (10, 4)), np.zeros(10))]
+    eng = HeInferenceEngine(MockBackend(batch=4), layers, (1, 2, 2))
+    x = rng.random((2, 1, 2, 2))
+
+    with obs.tracing(metrics=MetricsRegistry()) as tracer:
+        eng.classify(x)
+    obs.disable()
+
+    names = {s.name for s in tracer.finished()}
+    assert {"henn.stage.encrypt", "henn.stage.evaluate", "henn.stage.decrypt"} <= names
+    assert "henn.layer" in names
+    # Fig. 5 layer view falls out of the tracer and matches engine.trace.
+    rows = layer_rows(tracer)
+    assert [n for n, _ in rows] == ["HeFlatten", "HeLinear"]
+    assert eng.trace.names == ["HeFlatten", "HeLinear"]
+    assert np.allclose(eng.trace.seconds, [s for _, s in rows])
+    text = render_report(tracer)
+    assert "henn.layer" in text
+
+
+def test_engine_trace_available_without_global_tracing():
+    """With the null tracer active, the engine still exposes layer timings."""
+    from repro.henn.backend import MockBackend
+    from repro.henn.inference import HeInferenceEngine
+    from repro.henn.layers import HeFlatten, HeLinear
+
+    obs.disable()
+    rng = np.random.default_rng(1)
+    layers = [HeFlatten(), HeLinear(rng.normal(0, 0.4, (10, 4)), np.zeros(10))]
+    eng = HeInferenceEngine(MockBackend(batch=4), layers, (1, 2, 2))
+    eng.classify(rng.random((2, 1, 2, 2)))
+    assert eng.trace.names == ["HeFlatten", "HeLinear"]
+    assert eng.trace.total() > 0
+    assert len(obs.get_tracer()) == 0  # nothing leaked into the global tracer

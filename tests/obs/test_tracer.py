@@ -1,0 +1,150 @@
+"""Tracer semantics: nesting, threading, enable/disable, no-op overhead."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import tracer as tracer_mod
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def test_nested_spans_record_parentage_and_timing():
+    t = Tracer()
+    with t.span("outer") as outer:
+        with t.span("inner", tag="x") as inner:
+            pass
+    spans = t.finished()
+    assert [s.name for s in spans] == ["inner", "outer"]  # completion order
+    inner_s, outer_s = spans
+    assert inner_s.parent_id == outer_s.span_id
+    assert outer_s.parent_id is None
+    assert inner_s.tags == {"tag": "x"}
+    assert 0 <= inner_s.duration <= outer_s.duration
+    assert inner.record is inner_s and outer.record is outer_s
+
+
+def test_sibling_spans_share_parent():
+    t = Tracer()
+    with t.span("root"):
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+    by_name = {s.name: s for s in t.finished()}
+    assert by_name["a"].parent_id == by_name["root"].span_id
+    assert by_name["b"].parent_id == by_name["root"].span_id
+
+
+def test_thread_workers_record_independent_stacks():
+    t = Tracer()
+
+    def work(i):
+        with t.span("worker", idx=i):
+            pass
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+    with t.span("dispatch"):
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+    workers = [s for s in t.finished() if s.name == "worker"]
+    assert len(workers) == 8
+    # Worker spans belong to their own threads: no parent from the main
+    # thread's stack, distinct thread ids from the dispatcher's.
+    dispatch = next(s for s in t.finished() if s.name == "dispatch")
+    assert all(s.parent_id is None for s in workers)
+    assert all(s.thread_id != dispatch.thread_id for s in workers)
+    assert sorted(s.tags["idx"] for s in workers) == list(range(8))
+
+
+def test_noop_mode_never_reads_clock(monkeypatch):
+    """Disabled tracing must not call perf_counter — counted, not timed."""
+    calls = {"n": 0}
+    real = tracer_mod.perf_counter
+
+    def counting_perf_counter():
+        calls["n"] += 1
+        return real()
+
+    monkeypatch.setattr(tracer_mod, "perf_counter", counting_perf_counter)
+    obs.disable()
+    for _ in range(100):
+        with obs.span("hot.kernel", channel=3):
+            pass
+    assert calls["n"] == 0
+    assert len(obs.get_tracer()) == 0
+    # Enabled: exactly two clock reads per span (start + end).
+    t = obs.enable(metrics=MetricsRegistry())
+    for _ in range(10):
+        with obs.span("hot.kernel"):
+            pass
+    assert calls["n"] == 20
+    assert len(t) == 10
+
+
+def test_null_tracer_singleton_span_and_empty_reads():
+    nt = NullTracer()
+    a = nt.span("x")
+    b = nt.span("y", tag=1)
+    assert a is b  # shared no-op handle, no allocation per call site
+    assert nt.finished() == []
+    assert len(nt) == 0
+    nt.clear()  # no-op, must not raise
+
+
+def test_enable_disable_and_scoped_tracing():
+    assert not obs.enabled()
+    t = obs.enable(metrics=MetricsRegistry())
+    assert obs.enabled() and obs.get_tracer() is t
+    obs.disable()
+    assert not obs.enabled()
+    with obs.tracing(metrics=MetricsRegistry()) as scoped:
+        assert obs.get_tracer() is scoped
+        with obs.span("inside"):
+            pass
+    assert not obs.enabled()  # previous (null) tracer restored
+    assert [s.name for s in scoped.finished()] == ["inside"]
+
+
+def test_traced_decorator_fast_path_and_span_path():
+    @obs.traced("deco.fn")
+    def fn(x):
+        return x + 1
+
+    obs.disable()
+    assert fn(1) == 2
+    with obs.tracing(metrics=MetricsRegistry()) as t:
+        assert fn(2) == 3
+    assert [s.name for s in t.finished()] == ["deco.fn"]
+
+
+def test_span_feeds_metrics_registry():
+    reg = MetricsRegistry()
+    with obs.tracing(metrics=reg):
+        with obs.span("op"):
+            pass
+        with obs.span("op"):
+            pass
+    assert reg.counter("span.op.calls").value == 2
+    h = reg.histogram("span.op.seconds")
+    assert h.count == 2 and h.total >= 0
+
+
+def test_absorb_merges_foreign_spans():
+    a, b = Tracer(), Tracer()
+    with a.span("from_a"):
+        pass
+    b.absorb(a.finished())
+    assert [s.name for s in b.finished()] == ["from_a"]
+    b.clear()
+    assert b.finished() == []

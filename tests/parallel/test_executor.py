@@ -17,6 +17,10 @@ def _square(x):
     return x * x
 
 
+def _add(a, b):
+    return a + b
+
+
 @pytest.mark.parametrize("kind", ["serial", "thread"])
 def test_map_order_preserved(kind):
     with make_executor(kind, workers=4) as ex:
@@ -40,6 +44,13 @@ def test_single_item_short_circuit():
 def test_starmap():
     with SerialExecutor() as ex:
         assert ex.starmap(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
+
+
+def test_process_executor_starmap():
+    """Regression: starmap must not wrap fn in a lambda — process pools
+    pickle the callable, so the adapter has to be a module-level class."""
+    with ProcessExecutor(workers=2) as ex:
+        assert ex.starmap(_add, [(1, 2), (3, 4), (5, 6)]) == [3, 7, 11]
 
 
 def test_executors_agree_on_numpy_work(rng):
