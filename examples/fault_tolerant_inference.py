@@ -1,0 +1,72 @@
+"""Fault-tolerant inference: classify through an injected channel fault.
+
+A trained CNN1 runs the Fig. 5 hybrid pipeline with two redundant RRNS
+moduli on the conv stage. A seeded fault injector corrupts one residue
+channel mid-classification; the CRT consistency check detects it, the
+projection test localises it, and the result is reconstructed from the
+surviving channels — the logits match the fault-free run exactly. A
+second pass drops a channel outright (a "crashed worker") with the same
+outcome, and the `resilience.*` counters from `repro.obs` show every
+step.
+
+Run:  python examples/fault_tolerant_inference.py
+"""
+
+import numpy as np
+
+from repro.data import load_synth_mnist, normalize_unit, to_nchw
+from repro.henn import HybridRnsEngine, MockBackend, build_cnn1, compile_model, slafify
+from repro.henn.compiler import model_depth
+from repro.nn import TrainConfig, Trainer
+from repro.obs.metrics import get_registry
+from repro.resilience import FaultInjector
+
+
+def main() -> None:
+    print("== 1. train + compile CNN1 (SLAF activations, BN folded) ==")
+    xtr, ytr, xte, yte = load_synth_mnist(n_train=4000, n_test=500, seed=1, image_size=12)
+    x, xv = to_nchw(normalize_unit(xtr)), to_nchw(normalize_unit(xte))
+    model = build_cnn1(variant="tiny", seed=0)
+    Trainer(model, TrainConfig(epochs=6, batch_size=64, max_lr=0.08, seed=0)).fit(x, ytr)
+    slaf = slafify(model, x, ytr, degree=3, epochs=2, seed=0)
+    layers = compile_model(slaf)
+    backend = MockBackend(batch=8, levels=model_depth(layers) + 1)
+    image = xv[:1]
+
+    print("== 2. fault-free reference: 3 data + 2 redundant RRNS channels ==")
+    engine = HybridRnsEngine(backend, layers, (1, 12, 12), k_moduli=3, redundancy=2)
+    reference = engine.classify(image)
+    print(f"   prediction: {reference.argmax(1)[0]}   (true label: {yte[0]})")
+    print(f"   conv channels evaluated: {engine.conv.rbasis.k} "
+          f"({engine.conv.rbasis.k_data} data + {engine.conv.rbasis.r} redundant)")
+
+    print("== 3. corrupt residue channel 1 mid-classification ==")
+    inj = FaultInjector(seed=3).corrupt_channel(channel=1, times=1)
+    faulty = HybridRnsEngine(
+        backend, layers, (1, 12, 12), k_moduli=3, redundancy=2, fault_injector=inj
+    )
+    logits = faulty.classify(image)
+    print(f"   injected: {inj.summary()}")
+    print(f"   recovered from channels: {faulty.last_faults}")
+    print(f"   prediction: {logits.argmax(1)[0]}  "
+          f"(logits identical to fault-free: {bool(np.allclose(logits, reference))})")
+
+    print("== 4. drop channel 0 entirely (simulated worker crash) ==")
+    inj2 = FaultInjector(seed=4).corrupt_channel(channel=0, times=1, drop=True)
+    dropped = HybridRnsEngine(
+        backend, layers, (1, 12, 12), k_moduli=3, redundancy=2, fault_injector=inj2
+    )
+    logits2 = dropped.classify(image)
+    print(f"   injected: {inj2.summary()}")
+    print(f"   recovered from channels: {dropped.last_faults}")
+    print(f"   logits identical to fault-free: {bool(np.allclose(logits2, reference))}")
+
+    print("== 5. recovery metrics (repro.obs registry) ==")
+    reg = get_registry()
+    for name in sorted(reg.names()):
+        if name.startswith("resilience."):
+            print(f"   {name:36s} {reg.counter(name).value}")
+
+
+if __name__ == "__main__":
+    main()

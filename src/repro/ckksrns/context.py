@@ -40,7 +40,7 @@ from repro.nt.ntt import NttPlan
 from repro.nt.primes import gen_ntt_primes
 from repro.obs.tracer import traced
 from repro.rns.base import RnsBase
-from repro.parallel import Executor, SerialExecutor
+from repro.parallel import Executor, SerialExecutor, make_executor
 from repro.utils.rng import derive_rng
 
 __all__ = ["CkksRnsContext", "RnsPlaintext"]
@@ -77,12 +77,17 @@ class CkksRnsContext:
         The scheme parameters.
     executor:
         Channel-dispatch executor (default serial).  Thread or process
-        executors realise the paper's per-residue parallelism.
+        executors realise the paper's per-residue parallelism.  A kind
+        string (``"thread"`` …) builds an executor the context owns and
+        releases in :meth:`close` (the context is a context manager).
     """
 
-    def __init__(self, params: CkksRnsParams, executor: Executor | None = None):
+    def __init__(self, params: CkksRnsParams, executor: Executor | str | None = None):
         self.params = params
         self.n = params.n
+        self._owned_executor: Executor | None = None
+        if isinstance(executor, str):
+            executor = self._owned_executor = make_executor(executor)
         self.executor = executor or SerialExecutor()
         self.encoder = CkksEncoder(params.n)
         # Ciphertext moduli then the special prime, all distinct NTT primes.
@@ -108,6 +113,18 @@ class CkksRnsContext:
         self.p_inv = [pow(self.p_special % m, -1, m) for m in self.moduli]
 
     # -- small helpers --------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the context-owned executor, if any (idempotent)."""
+        ex, self._owned_executor = self._owned_executor, None
+        if ex is not None:
+            ex.close()
+
+    def __enter__(self) -> "CkksRnsContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     @property
     def top_level(self) -> int:

@@ -28,6 +28,7 @@ from repro.henn.security import he_standard_max_logq, validate_security
 from repro.henn.rnscnn import RnsIntegerConv, rns_conv_pipeline
 from repro.henn.packing import dense_single, encrypt_features, rotations_needed
 from repro.henn.hybrid import HybridRnsEngine
+from repro.henn.protocol import Client, CloudResponse, CloudService, ServiceError
 
 __all__ = [
     "HeBackend",
@@ -53,4 +54,8 @@ __all__ = [
     "dense_single",
     "rotations_needed",
     "HybridRnsEngine",
+    "Client",
+    "CloudService",
+    "CloudResponse",
+    "ServiceError",
 ]

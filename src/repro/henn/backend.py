@@ -201,6 +201,7 @@ class MockBackend(HeBackend):
         levels: int = 16,
         rescale_primes: Sequence[int] | None = None,
         quantize: bool = True,
+        fault_injector: "Any | None" = None,
     ):
         self._scale = float(1 << scale_bits)
         self._batch = batch
@@ -208,6 +209,8 @@ class MockBackend(HeBackend):
         self.quantize = quantize
         # Per-level divisors used by rescale (default: exactly Δ).
         self._primes = list(rescale_primes) if rescale_primes else None
+        #: Resilience-harness hook; perturbs tracked scales when armed.
+        self.fault_injector = fault_injector
 
     @property
     def scale(self) -> float:
@@ -226,7 +229,10 @@ class MockBackend(HeBackend):
         values = np.asarray(values, dtype=np.float64)
         if values.shape[0] > self._batch:
             raise ValueError(f"batch {values.shape[0]} exceeds backend capacity {self._batch}")
-        return _MockHandle(np.array(self._q(values, self._scale)), self._scale, self.levels)
+        scale = self._scale
+        if self.fault_injector is not None:
+            scale = self.fault_injector.next_scale(scale)
+        return _MockHandle(np.array(self._q(values, self._scale)), scale, self.levels)
 
     def decrypt(self, handle: _MockHandle, count: int | None = None) -> np.ndarray:
         v = handle.values
@@ -264,7 +270,10 @@ class MockBackend(HeBackend):
         if a.level <= 0:
             raise ValueError("mock level budget exhausted (depth overflow)")
         divisor = float(self._primes[a.level - 1]) if self._primes else self._scale
-        return _MockHandle(a.values, a.scale / divisor, a.level - 1)
+        scale = a.scale / divisor
+        if self.fault_injector is not None:
+            scale = self.fault_injector.next_scale(scale)
+        return _MockHandle(a.values, scale, a.level - 1)
 
     def scale_of(self, a: _MockHandle) -> float:
         return a.scale
@@ -387,11 +396,24 @@ class CkksRnsBackend(HeBackend):
         params: CkksRnsParams,
         seed: int | np.random.Generator | None = 0,
         executor=None,
+        fault_injector: "Any | None" = None,
     ):
         self.ctx = CkksRnsContext(params, executor=executor)
         rng = derive_rng(seed)
         self.keys = self.ctx.keygen(rng)
         self._rng = rng
+        #: Resilience-harness hook; corrupts limbs / scales when armed.
+        self.fault_injector = fault_injector
+
+    def close(self) -> None:
+        """Release the context-owned executor, if any (idempotent)."""
+        self.ctx.close()
+
+    def __enter__(self) -> "CkksRnsBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     @property
     def scale(self) -> float:
@@ -402,7 +424,11 @@ class CkksRnsBackend(HeBackend):
         return self.ctx.slots
 
     def encrypt(self, values: np.ndarray):
-        return self.ctx.encrypt(self.keys.pk, np.asarray(values, dtype=np.float64), self._rng)
+        ct = self.ctx.encrypt(self.keys.pk, np.asarray(values, dtype=np.float64), self._rng)
+        if self.fault_injector is not None:
+            ct = self.fault_injector.apply_ciphertext_faults(ct)
+            ct.scale = self.fault_injector.next_scale(ct.scale)
+        return ct
 
     def decrypt(self, handle, count: int | None = None) -> np.ndarray:
         return self.ctx.decrypt_real(self.keys.sk, handle, count)
@@ -423,7 +449,10 @@ class CkksRnsBackend(HeBackend):
         return self.ctx.square(a, self.keys.relin)
 
     def rescale(self, a):
-        return self.ctx.rescale(a)
+        out = self.ctx.rescale(a)
+        if self.fault_injector is not None:
+            out.scale = self.fault_injector.next_scale(out.scale)
+        return out
 
     def scale_of(self, a) -> float:
         return a.scale

@@ -33,7 +33,7 @@ from repro.henn.backend import HeBackend
 from repro.henn.inference import HeInferenceEngine
 from repro.henn.layers import HeConv2d, HeLayer
 from repro.henn.rnscnn import QuantizedConvSpec, RnsIntegerConv, basis_for_budget
-from repro.parallel import Executor, SerialExecutor
+from repro.parallel import Executor, SerialExecutor, make_executor
 from repro.utils.timing import LatencyStats
 
 __all__ = ["HybridRnsEngine", "StageTimings"]
@@ -63,14 +63,23 @@ class HybridRnsEngine:
         k_moduli: int = 3,
         total_bits: int = 240,
         spec: QuantizedConvSpec | None = None,
-        executor: Executor | None = None,
+        executor: Executor | str | None = None,
+        redundancy: int = 0,
+        fault_injector: "object | None" = None,
     ):
         """Split the compiled graph at the first convolution.
 
         ``he_layers`` must start with a :class:`HeConv2d`; that layer is
         re-expressed as an :class:`RnsIntegerConv` over ``k_moduli``
         channels at a fixed ``total_bits`` precision budget; everything
-        after it stays homomorphic.
+        after it stays homomorphic.  ``redundancy`` adds that many
+        redundant RRNS moduli so a corrupted or dropped conv channel is
+        detected and recovered (see ``docs/RESILIENCE.md``).
+
+        ``executor`` may be an :class:`~repro.parallel.Executor` instance
+        (caller-owned) or a kind string (``"thread"`` …); a kind string
+        builds an executor the engine owns and releases in
+        :meth:`close` (the engine is also a context manager).
         """
         if not he_layers or not isinstance(he_layers[0], HeConv2d):
             raise ValueError("hybrid engine expects the graph to start with HeConv2d")
@@ -82,6 +91,9 @@ class HybridRnsEngine:
         need = self.spec.dynamic_range_bits(conv.weight) + 2
         base = basis_for_budget(k_moduli, max(total_bits, need))
         self.k_moduli = k_moduli
+        self._owned_executor: Executor | None = None
+        if isinstance(executor, str):
+            executor = self._owned_executor = make_executor(executor)
         self.conv = RnsIntegerConv(
             conv.weight,
             base,
@@ -89,6 +101,8 @@ class HybridRnsEngine:
             padding=conv.padding,
             spec=self.spec,
             executor=executor or SerialExecutor(),
+            redundancy=redundancy,
+            fault_injector=fault_injector,
         )
         self.conv_bias = conv.bias
         self.tail = HeInferenceEngine(backend, he_layers[1:], input_shape)
@@ -96,6 +110,23 @@ class HybridRnsEngine:
         self.backend = backend
         self.latency = LatencyStats()
         self.stages = StageTimings()
+
+    @property
+    def last_faults(self) -> list[int]:
+        """Residue channels erased/corrected during the last classify."""
+        return self.conv.last_faults
+
+    def close(self) -> None:
+        """Release the engine-owned executor, if any (idempotent)."""
+        ex, self._owned_executor = self._owned_executor, None
+        if ex is not None:
+            ex.close()
+
+    def __enter__(self) -> "HybridRnsEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def classify(self, images: np.ndarray) -> np.ndarray:
         """Classify ``(B, C, H, W)`` images; returns ``(B, 10)`` logits.

@@ -10,17 +10,86 @@ These classes are a thin choreography over
 :class:`~repro.henn.inference.HeInferenceEngine`; they exist to make
 the trust boundary explicit (and testable: the cloud object never
 receives the secret key).
+
+Fault paths respect the same boundary.  A failing evaluation must not
+become a side channel, so :meth:`CloudService.try_classify` answers
+with a :class:`ServiceError` built from a **fixed vocabulary** — the
+exception *class name* and a canned detail string, never the exception
+arguments (which could embed slot values or scales derived from the
+client's data).  The client drives bounded retry on top
+(:meth:`Client.classify_with_retry`), re-encrypting fresh request
+ciphertexts each attempt.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.henn.backend import HeBackend
 from repro.henn.inference import HeInferenceEngine
 from repro.henn.layers import HeLayer
+from repro.obs.metrics import get_registry
+from repro.resilience.errors import (
+    ChannelIntegrityError,
+    ExecutorExhaustedError,
+    ItemTimeoutError,
+    ProtocolError,
+)
 
-__all__ = ["Client", "CloudService"]
+__all__ = ["Client", "CloudService", "ServiceError", "CloudResponse"]
+
+
+@dataclass(frozen=True)
+class ServiceError:
+    """Sanitised failure report crossing the cloud -> client boundary.
+
+    Attributes
+    ----------
+    code:
+        The exception class name (type only — no arguments).
+    category:
+        ``"integrity"`` (residue channels unrecoverable), ``"compute"``
+        (executors exhausted / timed out), ``"state"`` (ciphertext
+        bookkeeping rejected the request), or ``"internal"``.
+    retryable:
+        Whether the client may usefully resubmit the request.
+    detail:
+        One of a fixed set of canned sentences; deliberately never
+        interpolates exception arguments, so no plaintext-derived value
+        can leak through the error path.
+    """
+
+    code: str
+    category: str
+    retryable: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class CloudResponse:
+    """What the cloud returns: encrypted scores, or a sanitised error."""
+
+    ok: bool
+    scores: np.ndarray | None = None
+    error: ServiceError | None = None
+
+
+def _sanitize(exc: BaseException) -> ServiceError:
+    """Map an internal exception onto the fixed error vocabulary."""
+    code = type(exc).__name__
+    if isinstance(exc, ChannelIntegrityError):
+        return ServiceError(
+            code, "integrity", True, "residue channel check failed beyond recovery"
+        )
+    if isinstance(exc, (ExecutorExhaustedError, ItemTimeoutError)):
+        return ServiceError(code, "compute", True, "evaluation resources exhausted")
+    if isinstance(exc, ValueError):
+        return ServiceError(
+            code, "state", True, "ciphertext bookkeeping rejected the request"
+        )
+    return ServiceError(code, "internal", False, "internal evaluation failure")
 
 
 class Client:
@@ -42,6 +111,31 @@ class Client:
             [self.backend.decrypt(h, count=batch) for h in encrypted_scores], axis=1
         )
 
+    def classify_with_retry(
+        self, cloud: "CloudService", images: np.ndarray, max_attempts: int = 3
+    ) -> np.ndarray:
+        """Full round trip with bounded client-side retry.
+
+        Each attempt encrypts a *fresh* request (a transient fault may
+        have corrupted the previous ciphertexts in flight).  A
+        non-retryable :class:`ServiceError`, or ``max_attempts``
+        retryable ones, raise
+        :class:`~repro.resilience.errors.ProtocolError` carrying the
+        sanitised error only.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        error: ServiceError | None = None
+        for attempt in range(1, max_attempts + 1):
+            if attempt > 1:
+                get_registry().counter("resilience.protocol_retries").inc()
+            response = cloud.try_classify(self.encrypt_request(images))
+            if response.ok:
+                return self.decrypt_response(response.scores, images.shape[0])
+            error = response.error
+            if not error.retryable:
+                raise ProtocolError(error, attempts=attempt)
+        raise ProtocolError(error, attempts=max_attempts)
+
 
 class CloudService:
     """Untrusted evaluator: holds the model, never the secret key."""
@@ -52,6 +146,15 @@ class CloudService:
     def classify_encrypted(self, encrypted_images: np.ndarray) -> np.ndarray:
         """Run the CNN homomorphically; inputs and outputs stay encrypted."""
         return self.engine.run_encrypted(encrypted_images)
+
+    def try_classify(self, encrypted_images: np.ndarray) -> CloudResponse:
+        """Like :meth:`classify_encrypted`, but failures come back as a
+        structured :class:`CloudResponse` instead of a raw exception."""
+        try:
+            return CloudResponse(ok=True, scores=self.classify_encrypted(encrypted_images))
+        except Exception as exc:
+            get_registry().counter("resilience.service_errors").inc()
+            return CloudResponse(ok=False, error=_sanitize(exc))
 
     @property
     def last_latency(self) -> float:

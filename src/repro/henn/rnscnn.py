@@ -46,6 +46,8 @@ from repro.rns.limb import (
 from repro.nt.primes import gen_primes
 from repro.nn.layers.conv import conv_output_shape, im2col
 from repro.parallel import Executor, SerialExecutor
+from repro.resilience.errors import ChannelIntegrityError
+from repro.resilience.rrns import RedundantBasis
 
 __all__ = [
     "QuantizedConvSpec",
@@ -140,6 +142,8 @@ class RnsIntegerConv:
         padding: int = 0,
         spec: QuantizedConvSpec | None = None,
         executor: Executor | None = None,
+        redundancy: int = 0,
+        fault_injector: "object | None" = None,
     ):
         self.weight = np.asarray(weight, dtype=np.float64)
         if self.weight.ndim != 4:
@@ -149,6 +153,7 @@ class RnsIntegerConv:
         self.padding = padding
         self.spec = spec or QuantizedConvSpec()
         self.executor = executor or SerialExecutor()
+        self.fault_injector = fault_injector
         self.w_int = self.spec.quantize_weight(self.weight)
         need = self.spec.dynamic_range_bits(self.weight) + 1
         if base.modulus.bit_length() < need:
@@ -156,9 +161,17 @@ class RnsIntegerConv:
                 f"RNS base too small: need ~{need} bits of dynamic range, "
                 f"base has {base.modulus.bit_length()}"
             )
+        # RRNS: redundant moduli extend the working basis; ``base`` stays
+        # the data basis whose product bounds the legitimate range.
+        self.rbasis: RedundantBasis | None = (
+            RedundantBasis.extend(base, redundancy) if redundancy else None
+        )
+        self._work: CrtBasis = self.rbasis.full if self.rbasis else base
+        #: Channels erased/corrected during the last ``forward_quantized``.
+        self.last_faults: list[int] = []
         # Per-channel reduced weights, split into multiprecision limbs.
         self._w_limbs: list[np.ndarray] = []
-        for m in base.moduli:
+        for m in self._work.moduli:
             wm = np.mod(self.w_int, m)  # object, canonical
             dw = n_limbs(m)
             self._w_limbs.append(
@@ -174,7 +187,7 @@ class RnsIntegerConv:
         genuine multiprecision cost a non-RNS implementation pays on
         full-width integers.
         """
-        m = self.base.moduli[chan_idx]
+        m = self._work.moduli[chan_idx]
         wl = self._w_limbs[chan_idx]  # (dw, OC, taps)
         dw = wl.shape[0]
         d = xl.shape[0]
@@ -219,21 +232,34 @@ class RnsIntegerConv:
         )
         value_bits = self.spec.input_bits + 1
         big_d = max(1, -(-value_bits // LIMB_BITS))
-        with obs.span("rnscnn.decompose", k=self.base.k):
+        with obs.span("rnscnn.decompose", k=self._work.k):
             limbs_full = split_limbs(x_int, big_d)
 
         def one_channel(i: int) -> np.ndarray:
-            m = self.base.moduli[i]
+            m = self._work.moduli[i]
             if m.bit_length() > value_bits:
                 xl = limbs_full  # inputs already canonical below m
             else:
                 xl = partial_residue_limbs(limbs_full, m)
             return self._conv_channel(xl, img_shape, i)
 
-        with obs.span("rnscnn.conv_channels", k=self.base.k):
-            outs = self.executor.map(one_channel, list(range(self.base.k)))
-        with obs.span("rnscnn.recompose", k=self.base.k):
-            composed = self.base.compose_centered(outs)
+        with obs.span("rnscnn.conv_channels", k=self._work.k):
+            outs = self.executor.map(one_channel, list(range(self._work.k)))
+        if self.fault_injector is not None:
+            outs = self.fault_injector.apply_channel_faults(outs, self._work.moduli)
+        with obs.span("rnscnn.recompose", k=self._work.k):
+            if self.rbasis is not None:
+                composed, self.last_faults = self.rbasis.recover(outs)
+            else:
+                dead = [i for i, o in enumerate(outs) if o is None]
+                if dead:
+                    raise ChannelIntegrityError(
+                        f"residue channels {dead} were dropped and the basis "
+                        "carries no redundancy",
+                        suspects=tuple(dead),
+                    )
+                self.last_faults = []
+                composed = self.base.compose_centered(outs)
         return composed.transpose(0, 2, 1).reshape(n, oc, oh, ow)
 
     def _lower(self, x_int: np.ndarray) -> tuple[np.ndarray, tuple]:
@@ -278,17 +304,27 @@ def rns_conv_pipeline(
     padding: int = 1,
     spec: QuantizedConvSpec | None = None,
     executor: Executor | None = None,
+    redundancy: int = 0,
+    fault_injector: "object | None" = None,
 ) -> dict[str, object]:
     """End-to-end Fig. 5 demonstration on a batch of [0,1] float images.
 
     Returns RNS and direct outputs plus their max deviation (0 by
-    construction — the pipeline is exact).
+    construction — the pipeline is exact, including under recovered
+    single-channel faults when ``redundancy > 0``).
     """
     spec = spec or QuantizedConvSpec()
     total = total_bits or (spec.dynamic_range_bits(np.asarray(weight)) + 2)
     base = basis_for_budget(k, total)
     conv = RnsIntegerConv(
-        weight, base, stride=stride, padding=padding, spec=spec, executor=executor
+        weight,
+        base,
+        stride=stride,
+        padding=padding,
+        spec=spec,
+        executor=executor,
+        redundancy=redundancy,
+        fault_injector=fault_injector,
     )
     rns_out = conv.forward(images)
     direct = conv.forward_direct(images)
@@ -298,4 +334,5 @@ def rns_conv_pipeline(
         "max_dev": float(np.max(np.abs(rns_out - direct))),
         "exact": bool(np.array_equal(rns_out, direct)),
         "moduli_bits": base.k and [m.bit_length() for m in base.moduli],
+        "faults": list(conv.last_faults),
     }

@@ -6,13 +6,29 @@ kind and item count, and bumps the ``parallel.<kind>.map.calls`` /
 ``parallel.<kind>.map.items`` counters — the per-channel dispatch and
 recombination overhead behind the Table IV/VI moduli sweeps is the gap
 between that span and the per-channel work inside it.
+
+Pool lifecycle (the robustness contract):
+
+* A pool that breaks mid-``map`` (a killed process worker, a failed
+  thread initializer) is **discarded immediately**; the next ``map``
+  lazily creates a fresh pool instead of re-raising the stale
+  ``BrokenExecutor`` forever.
+* :meth:`Executor.close` is idempotent, and every pool-backed executor
+  is registered with an ``atexit`` closer, so executors created deep
+  inside an engine or context cannot leak worker threads/processes past
+  interpreter shutdown.
+* :meth:`~_PoolExecutor.reset` force-discards the pool without waiting
+  for in-flight work — the recovery primitive
+  :class:`repro.resilience.ResilientExecutor` uses after timeouts.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
+import weakref
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.obs import tracer as _obs
@@ -92,58 +108,121 @@ class SerialExecutor(Executor):
         return [fn(it) for it in items]
 
 
-class ThreadExecutor(Executor):
+#: Every live pool-backed executor; drained by the ``atexit`` hook so
+#: internally-created executors (engines, contexts, factories) cannot
+#: leak worker threads/processes past interpreter shutdown.
+_LIVE_POOLS: "weakref.WeakSet[_PoolExecutor]" = weakref.WeakSet()
+
+
+def _close_live_pools() -> None:  # pragma: no cover - interpreter shutdown
+    for ex in list(_LIVE_POOLS):
+        try:
+            ex.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_pools)
+
+
+class _PoolExecutor(Executor):
+    """Shared lifecycle for the thread- and process-pool executors.
+
+    The pool is created lazily by :meth:`_ensure` and **discarded on
+    breakage**: if a ``map`` fails and the underlying
+    ``concurrent.futures`` pool reports itself broken, the dead pool is
+    dropped so the next call starts from a healthy one (the exception
+    still propagates — recovery policy lives in
+    :class:`repro.resilience.ResilientExecutor`).
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers or self._default_workers()
+        self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+        _LIVE_POOLS.add(self)
+
+    def _default_workers(self) -> int:
+        return os.cpu_count() or 1
+
+    @abstractmethod
+    def _make_pool(self) -> ThreadPoolExecutor | ProcessPoolExecutor:
+        """Construct a fresh underlying pool."""
+
+    def _ensure(self) -> ThreadPoolExecutor | ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def submit(self, fn: Callable[..., Any], item: Any) -> Future:
+        """Submit one ``fn(item)`` call, returning its future.
+
+        Future-based dispatch is what per-item timeout/retry policies
+        build on; plain :meth:`map` remains the all-or-nothing fast path.
+        """
+        return self._ensure().submit(fn, item)
+
+    def _map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
+        if len(items) <= 1:
+            return [fn(it) for it in items]
+        pool = self._ensure()
+        try:
+            return list(pool.map(fn, items))
+        except BaseException:
+            # A broken pool would poison every later map with the same
+            # stale error; discard it so the next call gets a fresh one.
+            if getattr(pool, "_broken", False):
+                self.reset()
+            raise
+
+    def reset(self) -> None:
+        """Discard the pool without waiting for in-flight work (idempotent).
+
+        Unlike :meth:`close` this never blocks on stuck workers — it is
+        the right call after a timeout or pool breakage.  The next
+        :meth:`map`/:meth:`submit` lazily creates a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class ThreadExecutor(_PoolExecutor):
     """Thread-pool dispatch; effective because NumPy kernels drop the GIL."""
 
     name = "thread"
 
-    def __init__(self, workers: int | None = None):
-        self.workers = workers or min(32, os.cpu_count() or 1)
-        self._pool: ThreadPoolExecutor | None = None
+    def _default_workers(self) -> int:
+        return min(32, os.cpu_count() or 1)
 
-    def _ensure(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.workers)
-        return self._pool
-
-    def _map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
-        if len(items) <= 1:
-            return [fn(it) for it in items]
-        return list(self._ensure().map(fn, items))
-
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(max_workers=self.workers)
 
 
-class ProcessExecutor(Executor):
+class ProcessExecutor(_PoolExecutor):
     """Process-pool dispatch (fork-based); items and results are pickled."""
 
     name = "process"
 
-    def __init__(self, workers: int | None = None):
-        self.workers = workers or (os.cpu_count() or 1)
-        self._pool: ProcessPoolExecutor | None = None
-
-    def _ensure(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
-
-    def _map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
-        if len(items) <= 1:
-            return [fn(it) for it in items]
-        return list(self._ensure().map(fn, items))
-
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
 
 
 def make_executor(kind: str, workers: int | None = None) -> Executor:
-    """Factory keyed by name: ``"serial" | "thread" | "process"``."""
+    """Factory keyed by name: ``"serial" | "thread" | "process"``.
+
+    Pool-backed executors returned here (and constructed directly) are
+    tracked in a weak set and closed by an ``atexit`` hook, so callers
+    that cannot easily reach ``close()`` — contexts or engines that
+    build an executor from a kind string — do not leak workers.
+    """
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":

@@ -1,0 +1,207 @@
+"""Hardened executor: retries, timeouts, pool recreation, degradation.
+
+:class:`ResilientExecutor` keeps the plain :class:`repro.parallel.Executor`
+``map`` contract but survives the failures the raw pools surface:
+
+* a raising work item → bounded retry with exponential backoff + jitter;
+* a killed process worker (``BrokenProcessPool``) → pool recreated,
+  item retried;
+* an item exceeding the per-item timeout → future cancelled, pool reset,
+  item retried;
+* a stage whose retry budget is spent → degradation chain
+  (e.g. process → thread → serial);
+* full chain exhausted → typed
+  :class:`~repro.resilience.errors.ExecutorExhaustedError`, or ``None``
+  placeholders when the policy opts into erasure semantics (the shape
+  RRNS channel recovery consumes).
+
+Every event bumps a ``resilience.*`` counter in the process-global
+:mod:`repro.obs` registry — these fire on faults only, so they are
+always-on rather than tracer-gated.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import BrokenExecutor, CancelledError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Callable, Sequence
+
+from repro.obs.metrics import get_registry
+from repro.parallel.executor import Executor, _PoolExecutor, make_executor
+from repro.resilience.errors import ExecutorExhaustedError, ItemTimeoutError
+from repro.resilience.policy import ResiliencePolicy
+
+__all__ = ["ResilientExecutor"]
+
+
+class _Failure:
+    """Sentinel wrapping the exception an item failed with this attempt."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+
+class ResilientExecutor(Executor):
+    """Policy-driven wrapper around the plain executors.
+
+    Parameters
+    ----------
+    primary:
+        Kind of the stage-0 executor (``"serial" | "thread" | "process"``).
+    workers:
+        Worker count for pool-backed stages (``None`` → backend default).
+    policy:
+        The :class:`~repro.resilience.ResiliencePolicy`; defaults to the
+        dataclass defaults.
+    injector:
+        Optional :class:`~repro.resilience.FaultInjector` whose
+        ``wrap_worker`` hook sees every (item, attempt) dispatch.
+    """
+
+    name = "resilient"
+
+    def __init__(
+        self,
+        primary: str = "thread",
+        workers: int | None = None,
+        policy: ResiliencePolicy | None = None,
+        injector: "Any | None" = None,
+    ):
+        self.policy = policy or ResiliencePolicy()
+        self.injector = injector
+        chain: list[str] = []
+        for kind in (primary, *self.policy.degrade):
+            if kind not in chain:
+                chain.append(kind)
+        self.chain = tuple(chain)
+        self.workers = workers
+        self._rng = random.Random(self.policy.seed)
+        self._stages: dict[str, Executor] = {}
+
+    def _stage(self, kind: str) -> Executor:
+        ex = self._stages.get(kind)
+        if ex is None:
+            ex = self._stages[kind] = make_executor(kind, self.workers)
+        return ex
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _run_once(
+        self,
+        ex: Executor,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        pending: list[int],
+        results: list[Any],
+        attempt: int,
+    ) -> list[int]:
+        """One attempt over the still-pending items; returns the survivors."""
+        calls = []
+        for idx in pending:
+            call = fn
+            if self.injector is not None:
+                call = self.injector.wrap_worker(fn, idx, attempt)
+            calls.append((idx, call))
+
+        attempts: dict[int, Any] = {}
+        if isinstance(ex, _PoolExecutor):
+            timeout = self.policy.item_timeout
+            futures = []
+            try:
+                futures = [(idx, ex.submit(call, items[idx])) for idx, call in calls]
+            except BrokenExecutor as e:
+                for idx, _ in calls:
+                    attempts.setdefault(idx, _Failure(e))
+                self._reset_pool(ex)
+            broken = False
+            for idx, fut in futures:
+                try:
+                    attempts[idx] = fut.result(timeout=timeout)
+                except FutureTimeoutError:
+                    fut.cancel()
+                    attempts[idx] = _Failure(
+                        ItemTimeoutError(f"item {idx} exceeded {timeout}s")
+                    )
+                    get_registry().counter("resilience.timeouts").inc()
+                    broken = True  # stuck worker: pool must go
+                except BrokenExecutor as e:
+                    attempts[idx] = _Failure(e)
+                    broken = True
+                except CancelledError as e:
+                    attempts[idx] = _Failure(e)
+                except BaseException as e:
+                    attempts[idx] = _Failure(e)
+            if broken:
+                self._reset_pool(ex)
+        else:
+            for idx, call in calls:
+                try:
+                    attempts[idx] = call(items[idx])
+                except BaseException as e:
+                    attempts[idx] = _Failure(e)
+
+        still_failed: list[int] = []
+        for idx in pending:
+            out = attempts[idx]
+            if isinstance(out, _Failure):
+                still_failed.append(idx)
+                results[idx] = out
+            else:
+                results[idx] = out
+        return still_failed
+
+    def _reset_pool(self, ex: Executor) -> None:
+        if self.policy.recreate_broken_pool and isinstance(ex, _PoolExecutor):
+            ex.reset()
+            get_registry().counter("resilience.pool_recreations").inc()
+
+    def _map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        reg = get_registry()
+        results: list[Any] = [None] * len(items)
+        pending = list(range(len(items)))
+        attempt = 0  # global attempt counter fed to the injector
+        last_error: BaseException | None = None
+
+        for stage_no, kind in enumerate(self.chain):
+            ex = self._stage(kind)
+            if stage_no > 0:
+                reg.counter("resilience.degradations").inc()
+            stage_attempt = 0
+            while pending:
+                attempt += 1
+                pending = self._run_once(ex, fn, items, pending, results, attempt)
+                if not pending:
+                    break
+                reg.counter("resilience.faults_detected").inc(len(pending))
+                last = results[pending[-1]]
+                if isinstance(last, _Failure):
+                    last_error = last.error
+                if stage_attempt >= self.policy.max_retries:
+                    break  # stage budget spent → degrade
+                stage_attempt += 1
+                reg.counter("resilience.retries").inc(len(pending))
+                time.sleep(self.policy.backoff_delay(stage_attempt, self._rng))
+            if not pending:
+                break
+
+        if pending:
+            if self.policy.on_exhausted == "none":
+                for idx in pending:
+                    results[idx] = None
+                return results
+            raise ExecutorExhaustedError(
+                f"{len(pending)} item(s) failed after exhausting "
+                f"{'->'.join(self.chain)}",
+                failed_items=tuple(pending),
+                last_error=last_error,
+            )
+        return results
+
+    def close(self) -> None:
+        stages, self._stages = self._stages, {}
+        for ex in stages.values():
+            ex.close()

@@ -1,0 +1,233 @@
+"""Deterministic fault injection for the resilience test harness.
+
+A :class:`FaultInjector` is *armed* with a finite number of faults
+(``times`` counts) and then threaded through the hooks the inference
+stack exposes:
+
+* ``apply_channel_faults`` — corrupt one residue channel (or drop it to
+  ``None``) after the parallel per-channel map, exercising RRNS
+  detection/recovery in :class:`repro.resilience.RedundantBasis`.
+* ``wrap_worker`` — wrap the per-item callable dispatched by
+  :class:`repro.resilience.ResilientExecutor` so a chosen item raises,
+  sleeps, or SIGKILLs its process worker.  The fault count is consumed
+  at *wrap* time, in the parent, so a retry of the same item runs clean
+  — which is exactly what makes recovery observable.
+* ``next_scale`` / ``apply_ciphertext_faults`` — perturb a ciphertext's
+  tracked scale or flip residue limbs inside backend ``encrypt`` /
+  ``rescale``, exercising the bookkeeping checks and the protocol
+  layer's structured error path.
+
+Everything is seeded; two injectors built with the same seed and armed
+the same way produce bitwise-identical corruption.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+
+__all__ = ["InjectedFault", "FaultInjector"]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a worker that was deliberately failed by the harness."""
+
+
+class _RaisingCall:
+    """Picklable wrapper that raises :class:`InjectedFault` instead of running."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def __call__(self, item: Any) -> Any:
+        raise InjectedFault("injected worker exception")
+
+
+class _KillCall:
+    """Picklable wrapper that SIGKILLs its own process before running.
+
+    In a thread pool (same PID as the parent) this degenerates to an
+    :class:`InjectedFault` so the harness never kills the test process.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def __call__(self, item: Any) -> Any:
+        if os.getpid() != _KillCall.parent_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise InjectedFault("injected worker kill (thread/serial fallback)")
+
+
+_KillCall.parent_pid = os.getpid()
+
+
+class _DelayCall:
+    """Picklable wrapper that sleeps before running (for timeout tests)."""
+
+    __slots__ = ("fn", "seconds")
+
+    def __init__(self, fn: Callable[[Any], Any], seconds: float):
+        self.fn = fn
+        self.seconds = seconds
+
+    def __call__(self, item: Any) -> Any:
+        time.sleep(self.seconds)
+        return self.fn(item)
+
+
+class FaultInjector:
+    """Seeded, finite fault source threaded through the stack's hooks.
+
+    Each ``arm*`` call schedules a fault to fire ``times`` times; hooks
+    consume the budget as they fire and log every event into
+    :attr:`events` (``(hook, detail)`` tuples) for assertions.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.events: list[tuple[str, Any]] = []
+        self._channel_faults: list[dict] = []
+        self._worker_faults: list[dict] = []
+        self._scale_faults: list[dict] = []
+        self._ct_faults: list[dict] = []
+
+    # -- arming ------------------------------------------------------------
+
+    def corrupt_channel(
+        self, channel: int | None = None, times: int = 1, drop: bool = False
+    ) -> "FaultInjector":
+        """Corrupt (or, with ``drop=True``, erase) one residue channel.
+
+        ``channel=None`` picks a seeded-random channel each firing.
+        """
+        self._channel_faults.append({"channel": channel, "times": times, "drop": drop})
+        return self
+
+    def fail_worker(
+        self,
+        item: int,
+        mode: str = "exception",
+        times: int = 1,
+        delay: float = 0.5,
+    ) -> "FaultInjector":
+        """Fail work item *item* on its next ``times`` dispatches.
+
+        ``mode`` is ``"exception"`` (raise :class:`InjectedFault`),
+        ``"kill"`` (SIGKILL the process worker → ``BrokenProcessPool``),
+        or ``"delay"`` (sleep ``delay`` seconds → per-item timeout).
+        """
+        if mode not in ("exception", "kill", "delay"):
+            raise ValueError(f"unknown worker fault mode {mode!r}")
+        self._worker_faults.append(
+            {"item": item, "mode": mode, "times": times, "delay": delay}
+        )
+        return self
+
+    def perturb_scale(self, factor: float = 1.5, times: int = 1) -> "FaultInjector":
+        """Mis-track the next ``times`` ciphertext scales by ``factor``."""
+        self._scale_faults.append({"factor": factor, "times": times})
+        return self
+
+    def corrupt_ciphertext(self, channel: int = 0, times: int = 1) -> "FaultInjector":
+        """Flip limbs in residue channel *channel* of the next ciphertexts."""
+        self._ct_faults.append({"channel": channel, "times": times})
+        return self
+
+    # -- hooks -------------------------------------------------------------
+
+    def _fire(self, hook: str, detail: Any) -> None:
+        self.events.append((hook, detail))
+        get_registry().counter("resilience.faults_injected").inc()
+
+    def apply_channel_faults(
+        self, outs: list, moduli: Sequence[int]
+    ) -> list:
+        """Post-map hook: corrupt/erase armed channels in a residue stack.
+
+        Returns a new list (never mutates in place); corrupted channels
+        get a seeded non-zero additive offset mod their modulus, dropped
+        channels become ``None``.
+        """
+        if not self._channel_faults:
+            return outs
+        outs = list(outs)
+        for fault in self._channel_faults:
+            if fault["times"] <= 0:
+                continue
+            fault["times"] -= 1
+            ch = fault["channel"]
+            if ch is None:
+                ch = int(self.rng.integers(0, len(outs)))
+            if fault["drop"]:
+                outs[ch] = None
+                self._fire("channel.drop", ch)
+                continue
+            m = int(moduli[ch])
+            # Moduli may exceed 64 bits (multiprecision channels), so draw
+            # a word-sized seed and fold it into [1, m-1].
+            offset = 1 + int(self.rng.integers(0, 2**62)) % (m - 1)
+            outs[ch] = (np.asarray(outs[ch]) + offset) % m
+            self._fire("channel.corrupt", (ch, offset))
+        return outs
+
+    def wrap_worker(
+        self, fn: Callable[[Any], Any], item_index: int, attempt: int
+    ) -> Callable[[Any], Any]:
+        """Dispatch hook: maybe replace ``fn`` for one (item, attempt).
+
+        The fault budget is consumed here, parent-side, so the wrapper
+        itself stays trivially picklable and retries run clean.
+        """
+        for fault in self._worker_faults:
+            if fault["times"] <= 0 or fault["item"] != item_index:
+                continue
+            fault["times"] -= 1
+            self._fire(f"worker.{fault['mode']}", (item_index, attempt))
+            if fault["mode"] == "exception":
+                return _RaisingCall(fn)
+            if fault["mode"] == "kill":
+                return _KillCall(fn)
+            return _DelayCall(fn, fault["delay"])
+        return fn
+
+    def next_scale(self, scale: float) -> float:
+        """Backend hook: perturb a freshly tracked ciphertext scale."""
+        for fault in self._scale_faults:
+            if fault["times"] <= 0:
+                continue
+            fault["times"] -= 1
+            self._fire("scale.perturb", fault["factor"])
+            return scale * fault["factor"]
+        return scale
+
+    def apply_ciphertext_faults(self, ct: Any) -> Any:
+        """Backend hook: corrupt one residue limb stack of a ciphertext."""
+        for fault in self._ct_faults:
+            if fault["times"] <= 0:
+                continue
+            fault["times"] -= 1
+            ch = fault["channel"]
+            ct.c0[ch] = np.bitwise_xor(ct.c0[ch], np.int64(1))
+            self._fire("ciphertext.corrupt", ch)
+        return ct
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """Count of fired faults per hook name."""
+        out: dict[str, int] = {}
+        for hook, _ in self.events:
+            out[hook] = out.get(hook, 0) + 1
+        return out

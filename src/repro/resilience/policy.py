@@ -1,0 +1,88 @@
+"""Declarative knobs for the hardened executor.
+
+All retry/timeout/degradation behaviour of
+:class:`repro.resilience.ResilientExecutor` is driven by one frozen
+dataclass so experiments (and the fault-injection suite) can state their
+tolerance exactly and reproducibly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["ResiliencePolicy"]
+
+_VALID_STAGES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How hard to try before giving up, and where to fall back to.
+
+    Attributes
+    ----------
+    max_retries:
+        Retry budget *per degradation stage*: after the initial attempt,
+        up to ``max_retries`` more attempts run on the same executor
+        before the chain degrades to the next stage.
+    backoff_base / backoff_factor / backoff_max:
+        Exponential backoff between attempts: attempt ``a`` sleeps
+        ``min(backoff_max, backoff_base * backoff_factor**(a-1))``
+        seconds (before jitter).
+    jitter:
+        Relative jitter amplitude in ``[0, 1]``; the delay is scaled by
+        a seeded ``1 + uniform(-jitter, +jitter)``, deterministic under
+        ``seed``.
+    item_timeout:
+        Per-item wall-clock budget in seconds (``None`` disables).  A
+        timed-out item counts as failed and, on a process pool, forces a
+        pool reset so the stuck worker cannot wedge later maps.
+    degrade:
+        Fallback executor kinds tried, in order, once a stage's retry
+        budget is spent.  The primary executor is stage 0.
+    recreate_broken_pool:
+        Discard and lazily recreate a pool that reports itself broken
+        (killed worker) instead of failing the whole stage immediately.
+    on_exhausted:
+        ``"raise"`` (default) raises
+        :class:`~repro.resilience.errors.ExecutorExhaustedError` when the
+        full chain fails; ``"none"`` returns ``None`` for the failed
+        items instead — the shape RRNS erasure recovery consumes.
+    seed:
+        Seed for the jitter RNG (keeps fault-injection runs bitwise
+        reproducible).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.1
+    item_timeout: float | None = None
+    degrade: tuple[str, ...] = ("thread", "serial")
+    recreate_broken_pool: bool = True
+    on_exhausted: str = "raise"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.item_timeout is not None and self.item_timeout <= 0:
+            raise ValueError("item_timeout must be positive (or None)")
+        for kind in self.degrade:
+            if kind not in _VALID_STAGES:
+                raise ValueError(f"unknown degrade stage {kind!r} {_VALID_STAGES}")
+        if self.on_exhausted not in ("raise", "none"):
+            raise ValueError("on_exhausted must be 'raise' or 'none'")
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry *attempt* (1-based), jittered deterministically."""
+        base = min(self.backoff_max, self.backoff_base * self.backoff_factor ** (attempt - 1))
+        return base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))

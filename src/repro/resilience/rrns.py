@@ -1,0 +1,212 @@
+"""Redundant Residue Number System (RRNS) channel recovery.
+
+The paper's parallelism source — independent residue channels combined
+by CRT — is also a classic fault-tolerance substrate.  Extend a data
+basis of ``k`` moduli (product ``Q_d``, the *legitimate range*) with
+``r`` redundant moduli, each **larger than every data modulus**, and
+every value ``|x| < Q_d/2`` becomes recoverable from any ``k`` of the
+``k + r`` channels:
+
+* **Detection.**  Compose all ``k + r`` residues over the full basis
+  (product ``Q_f = Q_d · Q_r``).  An uncorrupted stack lands back inside
+  the legitimate range; a corrupted channel throws the composition into
+  the *illegitimate* region ``[Q_d/2, Q_f/2)`` with probability
+  ``1 - Q_d/Q_f`` (≈ ``1 - 2^-52`` for two 26-bit redundant moduli).
+* **Localisation & correction (projection test).**  Re-compose with one
+  channel excluded at a time.  Excluding the corrupted channel restores
+  a legitimate value (the remaining product still exceeds ``Q_d``
+  because every redundant modulus dominates every data modulus);
+  excluding a healthy channel leaves the corruption in place, so the
+  projection stays illegitimate with overwhelming probability.  A unique
+  legitimate projection identifies the faulty channel *and* is the
+  corrected value.
+* **Erasures.**  A dropped channel (a crashed worker) is the easy case:
+  compose over the survivors directly — no search needed.
+
+Fault budget: an erasure consumes **one** redundant modulus (its
+position is known, so composing over the survivors is enough), while
+correcting a corruption consumes **two** (one to detect, one of margin
+so that excluding a *healthy* channel stays illegitimate instead of
+producing an ambiguous second candidate).  ``r`` redundant moduli thus
+tolerate ``e`` erasures plus ``c`` corruptions with ``e + 2c <= r``
+(``c <= 1`` per recovery under the single-exclusion search); beyond
+that :class:`~repro.resilience.errors.ChannelIntegrityError` is raised
+rather than returning silently wrong values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nt.crt import CrtBasis
+from repro.nt.primes import gen_primes
+from repro.obs.metrics import get_registry
+from repro.resilience.errors import ChannelIntegrityError
+
+__all__ = ["RedundantBasis"]
+
+
+class RedundantBasis:
+    """A CRT basis split into ``k`` data moduli and ``r`` redundant moduli.
+
+    Parameters
+    ----------
+    data_moduli:
+        The working moduli; their product ``Q_d`` is the legitimate
+        range — every protected value must satisfy ``|x| < Q_d/2``.
+    redundant_moduli:
+        Extra moduli, pairwise co-prime with everything and each at
+        least as large as the largest data modulus (this is what makes
+        any single exclusion still cover the legitimate range).
+    """
+
+    def __init__(self, data_moduli: Sequence[int], redundant_moduli: Sequence[int]):
+        data_moduli = [int(m) for m in data_moduli]
+        redundant_moduli = [int(m) for m in redundant_moduli]
+        if not redundant_moduli:
+            raise ValueError("need at least one redundant modulus")
+        max_data = max(data_moduli)
+        for m in redundant_moduli:
+            if m < max_data:
+                raise ValueError(
+                    f"redundant modulus {m} is smaller than data modulus {max_data}; "
+                    "exclusion projections would not cover the legitimate range"
+                )
+        self.data = CrtBasis(data_moduli)
+        self.full = CrtBasis(data_moduli + redundant_moduli)
+        self.k_data = len(data_moduli)
+        self.r = len(redundant_moduli)
+        # Legitimate signed range: exactly what compose_centered over the
+        # data basis can produce, [-(Q_d - Q_d//2), Q_d//2).
+        self._hi = self.data.modulus // 2
+        self._lo = -(self.data.modulus - self._hi)
+        #: Sub-basis cache keyed by the included channel indices.
+        self._sub: dict[tuple[int, ...], CrtBasis] = {}
+
+    @classmethod
+    def extend(cls, base: CrtBasis, r: int) -> "RedundantBasis":
+        """Grow *base* with *r* fresh redundant primes.
+
+        Each redundant prime is one bit wider than the widest data
+        modulus, guaranteeing dominance and co-primality (all moduli are
+        prime and pairwise distinct).
+        """
+        if r < 1:
+            raise ValueError("redundancy must be >= 1")
+        bits = max(m.bit_length() for m in base.moduli) + 1
+        extra = gen_primes([bits] * r, exclude=set(base.moduli))
+        return cls(base.moduli, extra)
+
+    @property
+    def k(self) -> int:
+        """Total channel count ``k + r``."""
+        return self.full.k
+
+    @property
+    def moduli(self) -> list[int]:
+        """All moduli, data first then redundant."""
+        return self.full.moduli
+
+    def decompose(self, x: np.ndarray | int) -> list[np.ndarray]:
+        """Residues of *x* over the full (data + redundant) basis."""
+        return self.full.decompose(x)
+
+    # -- recovery ----------------------------------------------------------
+
+    def _legitimate(self, v: np.ndarray) -> bool:
+        return bool(np.all(v >= self._lo) and np.all(v < self._hi))
+
+    def _compose_subset(self, idx: tuple[int, ...], channels: Sequence[np.ndarray]) -> np.ndarray:
+        basis = self._sub.get(idx)
+        if basis is None:
+            basis = self._sub[idx] = CrtBasis([self.full.moduli[i] for i in idx])
+        return basis.compose_centered([np.asarray(channels[i]) for i in idx])
+
+    def check(self, channels: Sequence[np.ndarray]) -> bool:
+        """Consistency test only: does the full stack compose legitimately?"""
+        if len(channels) != self.k:
+            raise ValueError(f"expected {self.k} channels, got {len(channels)}")
+        return self._legitimate(self.full.compose_centered(list(channels)))
+
+    def recover(
+        self, channels: Sequence["np.ndarray | None"]
+    ) -> tuple[np.ndarray, list[int]]:
+        """Reconstruct the protected value, surviving one fault per call.
+
+        Parameters
+        ----------
+        channels:
+            ``k + r`` residue arrays in basis order.  ``None`` marks an
+            *erasure* — a channel whose worker crashed or was dropped.
+
+        Returns
+        -------
+        ``(value, faults)`` where ``value`` is the signed CRT
+        recomposition (same array shape as the channels) and ``faults``
+        lists the erased/corrected channel indices (empty on the clean
+        path).
+
+        Raises
+        ------
+        ChannelIntegrityError
+            When more channels failed than the redundancy can absorb, or
+            the projection test cannot localise the corruption.
+        """
+        if len(channels) != self.k:
+            raise ValueError(f"expected {self.k} channels, got {len(channels)}")
+        erased = tuple(i for i, c in enumerate(channels) if c is None)
+        if len(erased) > self.r:
+            raise ChannelIntegrityError(
+                f"{len(erased)} channels dropped but only {self.r} redundant moduli",
+                suspects=erased,
+            )
+        survivors = tuple(i for i in range(self.k) if i not in erased)
+        v = self._compose_subset(survivors, channels)
+        if self._legitimate(v):
+            if erased:
+                self._record(erased, recovered=True)
+            return v, list(erased)
+        # Illegitimate: some surviving channel is corrupted.  Correcting it
+        # needs two redundant moduli of slack beyond the erasures — one for
+        # the exclusion itself and one of margin so projections that keep
+        # the corrupted channel remain illegitimate (unambiguous search).
+        if len(erased) + 2 > self.r:
+            self._record(erased + (-1,), recovered=False)
+            raise ChannelIntegrityError(
+                "corrupted channel detected but redundancy is exhausted "
+                f"({len(erased)} erasures, r={self.r}; correction needs "
+                "erasures + 2 <= r)",
+                suspects=erased,
+            )
+        candidates: list[tuple[int, np.ndarray]] = []
+        for j in survivors:
+            sub = tuple(i for i in survivors if i != j)
+            vj = self._compose_subset(sub, channels)
+            if self._legitimate(vj):
+                candidates.append((j, vj))
+        if len(candidates) == 1:
+            j, vj = candidates[0]
+            faults = tuple(sorted(erased + (j,)))
+            self._record(faults, recovered=True)
+            return vj, list(faults)
+        self._record(erased + (-1,), recovered=False)
+        raise ChannelIntegrityError(
+            "projection test found "
+            + ("no" if not candidates else f"{len(candidates)} ambiguous")
+            + " legitimate reconstruction (more than one corrupted channel?)",
+            suspects=tuple(j for j, _ in candidates),
+        )
+
+    def _record(self, faults: tuple[int, ...], recovered: bool) -> None:
+        reg = get_registry()
+        reg.counter("resilience.faults_detected").inc(len(faults))
+        if recovered:
+            reg.counter("resilience.channel_recoveries").inc(len(faults))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RedundantBasis(k={self.k_data}, r={self.r}, "
+            f"log2(Qd)~{self.data.modulus.bit_length()})"
+        )

@@ -1,12 +1,50 @@
-"""Shared fixtures: small, fast parameter sets reused across suites."""
+"""Shared fixtures: small, fast parameter sets reused across suites.
+
+Also installs a per-test watchdog (SIGALRM) so a wedged executor or a
+deadlocked pool fails the one test quickly instead of stalling the whole
+run — essential for the fault-injection suite, which deliberately hangs
+and kills workers.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import numpy as np
 import pytest
 
 from repro.ckks import CkksContext, CkksParams
 from repro.ckksrns import CkksRnsContext, CkksRnsParams
+
+#: Per-test wall-clock budget in seconds (override via REPRO_TEST_TIMEOUT).
+WATCHDOG_SECONDS = int(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Abort any single test that exceeds the watchdog budget."""
+    if (
+        WATCHDOG_SECONDS <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {WATCHDOG_SECONDS}s per-test watchdog "
+            "(hung executor or deadlocked pool?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(WATCHDOG_SECONDS)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

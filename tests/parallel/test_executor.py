@@ -118,3 +118,76 @@ def test_rns_context_with_thread_executor(rng):
     mt = thread_ctx.rescale(thread_ctx.mul(ct, ct, kt.relin))
     assert np.array_equal(ms.c0, mt.c0)
     thread_ctx.executor.close()
+
+
+# -- pool lifecycle regressions (resilience satellites) ----------------------
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("poisoned item")
+    return x * x
+
+
+def _kill_self(x):
+    import os
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@pytest.mark.parametrize("kind", ["thread", "process"])
+def test_map_after_raising_map_still_works(kind):
+    """Regression: a worker exception must not leave a dead pool cached —
+    the next map has to run, not re-raise a stale error."""
+    with make_executor(kind, workers=2) as ex:
+        with pytest.raises(ValueError):
+            ex.map(_raise_on_three, [1, 2, 3, 4])
+        assert ex.map(_square, [5, 6, 7]) == [25, 36, 49]
+
+
+@pytest.mark.faults
+def test_map_after_broken_process_pool_recovers():
+    """A SIGKILLed worker breaks the pool; the executor must discard it
+    and serve the next map from a fresh one."""
+    from concurrent.futures import BrokenExecutor
+
+    with ProcessExecutor(workers=2) as ex:
+        with pytest.raises(BrokenExecutor):
+            ex.map(_kill_self, [1, 2, 3])
+        assert ex._pool is None  # broken pool was discarded
+        assert ex.map(_square, [2, 3]) == [4, 9]
+
+
+def test_reset_is_idempotent_and_nonblocking():
+    ex = ThreadExecutor(workers=2)
+    assert ex.map(_square, [1, 2]) == [1, 4]
+    ex.reset()
+    ex.reset()
+    assert ex._pool is None
+    assert ex.map(_square, [3, 4]) == [9, 16]  # lazily recreated
+    ex.close()
+
+
+def test_close_after_reset_idempotent():
+    ex = ProcessExecutor(workers=1)
+    assert ex.map(_square, [1, 2]) == [1, 4]
+    ex.reset()
+    ex.close()
+    ex.close()
+
+
+def test_submit_single_item():
+    with ThreadExecutor(workers=2) as ex:
+        fut = ex.submit(_square, 9)
+        assert fut.result(timeout=30) == 81
+
+
+def test_pool_executors_registered_for_atexit():
+    """Internally-created executors are tracked so the atexit hook can
+    close them (leak-proofing for make_executor callers)."""
+    from repro.parallel.executor import _LIVE_POOLS
+
+    ex = make_executor("thread", workers=1)
+    assert ex in _LIVE_POOLS
+    ex.close()

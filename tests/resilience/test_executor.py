@@ -1,0 +1,139 @@
+"""ResilientExecutor: retries, timeouts, degradation, exhaustion."""
+
+import time
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.resilience import (
+    ExecutorExhaustedError,
+    FaultInjector,
+    ResiliencePolicy,
+    ResilientExecutor,
+)
+
+FAST = dict(backoff_base=0.001, backoff_max=0.01)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError("boom")
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        ResiliencePolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(jitter=2.0)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(item_timeout=0)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(degrade=("gpu",))
+    with pytest.raises(ValueError):
+        ResiliencePolicy(on_exhausted="maybe")
+
+
+def test_backoff_deterministic():
+    import random
+
+    p = ResiliencePolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=1.0, jitter=0.2)
+    a = [p.backoff_delay(i, random.Random(3)) for i in range(1, 5)]
+    b = [p.backoff_delay(i, random.Random(3)) for i in range(1, 5)]
+    assert a == b
+    assert all(d <= 1.0 * 1.2 for d in a)
+
+
+def test_clean_map_passthrough():
+    with ResilientExecutor(primary="serial", policy=ResiliencePolicy(**FAST)) as ex:
+        assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+def test_retry_recovers_transient_fault():
+    inj = FaultInjector(seed=0).fail_worker(item=1, mode="exception", times=1)
+    reg = get_registry()
+    retries0 = reg.counter("resilience.retries").value
+    with ResilientExecutor(
+        primary="serial", policy=ResiliencePolicy(**FAST), injector=inj
+    ) as ex:
+        assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+    assert reg.counter("resilience.retries").value == retries0 + 1
+    assert inj.summary() == {"worker.exception": 1}
+
+
+def test_degradation_chain_reaches_serial():
+    """A fault outliving a stage's retry budget falls through the chain."""
+    inj = FaultInjector(seed=0).fail_worker(item=0, mode="exception", times=1)
+    reg = get_registry()
+    degr0 = reg.counter("resilience.degradations").value
+    policy = ResiliencePolicy(max_retries=0, degrade=("serial",), **FAST)
+    with ResilientExecutor(primary="thread", workers=2, policy=policy, injector=inj) as ex:
+        assert ex.map(_square, [5, 6]) == [25, 36]
+    assert reg.counter("resilience.degradations").value == degr0 + 1
+
+
+def test_unpicklable_closure_degrades_from_process():
+    """A closure cannot cross the process boundary; the chain must fall
+    back to thread dispatch instead of surfacing a pickling error."""
+    offset = 10
+
+    def closure(x):
+        return x + offset
+
+    policy = ResiliencePolicy(max_retries=0, degrade=("thread", "serial"), **FAST)
+    with ResilientExecutor(primary="process", workers=2, policy=policy) as ex:
+        assert ex.map(closure, [1, 2, 3]) == [11, 12, 13]
+
+
+def test_exhaustion_raises_typed_error():
+    policy = ResiliencePolicy(max_retries=1, degrade=("serial",), **FAST)
+    with ResilientExecutor(primary="serial", policy=policy) as ex:
+        with pytest.raises(ExecutorExhaustedError) as ei:
+            ex.map(_boom, [1, 2])
+    assert ei.value.failed_items == (0, 1)
+    assert isinstance(ei.value.last_error, RuntimeError)
+
+
+def test_exhaustion_as_erasures():
+    """on_exhausted='none' yields None placeholders — RRNS erasure shape."""
+    inj = FaultInjector(seed=0).fail_worker(item=2, mode="exception", times=99)
+    policy = ResiliencePolicy(max_retries=1, degrade=(), on_exhausted="none", **FAST)
+    with ResilientExecutor(primary="serial", policy=policy, injector=inj) as ex:
+        assert ex.map(_square, [1, 2, 3]) == [1, 4, None]
+
+
+@pytest.mark.faults
+def test_timeout_enforced_and_retried():
+    inj = FaultInjector(seed=0).fail_worker(item=0, mode="delay", times=1, delay=1.5)
+    reg = get_registry()
+    t0 = reg.counter("resilience.timeouts").value
+    policy = ResiliencePolicy(max_retries=1, item_timeout=0.25, degrade=("serial",), **FAST)
+    with ResilientExecutor(primary="thread", workers=2, policy=policy, injector=inj) as ex:
+        start = time.perf_counter()
+        assert ex.map(_square, [3, 4]) == [9, 16]
+        assert time.perf_counter() - start < 1.4  # did not wait out the delay
+    assert reg.counter("resilience.timeouts").value == t0 + 1
+
+
+@pytest.mark.faults
+def test_killed_process_worker_recovers():
+    """SIGKILLed worker → BrokenProcessPool → pool recreated → retry OK."""
+    inj = FaultInjector(seed=0).fail_worker(item=1, mode="kill", times=1)
+    reg = get_registry()
+    rec0 = reg.counter("resilience.pool_recreations").value
+    policy = ResiliencePolicy(max_retries=2, degrade=("serial",), **FAST)
+    with ResilientExecutor(primary="process", workers=2, policy=policy, injector=inj) as ex:
+        assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+    assert reg.counter("resilience.pool_recreations").value >= rec0 + 1
+    assert inj.summary() == {"worker.kill": 1}
+
+
+def test_close_idempotent_and_reusable_chain():
+    ex = ResilientExecutor(primary="thread", workers=2, policy=ResiliencePolicy(**FAST))
+    assert ex.map(_square, [2]) == [4]
+    ex.close()
+    ex.close()

@@ -1,0 +1,131 @@
+"""RRNS channel recovery: detection, correction, erasures, exhaustion."""
+
+import numpy as np
+import pytest
+
+from repro.nt.crt import CrtBasis
+from repro.obs.metrics import get_registry
+from repro.resilience import ChannelIntegrityError, RedundantBasis
+
+
+@pytest.fixture(scope="module")
+def rb():
+    # 26-bit data moduli (realistic channel width), 2 redundant.
+    base = CrtBasis([67108859, 67108837, 67108819])
+    return RedundantBasis.extend(base, 2)
+
+
+@pytest.fixture(scope="module")
+def values(rb):
+    rng = np.random.default_rng(7)
+    half = rb.data.modulus // 2
+    lo = int(-min(half, 2**62))
+    hi = int(min(half, 2**62))
+    return np.array([int(v) for v in rng.integers(lo, hi, 32)], dtype=object)
+
+
+def test_extend_validates(rb):
+    assert rb.k == rb.k_data + rb.r == 5
+    for m in rb.moduli[rb.k_data:]:
+        assert m >= max(rb.moduli[: rb.k_data])
+    assert len(set(rb.moduli)) == rb.k
+    with pytest.raises(ValueError):
+        RedundantBasis([97, 101], [89])  # redundant modulus too small
+    with pytest.raises(ValueError):
+        RedundantBasis([97, 101], [])
+    with pytest.raises(ValueError):
+        RedundantBasis.extend(CrtBasis([97]), 0)
+
+
+def test_clean_roundtrip(rb, values):
+    v, faults = rb.recover(rb.decompose(values))
+    assert np.array_equal(v, values)
+    assert faults == []
+    assert rb.check(rb.decompose(values))
+
+
+@pytest.mark.parametrize("channel", range(5))
+def test_single_corruption_any_channel(rb, values, channel):
+    """Corrupting *any* one channel — data or redundant — is corrected."""
+    chans = rb.decompose(values)
+    m = rb.moduli[channel]
+    chans[channel] = (chans[channel] + 12345) % m
+    v, faults = rb.recover(chans)
+    assert np.array_equal(v, values)
+    assert faults == [channel]
+
+
+@pytest.mark.parametrize("channel", range(5))
+def test_single_erasure_any_channel(rb, values, channel):
+    chans = rb.decompose(values)
+    chans[channel] = None
+    v, faults = rb.recover(chans)
+    assert np.array_equal(v, values)
+    assert faults == [channel]
+
+
+def test_erasure_plus_corruption_needs_three_redundant(values):
+    """Mixed faults: an erasure costs 1 redundant modulus, a correction 2."""
+    rb3 = RedundantBasis.extend(CrtBasis([67108859, 67108837, 67108819]), 3)
+    chans = rb3.decompose(values)
+    chans[0] = None
+    chans[3] = (chans[3] + 999) % rb3.moduli[3]
+    v, faults = rb3.recover(chans)
+    assert np.array_equal(v, values)
+    assert faults == [0, 3]
+
+
+def test_two_erasures_consume_all_redundancy(rb, values):
+    chans = rb.decompose(values)
+    chans[1] = None
+    chans[4] = None
+    v, faults = rb.recover(chans)
+    assert np.array_equal(v, values)
+    assert sorted(faults) == [1, 4]
+
+
+def test_too_many_erasures_raise(rb, values):
+    chans = rb.decompose(values)
+    for i in (0, 1, 2):
+        chans[i] = None
+    with pytest.raises(ChannelIntegrityError) as ei:
+        rb.recover(chans)
+    assert ei.value.suspects == (0, 1, 2)
+
+
+def test_corruption_with_one_erasure_raises_not_miscorrects(rb, values):
+    """At r=2, one erasure + one corruption exceed the e + 2c <= r budget;
+    the result must be a typed failure, never a silently wrong value."""
+    chans = rb.decompose(values)
+    chans[0] = None
+    chans[3] = (chans[3] + 999) % rb.moduli[3]
+    with pytest.raises(ChannelIntegrityError):
+        rb.recover(chans)
+
+
+def test_double_corruption_detected_not_miscorrected(rb, values):
+    """Two corrupted channels cannot be localised by the single-exclusion
+    search; the failure must be a typed error, never a wrong value."""
+    chans = rb.decompose(values)
+    chans[0] = (chans[0] + 17) % rb.moduli[0]
+    chans[2] = (chans[2] + 31) % rb.moduli[2]
+    with pytest.raises(ChannelIntegrityError):
+        rb.recover(chans)
+
+
+def test_channel_count_enforced(rb, values):
+    with pytest.raises(ValueError):
+        rb.recover(rb.decompose(values)[:-1])
+    with pytest.raises(ValueError):
+        rb.check(rb.decompose(values)[:-1])
+
+
+def test_recovery_counters(rb, values):
+    reg = get_registry()
+    detected0 = reg.counter("resilience.faults_detected").value
+    recovered0 = reg.counter("resilience.channel_recoveries").value
+    chans = rb.decompose(values)
+    chans[2] = (chans[2] + 5) % rb.moduli[2]
+    rb.recover(chans)
+    assert reg.counter("resilience.faults_detected").value == detected0 + 1
+    assert reg.counter("resilience.channel_recoveries").value == recovered0 + 1
