@@ -1,0 +1,94 @@
+"""Plan cache — cold vs warm single-image latency on CNN1-HE-RNS.
+
+Compares the unplanned (encode-per-call) engine against the planned
+engine's cold first classify (which fills the scalar plaintext cache)
+and its warm steady state (zero plaintext encodes, verified by the
+``plan.encode.fresh`` counter, not by timing).  See
+``docs/PERFORMANCE.md`` for the methodology.
+"""
+
+import re
+import time
+from pathlib import Path
+
+from conftest import save_artifact
+
+from repro.bench.tables import format_table
+from repro.bench.workloads import make_engine
+from repro.henn.backend import CkksRnsBackend
+from repro.henn.inference import HeInferenceEngine
+from repro.obs.metrics import get_registry
+
+WARM_ROUNDS = 3
+
+
+def _fig5_baseline_seconds():
+    """Total seconds recorded by bench_fig5_pipeline.py, if it has run."""
+    path = Path(__file__).resolve().parent.parent / "bench_artifacts" / "fig5.txt"
+    if not path.exists():
+        return None
+    match = re.search(r"^total\s*\|\s*([0-9.]+)", path.read_text(), re.MULTILINE)
+    return float(match.group(1)) if match else None
+
+
+def _classify_seconds(engine, image):
+    t0 = time.perf_counter()
+    engine.classify(image)
+    return time.perf_counter() - t0
+
+
+def test_plan_cache_cold_vs_warm(benchmark, cnn1_models, preset):
+    image = cnn1_models.x_test[:1]
+    reg = get_registry()
+
+    # Baseline: a fresh backend with planning disabled (no caches at all).
+    base_backend = CkksRnsBackend(preset.rns_params(cnn1_models.depth), seed=0)
+    baseline = HeInferenceEngine(
+        base_backend, cnn1_models.he_layers, cnn1_models.input_shape, plan=False
+    )
+    baseline_secs = min(_classify_seconds(baseline, image) for _ in range(2))
+
+    # Planned engine (make_engine default): cold call compiles nothing —
+    # the plan was built at construction — but fills the scalar cache.
+    engine = make_engine(cnn1_models, "ckks-rns")
+    cold_secs = _classify_seconds(engine, image)
+
+    fresh0 = reg.counter("plan.encode.fresh").value
+    miss0 = reg.counter("plan.cache.miss").value
+    warm_samples = [_classify_seconds(engine, image) for _ in range(WARM_ROUNDS)]
+    warm_secs = min(warm_samples)
+    warm_fresh = reg.counter("plan.encode.fresh").value - fresh0
+    warm_miss = reg.counter("plan.cache.miss").value - miss0
+
+    benchmark.pedantic(lambda: engine.classify(image), rounds=1, iterations=1)
+
+    hits = reg.counter("plan.cache.hit").value
+    misses = reg.counter("plan.cache.miss").value
+    hit_rate = hits / max(1, hits + misses)
+    speedup = baseline_secs / warm_secs if warm_secs > 0 else float("inf")
+
+    rows = [
+        ["unplanned (encode per call)", baseline_secs, "-"],
+        ["planned, cold (classify #1, cache filling)", cold_secs, "-"],
+        [f"planned, warm (min of {WARM_ROUNDS})", warm_secs, f"{speedup:.2f}x"],
+        ["warm fresh encodes (must be 0)", float(warm_fresh), "-"],
+        ["warm cache misses (must be 0)", float(warm_miss), "-"],
+        ["cache hit rate (session)", hit_rate, "-"],
+        ["cache entries", float(len(engine.plan.cache)), "-"],
+    ]
+    fig5_secs = _fig5_baseline_seconds()
+    if fig5_secs is not None:
+        vs_fig5 = fig5_secs / warm_secs if warm_secs > 0 else float("inf")
+        rows.append(
+            ["recorded fig5 pipeline baseline (total)", fig5_secs, f"{vs_fig5:.2f}x"]
+        )
+    save_artifact(
+        "plan_cache",
+        format_table(
+            ["configuration", "seconds", "vs unplanned"],
+            rows,
+            f"PLAN CACHE — CNN1-HE-RNS single image, cold vs warm (preset={preset.name})",
+        ),
+    )
+    assert warm_fresh == 0, "warm classify performed fresh plaintext encodes"
+    assert warm_miss == 0, "warm classify missed the plaintext cache"

@@ -21,7 +21,9 @@ from repro.ckks.encoder import CkksEncoder
 from repro.ckks.keys import GaloisKey, KeyPair, PublicKey, RelinKey, SecretKey
 from repro.ckks.sampling import DEFAULT_SIGMA, sample_gaussian, sample_hwt, sample_zo
 from repro.nt.polynomial import PolyRing
+from repro.obs.metrics import get_registry
 from repro.obs.tracer import traced
+from repro.utils.cache import PlaintextCache
 from repro.utils.rng import derive_rng
 
 __all__ = ["CkksParams", "CkksContext"]
@@ -79,6 +81,9 @@ class CkksContext:
         self.p_special = self.q_top
         self._rings = {q: PolyRing(self.n, q) for q in self.moduli}
         self._rings_big = {}  # lazily built P*q_ell rings
+        #: Optional compile-once store for encoded plaintexts; installed
+        #: by the inference-plan layer (:mod:`repro.henn.plan`).
+        self.plain_cache: PlaintextCache | None = None
 
     # -- helpers ------------------------------------------------------------
 
@@ -236,10 +241,18 @@ class CkksContext:
     def add_plain(self, a: Ciphertext, values: np.ndarray | float) -> Ciphertext:
         """Add a plaintext vector/scalar encoded at the ciphertext's scale."""
         ring = self.ring(a.level)
-        if np.isscalar(values):
-            values = np.full(self.slots, float(values))
-        m = self.encoder.encode(values, a.scale)
-        return Ciphertext(ring.add(a.c0, ring.from_coeffs(m)), a.c1.copy(), a.level, a.scale, self.n)
+
+        def encode_now() -> np.ndarray:
+            get_registry().counter("plan.encode.fresh").inc()
+            vec = np.full(self.slots, float(values)) if np.isscalar(values) else values
+            return ring.from_coeffs(self.encoder.encode(vec, a.scale))
+
+        if np.isscalar(values) and self.plain_cache is not None:
+            key = ("ckks.scalar", self.n, a.level, float(a.scale), float(values))
+            pt = self.plain_cache.get_or_encode(key, encode_now)
+        else:
+            pt = encode_now()
+        return Ciphertext(ring.add(a.c0, pt), a.c1.copy(), a.level, a.scale, self.n)
 
     @traced("ckks.mul_plain")
     def mul_plain(
@@ -250,6 +263,7 @@ class CkksContext:
         plain_scale = float(plain_scale or self.params.scale)
         if np.isscalar(values):
             values = np.full(self.slots, float(values))
+        get_registry().counter("plan.encode.fresh").inc()
         m = ring.from_coeffs(self.encoder.encode(values, plain_scale))
         return Ciphertext(
             ring.mul(a.c0, m), ring.mul(a.c1, m), a.level, a.scale * plain_scale, self.n

@@ -35,15 +35,85 @@ from repro.ckksrns.keys import (
     RnsSecretKey,
 )
 from repro.ckksrns.params import CkksRnsParams
+from repro.nt.kernels import fused_weighted_sum, scale_channels, weighted_accumulate
 from repro.nt.modarith import addmod, mulmod, negmod, submod
-from repro.nt.ntt import NttPlan
+from repro.nt.ntt import BatchedNttPlan, NttPlan
 from repro.nt.primes import gen_ntt_primes
+from repro.obs.metrics import get_registry
 from repro.obs.tracer import traced
 from repro.rns.base import RnsBase
 from repro.parallel import Executor, SerialExecutor, make_executor
+from repro.parallel.shm import dispatch_channels
+from repro.utils.cache import PlaintextCache
 from repro.utils.rng import derive_rng
 
 __all__ = ["CkksRnsContext", "RnsPlaintext"]
+
+
+class _NttChannel:
+    """Picklable per-channel NTT worker for zero-copy dispatch.
+
+    Workers re-resolve their :class:`~repro.nt.ntt.NttPlan` through the
+    shared registry, so fork-started processes reuse the parent's
+    twiddle tables and spawn-started ones build each table once.
+    """
+
+    __slots__ = ("n", "moduli", "forward")
+
+    def __init__(self, n: int, moduli: list[int], forward: bool):
+        self.n = n
+        self.moduli = moduli
+        self.forward = forward
+
+    def __call__(self, arrays, i: int) -> np.ndarray:
+        plan = NttPlan.get(self.n, self.moduli[i])
+        row = arrays["stack"][i]
+        return plan.forward(row) if self.forward else plan.inverse(row)
+
+
+class _WeightedSumChannel:
+    """Picklable per-channel fused weighted sum (both components)."""
+
+    __slots__ = ("moduli",)
+
+    def __init__(self, moduli: list[int]):
+        self.moduli = moduli
+
+    def __call__(self, arrays, i: int) -> tuple[np.ndarray, np.ndarray]:
+        m = self.moduli[i]
+        w = arrays["w"][:, i]
+        return (
+            weighted_accumulate(arrays["c0"][:, i, :], w, m),
+            weighted_accumulate(arrays["c1"][:, i, :], w, m),
+        )
+
+
+class _KeySwitchChannel:
+    """Picklable per-target-modulus digit inner product.
+
+    All *k* digits are lifted into target modulus ``ext[i]``, batched
+    through one NTT, then inner-multiplied with the digit keys.  Sums of
+    *k* products < 2**50 stay exact in int64 for k <= 8192.
+    """
+
+    __slots__ = ("n", "ext", "k", "k_top")
+
+    def __init__(self, n: int, ext: list[int], k: int, k_top: int):
+        self.n = n
+        self.ext = ext
+        self.k = k
+        self.k_top = k_top
+
+    def __call__(self, arrays, i: int) -> tuple[np.ndarray, np.ndarray]:
+        m = self.ext[i]
+        k = self.k
+        lifted_eval = NttPlan.get(self.n, m).forward(
+            np.mod(arrays["centered"], np.int64(m))
+        )
+        key_idx = i if i < k else self.k_top  # special prime is last in key
+        p0 = mulmod(lifted_eval, arrays["kb"][:k, key_idx], m)
+        p1 = mulmod(lifted_eval, arrays["ka"][:k, key_idx], m)
+        return p0.sum(axis=0) % m, p1.sum(axis=0) % m
 
 
 class RnsPlaintext:
@@ -97,7 +167,12 @@ class CkksRnsContext:
         self.p_special: int = primes[-1]
         self.ext_moduli: list[int] = self.moduli + [self.p_special]
         self.k_top = len(self.moduli)
-        self.plans = {m: NttPlan(params.n, m) for m in self.ext_moduli}
+        self.plans = {m: NttPlan.get(params.n, m) for m in self.ext_moduli}
+        #: Optional compile-once store for encoded plaintexts; installed
+        #: by the inference-plan layer (:mod:`repro.henn.plan`) so scalar
+        #: ``add_plain`` constants are encoded once per (value, scale,
+        #: level) instead of per call.
+        self.plain_cache: PlaintextCache | None = None
         self._bases = {k: RnsBase(self.moduli[:k], n=params.n) for k in range(1, self.k_top + 1)}
         # Digit-gadget constants w.r.t. the top basis Q_top.
         q_top = self._bases[self.k_top].modulus
@@ -138,16 +213,32 @@ class CkksRnsContext:
         return self._bases[level + 1]
 
     def _ntt(self, stack: np.ndarray, moduli: list[int]) -> np.ndarray:
-        """Forward NTT per channel, dispatched via the executor."""
-        rows = self.executor.map(
-            lambda i: self.plans[moduli[i]].forward(stack[i]), list(range(len(moduli)))
+        """Forward NTT of a channel stack.
+
+        Serial execution batches every narrow channel through one
+        :class:`~repro.nt.ntt.BatchedNttPlan` stage loop (bit-identical
+        to per-channel transforms); parallel executors fan the channels
+        out instead — that *is* the paper's per-residue parallelism.
+        """
+        if isinstance(self.executor, SerialExecutor):
+            return BatchedNttPlan.get(self.n, tuple(moduli)).forward(stack)
+        rows = dispatch_channels(
+            self.executor,
+            _NttChannel(self.n, moduli, forward=True),
+            {"stack": stack},
+            list(range(len(moduli))),
         )
         return np.stack(rows)
 
     def _intt(self, stack: np.ndarray, moduli: list[int]) -> np.ndarray:
-        """Inverse NTT per channel, dispatched via the executor."""
-        rows = self.executor.map(
-            lambda i: self.plans[moduli[i]].inverse(stack[i]), list(range(len(moduli)))
+        """Inverse NTT of a channel stack (see :meth:`_ntt` on dispatch)."""
+        if isinstance(self.executor, SerialExecutor):
+            return BatchedNttPlan.get(self.n, tuple(moduli)).inverse(stack)
+        rows = dispatch_channels(
+            self.executor,
+            _NttChannel(self.n, moduli, forward=False),
+            {"stack": stack},
+            list(range(len(moduli))),
         )
         return np.stack(rows)
 
@@ -286,6 +377,7 @@ class CkksRnsContext:
         """
         scale = float(scale or self.params.scale)
         level = self.top_level if level is None else level
+        get_registry().counter("plan.encode.fresh").inc()
         m = self.encoder.encode(values, scale)
         moduli = self.moduli[: level + 1]
         stack = self._ntt(self._decompose_big(m, moduli), moduli)
@@ -425,11 +517,29 @@ class CkksRnsContext:
         return RnsCiphertext(c0, c1, a.level, a.scale)
 
     @traced("ckksrns.add_plain")
-    def add_plain(self, a: RnsCiphertext, values: np.ndarray | float) -> RnsCiphertext:
-        """Add a plaintext vector/scalar encoded at the ciphertext's scale."""
-        if np.isscalar(values):
-            values = np.full(self.slots, float(values))
-        pt = self.encode(values, a.scale, a.level)
+    def add_plain(self, a: RnsCiphertext, values: "np.ndarray | float | RnsPlaintext") -> RnsCiphertext:
+        """Add a plaintext encoded at the ciphertext's scale.
+
+        Accepts a slot vector, a scalar (broadcast to all slots; encoded
+        through :attr:`plain_cache` when the inference-plan layer has
+        installed one) or an already-encoded :class:`RnsPlaintext` at
+        the ciphertext's level.
+        """
+        if isinstance(values, RnsPlaintext):
+            pt = values
+            if pt.level != a.level:
+                raise ValueError(f"plaintext level {pt.level} != ciphertext level {a.level}")
+        elif np.isscalar(values):
+            v = float(values)
+            if self.plain_cache is not None:
+                key = ("rns.scalar", self.n, a.level, float(a.scale), v)
+                pt = self.plain_cache.get_or_encode(
+                    key, lambda: self.encode(np.full(self.slots, v), a.scale, a.level)
+                )
+            else:
+                pt = self.encode(np.full(self.slots, v), a.scale, a.level)
+        else:
+            pt = self.encode(values, a.scale, a.level)
         moduli = self.moduli[: a.k]
         c0 = np.stack([addmod(a.c0[i], pt.data[i], m) for i, m in enumerate(moduli)])
         return RnsCiphertext(c0, a.c1.copy(), a.level, a.scale)
@@ -440,8 +550,11 @@ class CkksRnsContext:
         plain_scale = float(plain_scale or self.params.scale)
         c = int(round(float(scalar) * plain_scale))
         moduli = self.moduli[: a.k]
-        c0 = np.stack([mulmod(a.c0[i], np.int64(c % m), m) for i, m in enumerate(moduli)])
-        c1 = np.stack([mulmod(a.c1[i], np.int64(c % m), m) for i, m in enumerate(moduli)])
+        # Residues once, then one broadcast multiply per component stack —
+        # no per-modulus re-stacking.
+        residues = np.array([c % m for m in moduli], dtype=np.int64)
+        c0 = scale_channels(a.c0, residues, moduli)
+        c1 = scale_channels(a.c1, residues, moduli)
         return RnsCiphertext(c0, c1, a.level, a.scale * plain_scale)
 
     @traced("ckksrns.mul_plain")
@@ -455,6 +568,74 @@ class CkksRnsContext:
         c0 = np.stack([mulmod(a.c0[i], plain.data[i], m) for i, m in enumerate(moduli)])
         c1 = np.stack([mulmod(a.c1[i], plain.data[i], m) for i, m in enumerate(moduli)])
         return RnsCiphertext(c0, c1, a.level, a.scale * plain.scale)
+
+    @traced("ckksrns.weighted_sum")
+    def weighted_sum(
+        self,
+        cts: list[RnsCiphertext],
+        weights: "list[float] | np.ndarray | None",
+        plain_scale: float | None = None,
+        consts: list[int] | None = None,
+        residues: np.ndarray | None = None,
+    ) -> RnsCiphertext:
+        """Fused ``sum_t w_t * ct_t`` — one kernel pass, not a mul/add chain.
+
+        All tap ciphertexts are stacked into ``(taps, k, n)`` blocks and
+        reduced along the tap axis per residue channel
+        (:mod:`repro.nt.kernels`), skipping taps whose quantized weight
+        is exactly zero.  The result is bit-identical to the
+        ``mul_plain_scalar``/``add`` chain over the same taps because
+        both reduce each product before the (exact int64) summation.
+
+        Parameters
+        ----------
+        cts:
+            Tap ciphertexts, all at the same level and scale.
+        weights:
+            One real weight per tap.
+        plain_scale:
+            Weight quantization scale Δ (defaults to the parameter set's).
+        consts:
+            Pre-quantized integer weights from an inference plan; when
+            given, ``weights`` is ignored and no per-call ``round()`` is
+            paid.
+        residues:
+            Pre-reduced ``(taps, k_top)`` int64 residue table of
+            ``consts`` (columns follow :attr:`moduli`); sliced to the
+            active level instead of recomputing ``c % m`` per call.
+        """
+        plain_scale = float(plain_scale or self.params.scale)
+        if consts is None:
+            consts = [int(round(float(w) * plain_scale)) for w in weights]
+        if len(consts) != len(cts):
+            raise ValueError(f"{len(consts)} weights for {len(cts)} ciphertexts")
+        level = min(ct.level for ct in cts)
+        cts = [self.mod_switch_to(ct, level) for ct in cts]
+        keep = [t for t, c in enumerate(consts) if c != 0]
+        if not keep:  # all-zero weights still produce a valid ciphertext
+            keep = [0]
+        moduli = self.moduli[: level + 1]
+        c0 = np.stack([cts[t].c0 for t in keep])
+        c1 = np.stack([cts[t].c1 for t in keep])
+        if residues is not None:
+            w_res = np.ascontiguousarray(residues[keep][:, : level + 1])
+        else:
+            w_res = np.array(
+                [[consts[t] % m for m in moduli] for t in keep], dtype=np.int64
+            )
+        if isinstance(self.executor, SerialExecutor):
+            out0 = fused_weighted_sum(c0, w_res, moduli)
+            out1 = fused_weighted_sum(c1, w_res, moduli)
+        else:
+            rows = dispatch_channels(
+                self.executor,
+                _WeightedSumChannel(moduli),
+                {"c0": c0, "c1": c1, "w": w_res},
+                list(range(len(moduli))),
+            )
+            out0 = np.stack([r[0] for r in rows])
+            out1 = np.stack([r[1] for r in rows])
+        return RnsCiphertext(out0, out1, level, cts[0].scale * plain_scale)
 
     @traced("ckksrns.mul")
     def mul(self, a: RnsCiphertext, b: RnsCiphertext, relin: RnsRelinKey) -> RnsCiphertext:
@@ -528,33 +709,47 @@ class CkksRnsContext:
             d = mulmod(x_coeff[j], np.int64(self.hat_inv_top[j]), qj)
             centered[j] = np.where(d > qj // 2, d - qj, d)
 
-        def channel_contrib(i: int) -> tuple[np.ndarray, np.ndarray]:
-            # All k digits lifted into target modulus m, one *batched* NTT,
-            # then the inner product with the digit keys.  Sums of k
-            # products < 2**50 stay exact in int64 for k <= 8192.
-            m = ext[i]
-            lifted_eval = self.plans[m].forward(np.mod(centered, np.int64(m)))
-            key_idx = i if i < k else self.k_top  # special prime is last in key
-            p0 = mulmod(lifted_eval, kb[:k, key_idx], m)
-            p1 = mulmod(lifted_eval, ka[:k, key_idx], m)
-            return p0.sum(axis=0) % m, p1.sum(axis=0) % m
-
-        contribs = self.executor.map(channel_contrib, list(range(k + 1)))
-        acc0 = np.stack([c[0] for c in contribs])
-        acc1 = np.stack([c[1] for c in contribs])
-        r0 = self._div_special(acc0, moduli)
-        r1 = self._div_special(acc1, moduli)
-        return r0, r1
+        if isinstance(self.executor, SerialExecutor):
+            # All digits lifted into every target modulus at once: a
+            # (k+1, k, n) tensor through one batched stage loop.
+            lifted = np.stack([np.mod(centered, np.int64(m)) for m in ext])
+            lifted_eval = BatchedNttPlan.get(self.n, tuple(ext)).forward(lifted)
+            contribs = []
+            for i, m in enumerate(ext):
+                key_idx = i if i < k else self.k_top
+                p0 = mulmod(lifted_eval[i], kb[:k, key_idx], m)
+                p1 = mulmod(lifted_eval[i], ka[:k, key_idx], m)
+                contribs.append((p0.sum(axis=0) % m, p1.sum(axis=0) % m))
+        else:
+            worker = _KeySwitchChannel(self.n, ext, k, self.k_top)
+            contribs = dispatch_channels(
+                self.executor,
+                worker,
+                {"centered": centered, "kb": kb, "ka": ka},
+                list(range(k + 1)),
+            )
+        # Both accumulator components divide by P through one fused
+        # (k+1, 2, n) transform pair instead of two separate passes.
+        acc = np.stack(
+            [np.stack([c[0] for c in contribs]), np.stack([c[1] for c in contribs])],
+            axis=1,
+        )
+        r = self._div_special(acc, moduli)
+        return np.ascontiguousarray(r[:, 0]), np.ascontiguousarray(r[:, 1])
 
     def _div_special(self, acc_ext: np.ndarray, moduli: list[int]) -> np.ndarray:
-        """Exact division by P: (acc - lift([acc]_P)) * P^{-1}, back to eval."""
+        """Exact division by P: (acc - lift([acc]_P)) * P^{-1}, back to eval.
+
+        Accepts ``(k+1, n)`` stacks or ``(k+1, B, n)`` batches (extra
+        axes divide together, sharing the transforms).
+        """
         k = len(moduli)
         ext = moduli + [self.p_special]
         coeff = self._intt(acc_ext, ext)
         last = coeff[k]
         half = self.p_special // 2
         lifted = np.where(last > half, last - self.p_special, last)
-        out = np.empty((k, self.n), dtype=np.int64)
+        out = np.empty((k,) + coeff.shape[1:], dtype=np.int64)
         for i, m in enumerate(moduli):
             t = submod(coeff[i], np.mod(lifted, np.int64(m)), m)
             out[i] = mulmod(t, np.int64(self.p_inv[i]), m)
@@ -582,21 +777,19 @@ class CkksRnsContext:
         moduli = self.moduli[:k]
         q_last = moduli[-1]
         half = q_last // 2
-        coeff0 = self._intt(a.c0, moduli)
-        coeff1 = self._intt(a.c1, moduli)
-
-        def drop(coeff: np.ndarray) -> np.ndarray:
-            last = coeff[k - 1]
-            lifted = np.where(last > half, last - q_last, last)
-            out = np.empty((k - 1, self.n), dtype=np.int64)
-            for i, m in enumerate(moduli[:-1]):
-                inv = pow(q_last % m, -1, m)
-                t = submod(coeff[i], np.mod(lifted, np.int64(m)), m)
-                out[i] = mulmod(t, np.int64(inv), m)
-            return out
-
-        c0 = self._ntt(drop(coeff0), moduli[:-1])
-        c1 = self._ntt(drop(coeff1), moduli[:-1])
+        # c0 and c1 drop the last prime together: one fused (k, 2, n)
+        # inverse/forward transform pair instead of two of each.
+        coeff = self._intt(np.stack([a.c0, a.c1], axis=1), moduli)
+        last = coeff[k - 1]
+        lifted = np.where(last > half, last - q_last, last)
+        out = np.empty((k - 1, 2, self.n), dtype=np.int64)
+        for i, m in enumerate(moduli[:-1]):
+            inv = pow(q_last % m, -1, m)
+            t = submod(coeff[i], np.mod(lifted, np.int64(m)), m)
+            out[i] = mulmod(t, np.int64(inv), m)
+        res = self._ntt(out, moduli[:-1])
+        c0 = np.ascontiguousarray(res[:, 0])
+        c1 = np.ascontiguousarray(res[:, 1])
         return RnsCiphertext(c0, c1, a.level - 1, a.scale / q_last)
 
     def mod_switch_to(self, a: RnsCiphertext, level: int) -> RnsCiphertext:

@@ -19,9 +19,10 @@ to image *i*, one ciphertext per scalar position, so a whole batch is
 classified in one network evaluation.
 """
 
-from repro.henn.backend import CkksBackend, CkksRnsBackend, HeBackend, MockBackend
+from repro.henn.backend import CkksBackend, CkksRnsBackend, EncodedTaps, HeBackend, MockBackend
 from repro.henn.layers import HeConv2d, HeFlatten, HeLayer, HeLinear, HePoly
 from repro.henn.compiler import compile_model, slafify
+from repro.henn.plan import InferencePlan, compile_plan
 from repro.henn.architectures import build_cnn1, build_cnn2, ascii_diagram
 from repro.henn.inference import HeInferenceEngine
 from repro.henn.security import he_standard_max_logq, validate_security
@@ -42,6 +43,9 @@ __all__ = [
     "HeFlatten",
     "compile_model",
     "slafify",
+    "InferencePlan",
+    "compile_plan",
+    "EncodedTaps",
     "build_cnn1",
     "build_cnn2",
     "ascii_diagram",

@@ -27,10 +27,28 @@ import numpy as np
 from repro import obs
 from repro.ckks import CkksContext, CkksParams
 from repro.ckksrns import CkksRnsContext, CkksRnsParams, RnsCiphertext
-from repro.nt.modarith import mulmod
 from repro.utils.rng import derive_rng
 
-__all__ = ["HeBackend", "MockBackend", "CkksBackend", "CkksRnsBackend"]
+__all__ = ["HeBackend", "MockBackend", "CkksBackend", "CkksRnsBackend", "EncodedTaps"]
+
+
+@dataclass
+class EncodedTaps:
+    """Compile-once constants for one weighted sum (a conv/linear neuron).
+
+    Produced by :meth:`HeBackend.encode_taps` and replayed by
+    :meth:`HeBackend.weighted_sum_encoded`; what is precomputed depends
+    on the backend — quantized integer weights everywhere, plus the
+    ``(taps, k_top)`` residue table for CKKS-RNS.  The encoded form is
+    bit-identical to encoding the float weights on every call because
+    quantization (``round(w * Δp)``) is deterministic.
+    """
+
+    plain_scale: float
+    weights: np.ndarray  #: original float weights (generic fallback path)
+    consts: list[int]  #: quantized integers ``round(w * plain_scale)``
+    keep: list[int]  #: indices of taps with nonzero quantized weight
+    residues: np.ndarray | None = None  #: (taps, k_top) int64, RNS only
 
 
 class HeBackend(ABC):
@@ -124,11 +142,42 @@ class HeBackend(ABC):
             raise ValueError("handles/weights length mismatch")
         if len(handles) == 0:
             raise ValueError("weighted_sum needs at least one term")
+        ps = float(plain_scale or self.scale)
+        # Taps whose weight quantizes to zero contribute exactly nothing
+        # (their encoded multiplier is the zero plaintext): skip them.
+        keep = [t for t in range(len(handles)) if int(round(float(weights[t]) * ps)) != 0]
+        if not keep:
+            keep = [0]
         with obs.span("henn.weighted_sum", backend=self.name, taps=len(handles)):
-            acc = self.mul_plain_scalar(handles[0], float(weights[0]), plain_scale)
-            for h, w in zip(handles[1:], weights[1:]):
-                acc = self.add(acc, self.mul_plain_scalar(h, float(w), plain_scale))
+            acc = self.mul_plain_scalar(handles[keep[0]], float(weights[keep[0]]), ps)
+            for t in keep[1:]:
+                acc = self.add(acc, self.mul_plain_scalar(handles[t], float(weights[t]), ps))
             return acc
+
+    # -- compile-once taps (overridable fast paths) -----------------------------
+
+    def encode_taps(self, weights: np.ndarray, plain_scale: float | None = None) -> EncodedTaps:
+        """Precompute the backend-native constants of one weighted sum.
+
+        The returned :class:`EncodedTaps` can be replayed against any
+        tap handles via :meth:`weighted_sum_encoded`, skipping the
+        per-call quantization (and, on RNS, the residue reduction) that
+        :meth:`weighted_sum` performs.
+        """
+        ps = float(plain_scale or self.scale)
+        weights = np.asarray(weights, dtype=np.float64)
+        consts = [int(round(float(w) * ps)) for w in weights]
+        keep = [t for t, c in enumerate(consts) if c != 0] or [0]
+        return EncodedTaps(plain_scale=ps, weights=weights, consts=consts, keep=keep)
+
+    def weighted_sum_encoded(self, handles: Sequence[Any], enc: EncodedTaps) -> Any:
+        """Replay a precompiled weighted sum over fresh tap handles.
+
+        Bit-identical to ``weighted_sum(handles, enc.weights,
+        enc.plain_scale)`` — backends override this to reuse the
+        precomputed constants instead of re-deriving them.
+        """
+        return self.weighted_sum(handles, enc.weights, enc.plain_scale)
 
     def poly_eval(self, x: Any, coeffs: np.ndarray) -> Any:
         """Evaluate ``sum_k coeffs[k] x^k`` homomorphically (degree <= 3).
@@ -356,20 +405,27 @@ class CkksBackend(HeBackend):
         """
         if len(handles) != len(weights) or not len(handles):
             raise ValueError("bad weighted_sum arguments")
-        with obs.span("henn.weighted_sum", backend=self.name, taps=len(handles)):
-            return self._weighted_sum(handles, weights, plain_scale)
-
-    def _weighted_sum(self, handles, weights, plain_scale: float | None = None):
         ps = float(plain_scale or self.scale)
+        consts = [int(round(float(w) * ps)) for w in weights]
+        with obs.span("henn.weighted_sum", backend=self.name, taps=len(handles)):
+            return self._weighted_sum_consts(handles, consts, ps)
+
+    def weighted_sum_encoded(self, handles, enc: EncodedTaps):
+        """Replay precompiled integer weights (no per-call quantization)."""
+        if len(handles) != len(enc.consts):
+            raise ValueError("bad weighted_sum arguments")
+        with obs.span("henn.weighted_sum", backend=self.name, taps=len(handles)):
+            return self._weighted_sum_consts(handles, enc.consts, enc.plain_scale)
+
+    def _weighted_sum_consts(self, handles, consts: list[int], ps: float):
         level = min(h.level for h in handles)
         ring = self.ctx.ring(level)
         acc0 = np.zeros(self.ctx.n, dtype=object)
         acc1 = np.zeros(self.ctx.n, dtype=object)
-        for h, w in zip(handles, weights):
-            h = self.ctx.mod_switch_to(h, level)
-            c = int(round(float(w) * ps))
+        for h, c in zip(handles, consts):
             if c == 0:
                 continue
+            h = self.ctx.mod_switch_to(h, level)
             acc0 = acc0 + h.c0 * c
             acc1 = acc1 + h.c1 * c
         from repro.ckks.ciphertext import Ciphertext
@@ -482,30 +538,25 @@ class CkksRnsBackend(HeBackend):
         if len(handles) != len(weights) or not len(handles):
             raise ValueError("bad weighted_sum arguments")
         with obs.span("henn.weighted_sum", backend=self.name, taps=len(handles)):
-            return self._weighted_sum(handles, weights, plain_scale)
+            return self.ctx.weighted_sum(list(handles), weights, plain_scale)
 
-    def _weighted_sum(self, handles, weights, plain_scale: float | None = None):
-        ps = float(plain_scale or self.scale)
-        level = min(h.level for h in handles)
-        handles = [self.ctx.mod_switch_to(h, level) for h in handles]
-        consts = [int(round(float(w) * ps)) for w in weights]
-        keep = [t for t, c in enumerate(consts) if c != 0]
-        if not keep:
-            keep = [0]
-        c0_stack = np.stack([handles[t].c0 for t in keep])  # (T, k, n)
-        c1_stack = np.stack([handles[t].c1 for t in keep])
-        moduli = self.ctx.moduli[: level + 1]
+    def encode_taps(self, weights: np.ndarray, plain_scale: float | None = None) -> EncodedTaps:
+        """Quantize once and pre-reduce residues across the full chain."""
+        enc = super().encode_taps(weights, plain_scale)
+        enc.residues = np.array(
+            [[c % m for m in self.ctx.moduli] for c in enc.consts], dtype=np.int64
+        )
+        return enc
 
-        def chan(i: int) -> tuple[np.ndarray, np.ndarray]:
-            m = moduli[i]
-            w_mod = np.array([consts[t] % m for t in keep], dtype=np.int64)[:, None]
-            if len(keep) * m > 2**62:  # pragma: no cover - parameter guard
-                raise ValueError("too many taps for exact int64 accumulation")
-            s0 = mulmod(c0_stack[:, i, :], w_mod, m).sum(axis=0) % m
-            s1 = mulmod(c1_stack[:, i, :], w_mod, m).sum(axis=0) % m
-            return s0, s1
-
-        rows = self.ctx.executor.map(chan, list(range(level + 1)))
-        c0 = np.stack([r[0] for r in rows])
-        c1 = np.stack([r[1] for r in rows])
-        return RnsCiphertext(c0, c1, level, handles[0].scale * ps)
+    def weighted_sum_encoded(self, handles, enc: EncodedTaps) -> RnsCiphertext:
+        """Replay precompiled weights: residue table sliced, never rebuilt."""
+        if len(handles) != len(enc.consts) or not len(handles):
+            raise ValueError("bad weighted_sum arguments")
+        with obs.span("henn.weighted_sum", backend=self.name, taps=len(handles)):
+            return self.ctx.weighted_sum(
+                list(handles),
+                None,
+                enc.plain_scale,
+                consts=enc.consts,
+                residues=enc.residues,
+            )

@@ -31,7 +31,12 @@ from repro.nn.layers.pooling import AvgPool2d
 from repro.nn.module import Sequential
 from repro.nn.trainer import TrainConfig, Trainer, freeze_non_slaf, unfreeze_all
 
-__all__ = ["slafify", "compile_model", "model_depth"]
+# The compile-once inference-plan pass lives in its own module; it is the
+# second half of the compiler (plaintext-side precomputation per backend)
+# and is re-exported here as part of the compiler surface.
+from repro.henn.plan import InferencePlan, compile_plan  # noqa: F401
+
+__all__ = ["slafify", "compile_model", "model_depth", "InferencePlan", "compile_plan"]
 
 
 def slafify(

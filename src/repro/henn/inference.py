@@ -26,6 +26,7 @@ import numpy as np
 from repro import obs
 from repro.henn.backend import HeBackend
 from repro.henn.layers import HeLayer
+from repro.henn.plan import InferencePlan, compile_plan
 from repro.obs.tracer import Span, Tracer
 from repro.utils.timing import LatencyStats
 
@@ -74,6 +75,15 @@ class HeInferenceEngine:
         Compiled HE layer graph (from :func:`repro.henn.compiler.compile_model`).
     input_shape:
         Expected ``(C, H, W)`` of one input image.
+    plan:
+        Compile an :class:`~repro.henn.plan.InferencePlan` at
+        construction (default): tap programs and weight encodings are
+        precomputed once, and scalar plaintexts are memoized as the
+        first image flows through, so warm ``classify()`` calls perform
+        zero plaintext encodes.  ``False`` keeps the original
+        encode-per-call path (bit-identical results, used by the
+        plan-equivalence tests); an existing plan object is adopted
+        as-is.
     """
 
     def __init__(
@@ -81,12 +91,19 @@ class HeInferenceEngine:
         backend: HeBackend,
         layers: list[HeLayer],
         input_shape: tuple[int, int, int],
+        plan: "bool | InferencePlan" = True,
     ):
         self.backend = backend
         self.layers = layers
         self.input_shape = input_shape
         self.latency = LatencyStats()
         self._layer_spans: list[Span] = []
+        if plan is True:
+            self.plan: InferencePlan | None = compile_plan(backend, layers, input_shape)
+        elif plan is False or plan is None:
+            self.plan = None
+        else:
+            self.plan = plan
 
     @property
     def trace(self) -> LayerTrace:
@@ -151,10 +168,13 @@ class HeInferenceEngine:
             tracer = Tracer()
         spans: list[Span] = []
         x = enc
+        # Planned engines evaluate the precompiled layers but keep the
+        # source layers' names on the spans, so traces stay comparable.
+        exec_layers = self.plan.layers if self.plan is not None else self.layers
         with tracer.span("henn.stage.evaluate", layers=len(self.layers)):
-            for i, layer in enumerate(self.layers):
+            for i, (layer, ex) in enumerate(zip(self.layers, exec_layers)):
                 with tracer.span("henn.layer", layer=type(layer).__name__, index=i) as h:
-                    x = layer.forward(self.backend, x)
+                    x = ex.forward(self.backend, x)
                 spans.append(h.record)
         self._layer_spans = spans
         return x

@@ -20,7 +20,73 @@ import numpy as np
 from repro.henn.backend import HeBackend
 from repro.nn.layers.conv import conv_output_shape
 
-__all__ = ["HeLayer", "HeConv2d", "HeLinear", "HePoly", "HeFlatten", "HeAvgPool"]
+__all__ = [
+    "HeLayer",
+    "HeConv2d",
+    "HeLinear",
+    "HePoly",
+    "HeFlatten",
+    "HeAvgPool",
+    "conv_tap_program",
+]
+
+
+def conv_tap_program(
+    wmat: np.ndarray,
+    h: int,
+    w: int,
+    stride: int,
+    padding: int,
+    prune_below: float,
+) -> tuple[int, int, list[tuple[int, int, list[int], np.ndarray]]]:
+    """Tap geometry of one conv output channel as an explicit program.
+
+    For every output position the program records which flattened input
+    positions (indices into ``x.reshape(-1)`` of the ``(C, H, W)``
+    handle array) are gathered and with which weights — the exact
+    ``(ci, di, dj)`` iteration order, bounds checks, pruning rule and
+    fully-pruned fallback of :meth:`HeConv2d.forward`, so evaluating a
+    program is bit-identical to the inline loop.  The inference-plan
+    layer compiles these programs once per engine and replays them every
+    image.
+
+    Parameters
+    ----------
+    wmat:
+        ``(IC, KH, KW)`` weights of one output channel.
+    h, w:
+        Input feature-map height and width.
+    stride, padding, prune_below:
+        As on :class:`HeConv2d`.
+
+    Returns
+    -------
+    ``(oh, ow, program)`` where program entries are ``(i, j,
+    flat_indices, weights)`` in row-major output order.
+    """
+    ic, kh, kw = wmat.shape
+    s, p = stride, padding
+    oh, ow = conv_output_shape(h, w, kh, kw, s, p)
+    program: list[tuple[int, int, list[int], np.ndarray]] = []
+    for i in range(oh):
+        for j in range(ow):
+            idxs: list[int] = []
+            ws: list[float] = []
+            for ci in range(ic):
+                for di in range(kh):
+                    for dj in range(kw):
+                        yy = i * s - p + di
+                        xx = j * s - p + dj
+                        if 0 <= yy < h and 0 <= xx < w:
+                            wv = wmat[ci, di, dj]
+                            if abs(wv) > prune_below:
+                                idxs.append((ci * h + yy) * w + xx)
+                                ws.append(float(wv))
+            if not idxs:  # fully pruned window: keep a zero term
+                idxs = [max(0, min(i * s, h - 1)) * w + max(0, min(j * s, w - 1))]
+                ws = [0.0]
+            program.append((i, j, idxs, np.asarray(ws, dtype=np.float64)))
+    return oh, ow, program
 
 
 class HeLayer(ABC):
@@ -70,31 +136,21 @@ class HeConv2d(HeLayer):
         c, h, w = x.shape
         if c != ic:
             raise ValueError(f"conv expects {ic} input channels, got {c}")
-        s, p = self.stride, self.padding
-        oh, ow = conv_output_shape(h, w, kh, kw, s, p)
-        out = np.empty((oc, oh, ow), dtype=object)
+        flat = x.reshape(-1)
+        out = None
         for o in range(oc):
-            wmat = self.weight[o]
-            for i in range(oh):
-                for j in range(ow):
-                    taps, ws = [], []
-                    for ci in range(ic):
-                        for di in range(kh):
-                            for dj in range(kw):
-                                yy = i * s - p + di
-                                xx = j * s - p + dj
-                                if 0 <= yy < h and 0 <= xx < w:
-                                    wv = wmat[ci, di, dj]
-                                    if abs(wv) > self.prune_below:
-                                        taps.append(x[ci, yy, xx])
-                                        ws.append(wv)
-                    if not taps:  # fully pruned window: keep a zero term
-                        taps, ws = [x[0, max(0, min(i * s, h - 1)), max(0, min(j * s, w - 1))]], [0.0]
-                    acc = backend.weighted_sum(taps, np.array(ws))
-                    acc = backend.rescale(acc)
-                    if self.bias is not None:
-                        acc = backend.add_plain(acc, float(self.bias[o]))
-                    out[o, i, j] = acc
+            oh, ow, program = conv_tap_program(
+                self.weight[o], h, w, self.stride, self.padding, self.prune_below
+            )
+            if out is None:
+                out = np.empty((oc, oh, ow), dtype=object)
+            for i, j, idxs, ws in program:
+                taps = [flat[t] for t in idxs]
+                acc = backend.weighted_sum(taps, ws)
+                acc = backend.rescale(acc)
+                if self.bias is not None:
+                    acc = backend.add_plain(acc, float(self.bias[o]))
+                out[o, i, j] = acc
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,275 @@
+"""Compile-once / run-many inference plans.
+
+An :class:`InferencePlan` walks a compiled HE graph **once** per
+(backend, level schedule, scale) and precomputes everything about the
+evaluation that does not depend on the ciphertexts:
+
+* conv/pool/linear **tap programs** — which handles each output position
+  gathers and with which weights (:func:`repro.henn.layers.conv_tap_program`);
+* the backend-native **encoded taps** for every weighted sum
+  (:meth:`repro.henn.backend.HeBackend.encode_taps`): quantized integer
+  weights everywhere, plus the ``(taps, k_top)`` residue tables on
+  CKKS-RNS — deduplicated through a keyed :class:`PlaintextCache`, so
+  the thousands of interior conv positions that share one kernel encode
+  it exactly once;
+* a :class:`~repro.utils.cache.PlaintextCache` installed on the
+  backend's context, which memoizes the scalar plaintexts (biases,
+  polynomial constant terms) the first image encodes — every later
+  image performs **zero** plaintext encodes, which the CI smoke job
+  asserts by counting ``plan.encode.fresh`` / ``plan.cache.miss``, not
+  by timing.
+
+Planned evaluation is bit-identical to the unplanned path: tap programs
+replicate the inline loops' iteration order exactly, weight quantization
+is deterministic, and cached plaintexts are the very objects a fresh
+encode would produce (see ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.henn.backend import EncodedTaps, HeBackend
+from repro.henn.layers import (
+    HeAvgPool,
+    HeConv2d,
+    HeFlatten,
+    HeLayer,
+    HeLinear,
+    HePoly,
+    conv_tap_program,
+)
+from repro.nn.layers.conv import conv_output_shape
+from repro.obs.metrics import get_registry
+from repro.utils.cache import PlaintextCache
+
+__all__ = ["InferencePlan", "compile_plan", "plan_cache_key"]
+
+
+def _backend_sig(backend: HeBackend) -> tuple:
+    """Content-based identity of a backend's encoding parameters.
+
+    Two backends with the same signature produce identical encodings, so
+    cache entries may be shared between them; anything that changes the
+    encoding (ring degree, modulus chain, scale) changes the signature.
+    """
+    ctx = getattr(backend, "ctx", None)
+    sig: tuple = (backend.name, float(backend.scale))
+    if ctx is not None:
+        sig += (int(getattr(ctx, "n", 0)),)
+        moduli = getattr(ctx, "moduli", None)
+        if moduli is not None:
+            sig += (tuple(int(m) for m in moduli),)
+    else:
+        sig += (int(getattr(backend, "levels", 0)),)
+    return sig
+
+
+def plan_cache_key(sig: tuple, ps: float, consts: tuple[int, ...]) -> tuple:
+    """Cache key of one encoded weighted sum (see ``docs/PERFORMANCE.md``)."""
+    return ("taps", sig, float(ps), consts)
+
+
+class _TapEncoder:
+    """Encodes tap weights through the plan cache with content keys."""
+
+    def __init__(self, backend: HeBackend, cache: PlaintextCache):
+        self.backend = backend
+        self.cache = cache
+        self.sig = _backend_sig(backend)
+        self.ps = float(backend.scale)
+
+    def __call__(self, weights: np.ndarray) -> EncodedTaps:
+        consts = tuple(int(round(float(w) * self.ps)) for w in weights)
+        key = plan_cache_key(self.sig, self.ps, consts)
+        return self.cache.get_or_encode(
+            key, lambda: self.backend.encode_taps(weights, self.ps)
+        )
+
+
+class PlannedConv2d(HeLayer):
+    """Replay of :class:`HeConv2d` from precompiled tap programs."""
+
+    depth = 1
+
+    def __init__(self, src: HeConv2d, enc: _TapEncoder, h: int, w: int):
+        self.src = src
+        oc = src.weight.shape[0]
+        self.out_shape: tuple[int, int, int] | None = None
+        #: per output channel: list of (i, j, flat tap indices, EncodedTaps)
+        self.programs: list[list[tuple[int, int, list[int], EncodedTaps]]] = []
+        for o in range(oc):
+            oh, ow, program = conv_tap_program(
+                src.weight[o], h, w, src.stride, src.padding, src.prune_below
+            )
+            self.out_shape = (oc, oh, ow)
+            self.programs.append(
+                [(i, j, idxs, enc(ws)) for i, j, idxs, ws in program]
+            )
+
+    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
+        flat = x.reshape(-1)
+        out = np.empty(self.out_shape, dtype=object)
+        bias = self.src.bias
+        for o, program in enumerate(self.programs):
+            for i, j, idxs, etaps in program:
+                taps = [flat[t] for t in idxs]
+                acc = backend.rescale(backend.weighted_sum_encoded(taps, etaps))
+                if bias is not None:
+                    acc = backend.add_plain(acc, float(bias[o]))
+                out[o, i, j] = acc
+        return out
+
+
+class PlannedLinear(HeLayer):
+    """Replay of :class:`HeLinear` from precompiled row encodings."""
+
+    depth = 1
+
+    def __init__(self, src: HeLinear, enc: _TapEncoder):
+        self.src = src
+        out_f, in_f = src.weight.shape
+        self.in_features = in_f
+        #: per output neuron: (kept input indices or None for all, EncodedTaps)
+        self.rows: list[tuple[list[int] | None, EncodedTaps]] = []
+        for o in range(out_f):
+            row = src.weight[o]
+            if src.prune_below > 0:
+                kept = np.nonzero(np.abs(row) > src.prune_below)[0]
+                if len(kept) == 0:
+                    self.rows.append(([0], enc(np.array([0.0]))))
+                    continue
+                self.rows.append((list(map(int, kept)), enc(row[kept])))
+            else:
+                self.rows.append((None, enc(row)))
+
+    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
+        handles = list(x)
+        out = np.empty(len(self.rows), dtype=object)
+        bias = self.src.bias
+        for o, (idxs, etaps) in enumerate(self.rows):
+            taps = handles if idxs is None else [handles[t] for t in idxs]
+            acc = backend.rescale(backend.weighted_sum_encoded(taps, etaps))
+            if bias is not None:
+                acc = backend.add_plain(acc, float(bias[o]))
+            out[o] = acc
+        return out
+
+
+class PlannedAvgPool(HeLayer):
+    """Replay of :class:`HeAvgPool`; one encoding serves every window."""
+
+    depth = 1
+
+    def __init__(self, src: HeAvgPool, enc: _TapEncoder):
+        self.src = src
+        k = src.kernel_size
+        self.etaps = enc(np.full(k * k, 1.0 / (k * k)))
+
+    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
+        c, h, w = x.shape
+        k, s = self.src.kernel_size, self.src.stride
+        oh, ow = conv_output_shape(h, w, k, k, s, 0)
+        out = np.empty((c, oh, ow), dtype=object)
+        for ci in range(c):
+            for i in range(oh):
+                for j in range(ow):
+                    taps = [x[ci, i * s + di, j * s + dj] for di in range(k) for dj in range(k)]
+                    out[ci, i, j] = backend.rescale(
+                        backend.weighted_sum_encoded(taps, self.etaps)
+                    )
+        return out
+
+
+class InferencePlan:
+    """Precompiled evaluation artifacts for one engine.
+
+    Attributes
+    ----------
+    layers:
+        Executable layers aligned with the source graph — planned
+        replacements for conv/pool/linear, the original objects for
+        everything ciphertext-data-dependent (activations, flatten).
+    cache:
+        The :class:`PlaintextCache` holding deduplicated tap encodings
+        and (after the first image) every scalar plaintext; also
+        installed as the backend context's ``plain_cache``.
+    """
+
+    def __init__(
+        self,
+        backend: HeBackend,
+        source_layers: list[HeLayer],
+        layers: list[HeLayer],
+        input_shape: tuple[int, int, int],
+        cache: PlaintextCache,
+    ):
+        self.backend = backend
+        self.source_layers = source_layers
+        self.layers = layers
+        self.input_shape = input_shape
+        self.cache = cache
+        self.signature = _backend_sig(backend)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        planned = sum(s is not l for s, l in zip(self.source_layers, self.layers))
+        return (
+            f"InferencePlan(layers={len(self.layers)}, planned={planned}, "
+            f"cache_entries={len(self.cache)})"
+        )
+
+
+def compile_plan(
+    backend: HeBackend,
+    layers: list[HeLayer],
+    input_shape: tuple[int, int, int],
+    cache: PlaintextCache | None = None,
+) -> InferencePlan:
+    """Compile the graph's plaintext side once for this backend.
+
+    Walks the layer list with shape propagation, pre-encoding every
+    weighted sum through *cache* (deduplicated by quantized content) and
+    installing the cache on the backend context so runtime scalar
+    encodes (biases, activation constants) are memoized as the first
+    image flows through.  Layers the plan does not specialize are kept
+    as-is, so a planned engine always evaluates the exact same graph.
+
+    Parameters
+    ----------
+    backend, layers, input_shape:
+        As on :class:`~repro.henn.inference.HeInferenceEngine`.
+    cache:
+        Cache to (re)use; by default a fresh one per plan.  Sharing one
+        cache between plans is safe — keys carry the backend signature.
+    """
+    cache = cache or PlaintextCache()
+    ctx = getattr(backend, "ctx", None)
+    if ctx is not None and hasattr(ctx, "plain_cache"):
+        ctx.plain_cache = cache
+    enc = _TapEncoder(backend, cache)
+    shape: tuple = tuple(input_shape)
+    planned: list[HeLayer] = []
+    with obs.span("henn.plan.compile", layers=len(layers)):
+        for layer in layers:
+            if isinstance(layer, HeConv2d):
+                _, h, w = shape
+                pl = PlannedConv2d(layer, enc, h, w)
+                planned.append(pl)
+                shape = pl.out_shape
+            elif isinstance(layer, HeAvgPool):
+                c, h, w = shape
+                planned.append(PlannedAvgPool(layer, enc))
+                oh, ow = conv_output_shape(h, w, layer.kernel_size, layer.kernel_size, layer.stride, 0)
+                shape = (c, oh, ow)
+            elif isinstance(layer, HeLinear):
+                planned.append(PlannedLinear(layer, enc))
+                shape = (layer.weight.shape[0],)
+            elif isinstance(layer, HeFlatten):
+                planned.append(layer)
+                shape = (int(np.prod(shape)),)
+            else:
+                # HePoly and anything unknown: data-dependent, run as-is.
+                planned.append(layer)
+    get_registry().counter("plan.compiled").inc()
+    return InferencePlan(backend, layers, planned, input_shape, cache)

@@ -46,6 +46,7 @@ from repro.rns.limb import (
 from repro.nt.primes import gen_primes
 from repro.nn.layers.conv import conv_output_shape, im2col
 from repro.parallel import Executor, SerialExecutor
+from repro.parallel.shm import dispatch_channels
 from repro.resilience.errors import ChannelIntegrityError
 from repro.resilience.rrns import RedundantBasis
 
@@ -55,6 +56,75 @@ __all__ = [
     "rns_conv_pipeline",
     "basis_for_budget",
 ]
+
+
+def _conv_channel_kernel(
+    xl: np.ndarray,
+    wl: np.ndarray,
+    m: int,
+    img_shape: tuple[int, ...],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Multi-limb residue convolution of one channel (see `_conv_channel`).
+
+    Module-level so process workers can run it on shared-memory limb
+    views; the inputs are plain int64 arrays plus scalars, nothing that
+    drags a context or executor across the pickle boundary.
+    """
+    dw = wl.shape[0]
+    d = xl.shape[0]
+    n, c, h, w = img_shape
+    oc = wl.shape[1]
+    oh, ow = conv_output_shape(h, w, kh, kw, stride, padding)
+    cols = im2col(xl.reshape(d * n, c, h, w), kh, kw, stride, padding).reshape(
+        d, n, oh * ow, -1
+    )
+    taps = cols.shape[-1]
+    if 2 * LIMB_BITS + int(np.ceil(np.log2(taps))) > 62:  # pragma: no cover
+        raise ValueError("too many taps for the limb kernel")
+    acc = np.zeros((d + dw, n, oh * ow, oc), dtype=np.int64)
+    for i in range(d):
+        if not cols[i].any():
+            continue  # top limbs of partially-reduced residues are often zero
+        for j in range(dw):
+            prod = cols[i] @ wl[j].T  # < taps * 2^(2*LIMB_BITS)
+            acc[i + j] += prod & LIMB_MASK
+            acc[i + j + 1] += prod >> LIMB_BITS
+    return fold_mod(carry_normalize(acc), m)  # (N, OH*OW, OC) residues
+
+
+class _ConvChannelWorker:
+    """Picklable per-residue-channel conv task for zero-copy dispatch.
+
+    Receives the shared limb tensor and the per-channel weight limbs as
+    shared-memory views (``limbs`` / ``w<i>`` keys); only the moduli and
+    geometry scalars travel through pickle.
+    """
+
+    __slots__ = ("moduli", "value_bits", "img_shape", "kh", "kw", "stride", "padding")
+
+    def __init__(self, moduli, value_bits, img_shape, kh, kw, stride, padding):
+        self.moduli = moduli
+        self.value_bits = value_bits
+        self.img_shape = img_shape
+        self.kh = kh
+        self.kw = kw
+        self.stride = stride
+        self.padding = padding
+
+    def __call__(self, arrays, i: int) -> np.ndarray:
+        m = self.moduli[i]
+        limbs_full = arrays["limbs"]
+        if m.bit_length() > self.value_bits:
+            xl = limbs_full  # inputs already canonical below m
+        else:
+            xl = partial_residue_limbs(limbs_full, m)
+        return _conv_channel_kernel(
+            xl, arrays[f"w{i}"], m, self.img_shape, self.kh, self.kw, self.stride, self.padding
+        )
 
 
 @dataclass(frozen=True)
@@ -187,28 +257,16 @@ class RnsIntegerConv:
         genuine multiprecision cost a non-RNS implementation pays on
         full-width integers.
         """
-        m = self._work.moduli[chan_idx]
-        wl = self._w_limbs[chan_idx]  # (dw, OC, taps)
-        dw = wl.shape[0]
-        d = xl.shape[0]
-        n, c, h, w = img_shape
-        oc = wl.shape[1]
-        oh, ow = conv_output_shape(h, w, self.w_int.shape[2], self.w_int.shape[3], self.stride, self.padding)
-        cols = im2col(
-            xl.reshape(d * n, c, h, w), self.w_int.shape[2], self.w_int.shape[3], self.stride, self.padding
-        ).reshape(d, n, oh * ow, -1)
-        taps = cols.shape[-1]
-        if 2 * LIMB_BITS + int(np.ceil(np.log2(taps))) > 62:  # pragma: no cover
-            raise ValueError("too many taps for the limb kernel")
-        acc = np.zeros((d + dw, n, oh * ow, oc), dtype=np.int64)
-        for i in range(d):
-            if not cols[i].any():
-                continue  # top limbs of partially-reduced residues are often zero
-            for j in range(dw):
-                prod = cols[i] @ wl[j].T  # < taps * 2^(2*LIMB_BITS)
-                acc[i + j] += prod & LIMB_MASK
-                acc[i + j + 1] += prod >> LIMB_BITS
-        return fold_mod(carry_normalize(acc), m)  # (N, OH*OW, OC) residues
+        return _conv_channel_kernel(
+            xl,
+            self._w_limbs[chan_idx],
+            self._work.moduli[chan_idx],
+            img_shape,
+            self.w_int.shape[2],
+            self.w_int.shape[3],
+            self.stride,
+            self.padding,
+        )
 
     def forward_quantized(self, x_int: np.ndarray) -> np.ndarray:
         """split once -> per-channel residue limbs -> conv -> CRT recompose.
@@ -235,16 +293,22 @@ class RnsIntegerConv:
         with obs.span("rnscnn.decompose", k=self._work.k):
             limbs_full = split_limbs(x_int, big_d)
 
-        def one_channel(i: int) -> np.ndarray:
-            m = self._work.moduli[i]
-            if m.bit_length() > value_bits:
-                xl = limbs_full  # inputs already canonical below m
-            else:
-                xl = partial_residue_limbs(limbs_full, m)
-            return self._conv_channel(xl, img_shape, i)
-
+        worker = _ConvChannelWorker(
+            list(self._work.moduli),
+            value_bits,
+            tuple(int(s) for s in img_shape),
+            self.w_int.shape[2],
+            self.w_int.shape[3],
+            self.stride,
+            self.padding,
+        )
+        arrays = {"limbs": limbs_full}
+        for i, wl in enumerate(self._w_limbs):
+            arrays[f"w{i}"] = wl
         with obs.span("rnscnn.conv_channels", k=self._work.k):
-            outs = self.executor.map(one_channel, list(range(self._work.k)))
+            outs = dispatch_channels(
+                self.executor, worker, arrays, list(range(self._work.k))
+            )
         if self.fault_injector is not None:
             outs = self.fault_injector.apply_channel_faults(outs, self._work.moduli)
         with obs.span("rnscnn.recompose", k=self._work.k):

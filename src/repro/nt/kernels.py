@@ -1,0 +1,123 @@
+"""Fused residue-channel kernels shared by the HE weighted sums.
+
+These are the hot inner loops of encrypted convolution: a neuron is a
+plaintext-weighted sum of tap ciphertexts, which in RNS form is
+
+    ``out[i, :] = (sum_t stack[t, i, :] * w[t, i]) mod m_i``
+
+for residue channels ``i`` with pairwise moduli ``m_i``.  The kernels
+here evaluate that whole expression in a handful of NumPy calls over the
+stacked ``(taps, k, n)`` block instead of a per-tap ``mul_plain`` +
+``add`` chain — the fusion the inference-plan layer
+(:mod:`repro.henn.plan`) relies on, also routed through by
+:class:`repro.henn.rnscnn.RnsIntegerConv` for its word-sized channels.
+
+Exactness contract (same as :func:`repro.nt.modarith.mulmod`): inputs
+reduced to ``[0, m)``, per-tap products reduced before summation, and
+``taps * m < 2**62`` so int64 partial sums cannot overflow.  Channels
+with narrow moduli (< 2**31) additionally fuse *across channels*: one
+``(taps, k, n)`` multiply + one modulo, with the modulus broadcast per
+channel — numerically identical to the per-channel path because both
+reduce to ``(a * b) % m`` in int64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nt.modarith import NARROW_MODULUS_BITS, mulmod
+
+__all__ = ["weighted_accumulate", "fused_weighted_sum", "scale_channels"]
+
+
+def _check_tap_budget(taps: int, m: int) -> None:
+    if taps * m > 2**62:  # pragma: no cover - parameter guard
+        raise ValueError("too many taps for exact int64 accumulation")
+
+
+def weighted_accumulate(stack: np.ndarray, w_mod: np.ndarray, m: int) -> np.ndarray:
+    """``(sum_t stack[t] * w_mod[t]) mod m`` along the leading tap axis.
+
+    Parameters
+    ----------
+    stack:
+        ``(taps, ...)`` int64 residues reduced mod *m*.
+    w_mod:
+        ``(taps,)`` weight residues reduced mod *m* (broadcast over the
+        trailing axes).
+    m:
+        The channel modulus.
+    """
+    _check_tap_budget(stack.shape[0], m)
+    w = np.asarray(w_mod, dtype=np.int64).reshape((-1,) + (1,) * (stack.ndim - 1))
+    return mulmod(stack, w, m).sum(axis=0) % m
+
+
+def fused_weighted_sum(stack: np.ndarray, w_res: np.ndarray, moduli: list[int]) -> np.ndarray:
+    """All residue channels of a weighted sum in one sweep.
+
+    Parameters
+    ----------
+    stack:
+        ``(taps, k, n)`` int64 ciphertext-component residues, channel
+        ``i`` reduced mod ``moduli[i]``.
+    w_res:
+        ``(taps, k)`` int64 weight residues, column ``i`` reduced mod
+        ``moduli[i]``.
+    moduli:
+        The ``k`` channel moduli.
+
+    Returns
+    -------
+    ``(k, n)`` int64 stack of the accumulated channels.
+
+    Notes
+    -----
+    Narrow channels (moduli below ``2**31``) are evaluated together with
+    the modulus broadcast along the channel axis; wide channels fall
+    back to the float-Barrett path one at a time.  Both produce the
+    exact ints of :func:`weighted_accumulate` per channel.
+    """
+    taps, k, n = stack.shape
+    if w_res.shape != (taps, k):
+        raise ValueError(f"weight residues must be ({taps}, {k}), got {w_res.shape}")
+    if len(moduli) != k:
+        raise ValueError(f"expected {k} moduli, got {len(moduli)}")
+    out = np.empty((k, n), dtype=np.int64)
+    mods = np.asarray(moduli, dtype=np.int64)
+    narrow = mods < (1 << NARROW_MODULUS_BITS)
+    if narrow.any():
+        for m in mods[narrow]:
+            _check_tap_budget(taps, int(m))
+        sub = stack[:, narrow, :]
+        w = w_res[:, narrow, None]
+        mb = mods[None, narrow, None]
+        prod = np.multiply(sub, w, dtype=np.int64) % mb
+        out[narrow] = prod.sum(axis=0) % mb[0]
+    for i in np.nonzero(~narrow)[0]:
+        out[i] = weighted_accumulate(stack[:, i, :], w_res[:, i], int(mods[i]))
+    return out
+
+
+def scale_channels(stack: np.ndarray, residues: np.ndarray, moduli: list[int]) -> np.ndarray:
+    """Per-channel scalar multiply: ``out[i] = (stack[i] * residues[i]) mod m_i``.
+
+    The broadcast form of :meth:`CkksRnsContext.mul_plain_scalar`: the
+    scalar's residues are computed once by the caller and applied to all
+    channels here — narrow channels in one fused multiply, wide ones via
+    float-Barrett.
+    """
+    k = stack.shape[0]
+    if residues.shape[0] != k or len(moduli) != k:
+        raise ValueError("stack/residues/moduli channel counts differ")
+    out = np.empty_like(stack)
+    mods = np.asarray(moduli, dtype=np.int64)
+    narrow = mods < (1 << NARROW_MODULUS_BITS)
+    if narrow.any():
+        shape = (-1,) + (1,) * (stack.ndim - 1)
+        mb = mods[narrow].reshape(shape)
+        rb = residues[narrow].reshape(shape)
+        out[narrow] = np.multiply(stack[narrow], rb, dtype=np.int64) % mb
+    for i in np.nonzero(~narrow)[0]:
+        out[i] = mulmod(stack[i], np.int64(residues[i]), int(mods[i]))
+    return out

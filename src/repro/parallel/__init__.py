@@ -21,6 +21,13 @@ from repro.parallel.executor import (
     make_executor,
 )
 from repro.parallel.sharding import shard_indices, interleave
+from repro.parallel.shm import (
+    ShmArena,
+    ShmArrayRef,
+    dispatch_channels,
+    shm_available,
+    uses_processes,
+)
 
 __all__ = [
     "Executor",
@@ -30,4 +37,9 @@ __all__ = [
     "make_executor",
     "shard_indices",
     "interleave",
+    "ShmArena",
+    "ShmArrayRef",
+    "dispatch_channels",
+    "shm_available",
+    "uses_processes",
 ]

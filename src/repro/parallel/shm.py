@@ -1,0 +1,273 @@
+"""Zero-copy residue dispatch over ``multiprocessing.shared_memory``.
+
+Process executors pickle every argument.  For residue-channel fan-out
+the arguments are the big ones — ``(taps, k, n)`` ciphertext stacks or
+``(d, N, C, H, W)`` limb tensors — while the per-channel work items are
+an index and a few constants.  This module ships the arrays once:
+
+* :class:`ShmArena` packs a dict of arrays into **one** shared-memory
+  segment and hands out :class:`ShmArrayRef` descriptors — ``(name,
+  shape, dtype, offset)`` tuples a worker turns back into NumPy views
+  without copying.
+* :func:`dispatch_channels` is the drop-in map: with a process-capable
+  executor (and working POSIX shared memory) workers receive
+  descriptors; any other executor — or any failure to create the
+  segment — falls back transparently to the closure/pickle path the
+  thread/serial degradation chain has always used.
+
+Workers attach lazily and cache the mapping per process (one attach per
+worker per arena, not per item); attachments are unregistered from the
+``resource_tracker`` so fork-children do not double-unlink the parent's
+segment.  The parent unlinks the segment after the map returns —
+including after any in-map retries a
+:class:`~repro.resilience.ResilientExecutor` performs, so a worker
+killed mid-flight simply re-resolves the same refs on the retry stage.
+
+Counters (always on, one bump per map): ``parallel.shm.dispatches``,
+``parallel.shm.items``, ``parallel.shm.bytes`` and
+``parallel.shm.fallbacks``.
+"""
+
+from __future__ import annotations
+
+import secrets
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.parallel.executor import Executor, ProcessExecutor
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+__all__ = [
+    "ShmArrayRef",
+    "ShmArena",
+    "dispatch_channels",
+    "shm_available",
+    "uses_processes",
+]
+
+#: Byte alignment of packed arrays inside a segment (cache-line friendly).
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Picklable descriptor of one array inside a shared segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+def _count(event: str, n: int = 1) -> None:
+    get_registry().counter(f"parallel.shm.{event}").inc(n)
+
+
+_AVAILABLE: bool | None = None
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory works here (probed once, cached)."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if shared_memory is None:
+            _AVAILABLE = False
+        else:
+            try:
+                probe = shared_memory.SharedMemory(create=True, size=64)
+                probe.close()
+                probe.unlink()
+                _AVAILABLE = True
+            except Exception:
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+def uses_processes(executor: Executor | None) -> bool:
+    """True when *executor* may dispatch across a process boundary.
+
+    Recognises :class:`~repro.parallel.ProcessExecutor` directly and any
+    wrapper exposing a ``chain`` of stage kinds (the resilience
+    executor), whose degradation path may start at a process pool.
+    """
+    if isinstance(executor, ProcessExecutor):
+        return True
+    return "process" in tuple(getattr(executor, "chain", ()))
+
+
+class ShmArena:
+    """A dict of NumPy arrays packed into one shared-memory segment.
+
+    Construction copies each array into the segment once; ``refs`` maps
+    the original keys to :class:`ShmArrayRef` descriptors.  The arena
+    must outlive every dispatch that references it; call :meth:`close`
+    (parent side: ``unlink=True``) when the map has returned.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]):
+        if shared_memory is None:  # pragma: no cover - platform guard
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        layout: list[tuple[str, np.ndarray, int]] = []
+        offset = 0
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            if arr.dtype == object:
+                raise TypeError(f"array {key!r} has object dtype; cannot be shared")
+            offset = -(-offset // _ALIGN) * _ALIGN
+            layout.append((key, arr, offset))
+            offset += arr.nbytes
+        name = f"repro_{secrets.token_hex(8)}"
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1), name=name)
+        self.name = self._shm.name
+        self.refs: dict[str, ShmArrayRef] = {}
+        for key, arr, off in layout:
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self._shm.buf, offset=off)
+            dst[...] = arr
+            self.refs[key] = ShmArrayRef(self.name, tuple(arr.shape), arr.dtype.str, off)
+        self.nbytes = offset
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the mapping and (by default) remove the segment."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - live views keep it mapped
+            pass
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+#: Worker-side attach cache: segment name -> SharedMemory (bounded LRU).
+_ATTACHED: "OrderedDict[str, Any]" = OrderedDict()
+_ATTACH_CACHE = 8
+
+
+def _attach(name: str):
+    shm = _ATTACHED.get(name)
+    if shm is not None:
+        _ATTACHED.move_to_end(name)
+        return shm
+    shm = shared_memory.SharedMemory(name=name)
+    # Attaching registers with the resource tracker, which would try to
+    # unlink the parent's segment again when this worker exits; the
+    # parent owns the lifecycle, so unregister the attachment.
+    try:  # pragma: no cover - tracker is an implementation detail
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+    _ATTACHED[name] = shm
+    while len(_ATTACHED) > _ATTACH_CACHE:
+        _, old = _ATTACHED.popitem(last=False)
+        try:
+            old.close()
+        except BufferError:  # pragma: no cover - a view still references it
+            pass
+    return shm
+
+
+def resolve(ref: ShmArrayRef) -> np.ndarray:
+    """Materialise a descriptor as a zero-copy NumPy view of the segment."""
+    shm = _attach(ref.name)
+    return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf, offset=ref.offset)
+
+
+def _detached(result: Any, views: dict[str, np.ndarray]) -> Any:
+    """Copy any result that aliases the shared segment (rare but unsafe)."""
+    if isinstance(result, np.ndarray):
+        if any(np.shares_memory(result, v) for v in views.values()):
+            return np.array(result)
+        return result
+    if isinstance(result, tuple):
+        return tuple(_detached(r, views) for r in result)
+    if isinstance(result, list):
+        return [_detached(r, views) for r in result]
+    return result
+
+
+class _ShmTask:
+    """Picklable per-item call: resolve refs, run the worker, detach."""
+
+    __slots__ = ("fn", "refs")
+
+    def __init__(self, fn: Callable[[Mapping[str, np.ndarray], Any], Any], refs: dict[str, ShmArrayRef]):
+        self.fn = fn
+        self.refs = refs
+
+    def __call__(self, item: Any) -> Any:
+        views = {key: resolve(ref) for key, ref in self.refs.items()}
+        return _detached(self.fn(views, item), views)
+
+
+class _InlineTask:
+    """The pickle-free fallback: call the worker on the live arrays."""
+
+    __slots__ = ("fn", "arrays")
+
+    def __init__(self, fn: Callable[[Mapping[str, np.ndarray], Any], Any], arrays: Mapping[str, np.ndarray]):
+        self.fn = fn
+        self.arrays = arrays
+
+    def __call__(self, item: Any) -> Any:
+        return self.fn(self.arrays, item)
+
+
+def dispatch_channels(
+    executor: Executor,
+    worker: Callable[[Mapping[str, np.ndarray], Any], Any],
+    arrays: Mapping[str, np.ndarray],
+    items: Sequence[Any],
+) -> list[Any]:
+    """Map ``worker(arrays, item)`` over *items*, sharing *arrays* zero-copy.
+
+    Parameters
+    ----------
+    executor:
+        Any :class:`~repro.parallel.Executor`.  Process-capable
+        executors receive :class:`ShmArrayRef` descriptors; thread and
+        serial executors call the worker on the arrays directly.
+    worker:
+        Picklable callable ``worker(arrays_dict, item)``; for process
+        dispatch it must be a module-level function or class instance.
+    arrays:
+        Named work arrays (int64/float stacks; object dtype refuses).
+    items:
+        Per-channel work items (typically channel indices + constants).
+    """
+    if uses_processes(executor) and shm_available() and len(items) > 1:
+        try:
+            arena = ShmArena(arrays)
+        except Exception:
+            _count("fallbacks")
+            return executor.map(_InlineTask(worker, arrays), items)
+        _count("dispatches")
+        _count("items", len(items))
+        _count("bytes", arena.nbytes)
+        try:
+            return executor.map(_ShmTask(worker, arena.refs), items)
+        finally:
+            arena.close(unlink=True)
+    return executor.map(_InlineTask(worker, arrays), items)

@@ -1,6 +1,7 @@
-"""Small shared utilities: deterministic RNG handling and wall-clock timing."""
+"""Small shared utilities: RNG handling, timing, and the plaintext cache."""
 
+from repro.utils.cache import PlaintextCache
 from repro.utils.rng import derive_rng, spawn_rngs
 from repro.utils.timing import LatencyStats, Timer, time_call
 
-__all__ = ["derive_rng", "spawn_rngs", "LatencyStats", "Timer", "time_call"]
+__all__ = ["derive_rng", "spawn_rngs", "LatencyStats", "Timer", "time_call", "PlaintextCache"]

@@ -1,0 +1,220 @@
+"""Inference plans: bit-identity with the unplanned path, cache behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksParams
+from repro.ckksrns import CkksRnsParams
+from repro.henn.backend import CkksBackend, CkksRnsBackend, MockBackend
+from repro.henn.inference import HeInferenceEngine
+from repro.henn.layers import HeAvgPool, HeConv2d, HeFlatten, HeLinear, HePoly
+from repro.henn.plan import _backend_sig, compile_plan, plan_cache_key
+from repro.obs.metrics import get_registry
+from repro.utils.cache import PlaintextCache
+
+IN_SHAPE = (1, 6, 6)
+
+
+def _tiny_layers(seed=0):
+    """conv(2x1x3x3) -> square-ish poly -> flatten -> linear(10): depth 4."""
+    rng = np.random.default_rng(seed)
+    conv_w = rng.uniform(-0.5, 0.5, (2, 1, 3, 3))
+    conv_b = rng.uniform(-0.1, 0.1, 2)
+    lin_w = rng.uniform(-0.3, 0.3, (10, 32))
+    lin_b = rng.uniform(-0.1, 0.1, 10)
+    return [
+        HeConv2d(conv_w, conv_b),
+        HePoly(np.array([0.1, 0.5, 0.25])),
+        HeFlatten(),
+        HeLinear(lin_w, lin_b),
+    ]
+
+
+def _images(batch, seed=1):
+    return np.random.default_rng(seed).uniform(0, 1, (batch,) + IN_SHAPE)
+
+
+# -- bit-identity -----------------------------------------------------------
+
+
+def test_planned_matches_unplanned_mock():
+    backend = MockBackend(batch=8, scale_bits=26, levels=5)
+    layers = _tiny_layers()
+    x = _images(8)
+    cold = HeInferenceEngine(backend, layers, IN_SHAPE, plan=False).classify(x)
+    warm = HeInferenceEngine(backend, layers, IN_SHAPE, plan=True).classify(x)
+    assert np.array_equal(cold, warm)
+
+
+@pytest.mark.parametrize("make_backend", [
+    lambda: CkksBackend(
+        CkksParams(n=128, scale_bits=24, q0_bits=36, levels=5, hw=16), seed=0
+    ),
+    lambda: CkksRnsBackend(
+        CkksRnsParams(
+            n=128, moduli_bits=(36, 26, 26, 26, 26, 26), scale_bits=26,
+            special_bits=45, hw=16,
+        ),
+        seed=0,
+    ),
+], ids=["ckks", "ckks-rns"])
+def test_planned_matches_unplanned_real(make_backend):
+    """Same backend, same ciphertexts: planned evaluation must produce
+    bit-identical logits to the fresh-encode path."""
+    backend = make_backend()
+    layers = _tiny_layers()
+    x = _images(4)
+    unplanned = HeInferenceEngine(backend, layers, IN_SHAPE, plan=False)
+    enc = unplanned.encrypt_images(x)
+    out_cold = unplanned.run_encrypted(enc)
+    # Building the planned engine second: the cold run above used truly
+    # fresh encodes (no cache was installed on the context yet).
+    planned = HeInferenceEngine(backend, layers, IN_SHAPE, plan=True)
+    out_warm = planned.run_encrypted(enc)
+    cold = np.stack([backend.decrypt(h, count=4) for h in out_cold], axis=1)
+    warm = np.stack([backend.decrypt(h, count=4) for h in out_warm], axis=1)
+    assert np.array_equal(cold, warm)
+
+
+def test_planned_avgpool_matches_unplanned():
+    backend = MockBackend(batch=4, scale_bits=26, levels=6)
+    rng = np.random.default_rng(2)
+    layers = [
+        HeConv2d(rng.uniform(-0.5, 0.5, (2, 1, 3, 3)), None),
+        HeAvgPool(2),
+        HeFlatten(),
+        HeLinear(rng.uniform(-0.3, 0.3, (10, 8)), None),
+    ]
+    x = _images(4)
+    cold = HeInferenceEngine(backend, layers, IN_SHAPE, plan=False).classify(x)
+    warm = HeInferenceEngine(backend, layers, IN_SHAPE, plan=True).classify(x)
+    assert np.array_equal(cold, warm)
+
+
+def test_planned_pruned_layers_match():
+    """Pruned conv/linear (including fully-pruned rows) replay identically."""
+    backend = MockBackend(batch=4, scale_bits=26, levels=5)
+    rng = np.random.default_rng(3)
+    lin_w = rng.uniform(-0.3, 0.3, (10, 32))
+    lin_w[7] = 1e-9  # fully pruned row -> zero-weight fallback program
+    layers = [
+        HeConv2d(rng.uniform(-0.5, 0.5, (2, 1, 3, 3)), None, prune_below=0.2),
+        HeFlatten(),
+        HeLinear(lin_w, None, prune_below=0.05),
+    ]
+    x = _images(4)
+    cold = HeInferenceEngine(backend, layers, IN_SHAPE, plan=False).classify(x)
+    warm = HeInferenceEngine(backend, layers, IN_SHAPE, plan=True).classify(x)
+    assert np.array_equal(cold, warm)
+
+
+# -- cache keys -------------------------------------------------------------
+
+
+def test_backend_signature_changes_with_params():
+    base = CkksRnsParams(
+        n=128, moduli_bits=(36, 26, 26, 26, 26), scale_bits=26, special_bits=45, hw=16
+    )
+    b0 = CkksRnsBackend(base, seed=0)
+    sig0 = _backend_sig(b0)
+    assert sig0 == _backend_sig(CkksRnsBackend(base, seed=1))  # keys don't matter
+    b_n = CkksRnsBackend(
+        CkksRnsParams(
+            n=64, moduli_bits=(36, 26, 26, 26, 26), scale_bits=26, special_bits=45, hw=8
+        ),
+        seed=0,
+    )
+    assert _backend_sig(b_n) != sig0  # ring degree changes the signature
+    b_chain = CkksRnsBackend(
+        CkksRnsParams(
+            n=128, moduli_bits=(36, 26, 26, 26), scale_bits=26, special_bits=45, hw=16
+        ),
+        seed=0,
+    )
+    assert _backend_sig(b_chain) != sig0  # modulus chain changes the signature
+    b_scale = MockBackend(batch=4, scale_bits=20, levels=5)
+    assert _backend_sig(b_scale) != _backend_sig(MockBackend(batch=4, scale_bits=26, levels=5))
+
+
+def test_plan_cache_key_components():
+    sig = ("mock", 2.0**26, 5)
+    k0 = plan_cache_key(sig, 2.0**26, (1, 2, 3))
+    assert k0 == plan_cache_key(sig, 2.0**26, (1, 2, 3))
+    assert k0 != plan_cache_key(sig, 2.0**24, (1, 2, 3))  # plain scale
+    assert k0 != plan_cache_key(sig, 2.0**26, (1, 2, 4))  # quantized weights
+    assert k0 != plan_cache_key(("mock", 2.0**26, 6), 2.0**26, (1, 2, 3))  # signature
+
+
+def test_scalar_cache_misses_across_levels(rns_ctx, rns_keys, rng):
+    """The same scalar at two levels must occupy two cache entries."""
+    cache = PlaintextCache()
+    rns_ctx.plain_cache = cache
+    try:
+        z = rng.uniform(-1, 1, rns_ctx.slots)
+        ct = rns_ctx.encrypt(rns_keys.pk, z, 11)
+        n0 = len(cache)
+        rns_ctx.add_plain(ct, 0.25)
+        assert len(cache) == n0 + 1
+        rns_ctx.add_plain(ct, 0.25)  # same level: hit, no new entry
+        assert len(cache) == n0 + 1
+        lower = rns_ctx.mod_switch_to(ct, ct.level - 1)
+        rns_ctx.add_plain(lower, 0.25)  # lower level: key misses
+        assert len(cache) == n0 + 2
+    finally:
+        rns_ctx.plain_cache = None
+
+
+def test_tap_encodings_deduplicated():
+    """All interior conv positions share one kernel: the plan must encode
+    it once per output channel, not once per position."""
+    backend = MockBackend(batch=4, scale_bits=26, levels=5)
+    layers = _tiny_layers()
+    plan = compile_plan(backend, layers, IN_SHAPE)
+    positions = sum(len(p) for p in plan.layers[0].programs)
+    assert positions == 2 * 4 * 4
+    # 2 conv kernels + 10 linear rows = 12 distinct encodings.
+    assert len(plan.cache) == 12
+    hits = get_registry().counter("plan.cache.hit").value
+    assert hits > 0
+
+
+# -- warm-path counters ------------------------------------------------------
+
+
+def test_warm_classify_zero_fresh_encodes():
+    """Classify #1 fills the scalar cache; classify #2 must encode nothing."""
+    backend = CkksRnsBackend(
+        CkksRnsParams(
+            n=128, moduli_bits=(36, 26, 26, 26, 26, 26), scale_bits=26,
+            special_bits=45, hw=16,
+        ),
+        seed=0,
+    )
+    eng = HeInferenceEngine(backend, _tiny_layers(), IN_SHAPE, plan=True)
+    x = _images(4)
+    eng.classify(x)  # cold: misses allowed
+    reg = get_registry()
+    fresh0 = reg.counter("plan.encode.fresh").value
+    miss0 = reg.counter("plan.cache.miss").value
+    eng.classify(x)  # warm
+    assert reg.counter("plan.encode.fresh").value == fresh0
+    assert reg.counter("plan.cache.miss").value == miss0
+
+
+def test_plan_reused_across_engines():
+    """An adopted plan object skips recompilation and still evaluates."""
+    backend = MockBackend(batch=4, scale_bits=26, levels=5)
+    layers = _tiny_layers()
+    plan = compile_plan(backend, layers, IN_SHAPE)
+    eng = HeInferenceEngine(backend, layers, IN_SHAPE, plan=plan)
+    assert eng.plan is plan
+    logits = eng.classify(_images(4))
+    assert logits.shape == (4, 10)
+
+
+def test_planned_trace_keeps_source_layer_names():
+    backend = MockBackend(batch=4, scale_bits=26, levels=5)
+    layers = _tiny_layers()
+    eng = HeInferenceEngine(backend, layers, IN_SHAPE, plan=True)
+    eng.classify(_images(4))
+    assert eng.trace.names == [type(l).__name__ for l in layers]

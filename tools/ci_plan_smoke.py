@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""CI smoke check: a warm ``classify()`` performs zero plaintext encodes.
+
+Builds a small CNN-HE-RNS engine with planning enabled, classifies one
+batch cold (the scalar plaintext cache fills), then classifies again and
+asserts — from the ``repro.obs`` counters, not from timing — that the
+second call performed
+
+* zero fresh plaintext encodes (``plan.encode.fresh``), and
+* zero plaintext-cache misses (``plan.cache.miss``),
+
+i.e. the compile-once contract holds: everything the warm path needs
+was either precompiled by :func:`repro.henn.plan.compile_plan` or
+memoized during the cold call.  Count-based, so it is immune to CI
+machine noise.  Exits non-zero with the offending counter deltas.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.ckksrns import CkksRnsParams
+from repro.henn.backend import CkksRnsBackend
+from repro.henn.inference import HeInferenceEngine
+from repro.henn.layers import HeConv2d, HeFlatten, HeLinear, HePoly
+from repro.obs.metrics import get_registry
+
+
+def build_engine() -> HeInferenceEngine:
+    rng = np.random.default_rng(0)
+    layers = [
+        HeConv2d(rng.uniform(-0.5, 0.5, (2, 1, 3, 3)), rng.uniform(-0.1, 0.1, 2)),
+        HePoly(np.array([0.1, 0.5, 0.25])),
+        HeFlatten(),
+        HeLinear(rng.uniform(-0.3, 0.3, (10, 32)), rng.uniform(-0.1, 0.1, 10)),
+    ]
+    backend = CkksRnsBackend(
+        CkksRnsParams(
+            n=128,
+            moduli_bits=(36, 26, 26, 26, 26, 26),
+            scale_bits=26,
+            special_bits=45,
+            hw=16,
+        ),
+        seed=0,
+    )
+    return HeInferenceEngine(backend, layers, (1, 6, 6), plan=True)
+
+
+def main() -> int:
+    engine = build_engine()
+    images = np.random.default_rng(1).uniform(0, 1, (4, 1, 6, 6))
+    reg = get_registry()
+
+    engine.classify(images)  # cold: cache fills, misses expected
+    cold_fresh = reg.counter("plan.encode.fresh").value
+    cold_miss = reg.counter("plan.cache.miss").value
+    cold_hit = reg.counter("plan.cache.hit").value
+
+    engine.classify(images)  # warm: must be fully served from caches
+    warm_fresh = reg.counter("plan.encode.fresh").value - cold_fresh
+    warm_miss = reg.counter("plan.cache.miss").value - cold_miss
+    warm_hit = reg.counter("plan.cache.hit").value - cold_hit
+
+    print(
+        f"cold: fresh_encodes={cold_fresh} cache_misses={cold_miss} cache_hits={cold_hit}"
+    )
+    print(f"warm: fresh_encodes={warm_fresh} cache_misses={warm_miss} cache_hits={warm_hit}")
+
+    ok = True
+    if warm_fresh != 0:
+        print(f"FAIL: warm classify performed {warm_fresh} fresh plaintext encodes")
+        ok = False
+    if warm_miss != 0:
+        print(f"FAIL: warm classify missed the plaintext cache {warm_miss} times")
+        ok = False
+    if warm_hit == 0:
+        print("FAIL: warm classify never hit the plaintext cache (cache not in use?)")
+        ok = False
+    if ok:
+        print("OK: warm classify performed zero plaintext encodes")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
