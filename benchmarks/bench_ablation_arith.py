@@ -8,9 +8,8 @@ vs as RNS channels.
 
 import numpy as np
 import pytest
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table
 from repro.nt.modarith import mulmod
 from repro.nt.ntt import NttPlan
 from repro.nt.polynomial import PolyRing
@@ -45,15 +44,13 @@ def test_ablation_poly_mul(benchmark, n):
 
     with Timer() as t_rns2:
         _rns_mul(plans, sa, sb)
-    save_artifact(
+    save_record(
         f"ablation_arith_n{n}",
-        format_table(
-            ["representation", "one product (ms)"],
-            [
-                ["multiprecision big-int (Kronecker)", t_mp.elapsed * 1e3],
-                ["RNS channels (8 x 26-bit, NTT)", t_rns2.elapsed * 1e3],
-                ["speed-up", t_mp.elapsed / max(t_rns2.elapsed, 1e-9)],
-            ],
-            f"Polynomial product in R_q, n={n}, log q ~ 208",
-        ),
+        ["representation", "one product (ms)"],
+        [
+            ["multiprecision big-int (Kronecker)", t_mp.elapsed * 1e3],
+            ["RNS channels (8 x 26-bit, NTT)", t_rns2.elapsed * 1e3],
+            ["speed-up", t_mp.elapsed / max(t_rns2.elapsed, 1e-9)],
+        ],
+        f"Polynomial product in R_q, n={n}, log q ~ 208",
     )

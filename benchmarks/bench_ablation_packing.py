@@ -5,9 +5,9 @@ max-batch images ride in the slots; throughput therefore scales with
 the batch while single-image latency is constant.
 """
 
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table, measure_engine_latency
+from repro.bench.tables import measure_engine_latency
 from repro.bench.workloads import make_engine
 
 
@@ -25,11 +25,9 @@ def test_ablation_packing(benchmark, cnn1_models):
     lat1 = rows[0][1]
     lat16 = rows[-1][1]
     assert lat16 < 2.0 * lat1, "batched packing should not scale latency with batch"
-    save_artifact(
+    save_record(
         "ablation_packing",
-        format_table(
-            ["batch (images)", "latency (s)", "throughput (img/s)"],
-            rows,
-            "SIMD batch packing: latency is batch-invariant",
-        ),
+        ["batch (images)", "latency (s)", "throughput (img/s)"],
+        rows,
+        "SIMD batch packing: latency is batch-invariant",
     )

@@ -9,9 +9,8 @@ import os
 
 import numpy as np
 import pytest
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table
 from repro.ckksrns import CkksRnsContext, CkksRnsParams
 from repro.parallel import SerialExecutor, ThreadExecutor
 from repro.utils.timing import Timer
@@ -45,8 +44,15 @@ def test_ablation_executor_summary(benchmark):
         rows.append([kind, t.elapsed * 1e3])
         ex.close()
     assert np.array_equal(results["serial"], results["thread x8"])
+    # Timing rows only: "host cores" is environment metadata, which the
+    # record's env fingerprint already carries, so keep it out of the
+    # regression-compared results.
+    timing_results = {f"{kind}.ms": ms for kind, ms in rows}
     rows.append(["host cores", os.cpu_count()])
-    save_artifact(
+    save_record(
         "ablation_parallel",
-        format_table(["executor", "ct*ct (ms) / cores"], rows, "Executor ablation (CKKS-RNS mul)"),
+        ["executor", "ct*ct (ms) / cores"],
+        rows,
+        "Executor ablation (CKKS-RNS mul)",
+        results=timing_results,
     )

@@ -6,9 +6,9 @@ degrades gracefully.  This regenerates that trade-off curve on CNN1.
 """
 
 import numpy as np
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table, measure_engine_latency
+from repro.bench.tables import measure_engine_latency
 from repro.bench.workloads import make_engine
 from repro.henn.compiler import compile_model
 from repro.henn.inference import HeInferenceEngine
@@ -34,12 +34,10 @@ def test_ablation_pruning(benchmark, cnn1_models, preset):
         rows.append([threshold, f"{sparsity:.0%}", lat, acc * 100])
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    save_artifact(
+    save_record(
         "ablation_pruning",
-        format_table(
-            ["prune threshold", "weights dropped", "latency (s)", "accuracy (%)"],
-            rows,
-            f"Pruning ablation on CNN1 (preset={preset.name})",
-        ),
+        ["prune threshold", "weights dropped", "latency (s)", "accuracy (%)"],
+        rows,
+        f"Pruning ablation on CNN1 (preset={preset.name})",
     )
     assert rows[-1][2] <= rows[0][2] * 1.05  # latency should not grow with pruning

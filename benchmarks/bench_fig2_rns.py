@@ -6,9 +6,8 @@ word-sized and the CRT bracket is where the (small) overhead lives.
 """
 
 import numpy as np
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table
 from repro.rns import RnsBase, channel_mul, rns_decompose, rns_recompose_signed
 from repro.utils.timing import Timer
 
@@ -33,6 +32,6 @@ def test_fig2_decompose_roundtrip(benchmark, rng=np.random.default_rng(0)):
         with Timer() as t:
             fn()
         rows.append([stage, t.elapsed * 1000])
-    save_artifact(
-        "fig2", format_table(["stage", "ms"], rows, "FIG 2 — RNS decomposition stages (batch=64)")
+    save_record(
+        "fig2", ["stage", "ms"], rows, "FIG 2 — RNS decomposition stages (batch=64)"
     )

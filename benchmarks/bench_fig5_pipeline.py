@@ -8,9 +8,8 @@ Run with ``REPRO_BENCH_TRACE=1`` to additionally emit
 per-primitive breakdown of the same run, from the ``repro.obs`` spans.
 """
 
-from conftest import save_artifact, save_trace_artifact
+from conftest import save_record, save_trace_artifact
 
-from repro.bench.tables import format_table
 from repro.bench.workloads import make_engine
 from repro.henn.hybrid import HybridRnsEngine
 
@@ -37,8 +36,10 @@ def test_fig5_stage_trace(benchmark, cnn1_models, preset):
     # the engine's per-layer trace of the tail
     for name, secs in engine.tail.trace.as_rows():
         rows.append([f"  tail layer {name}", secs])
-    save_artifact(
+    save_record(
         "fig5",
-        format_table(["stage", "seconds"], rows, f"FIG 5 — CNN1-RNS pipeline trace (preset={preset.name})"),
+        ["stage", "seconds"],
+        rows,
+        f"FIG 5 — CNN1-RNS pipeline trace (preset={preset.name})",
     )
     save_trace_artifact("fig5")

@@ -7,9 +7,8 @@ primitive on big-int coefficients.
 
 import numpy as np
 import pytest
-from conftest import save_artifact, save_trace_artifact
+from conftest import save_record, save_trace_artifact
 
-from repro.bench.tables import format_table
 from repro.ckks import CkksContext, CkksParams
 from repro.ckksrns import CkksRnsContext, CkksRnsParams
 from repro.utils.timing import Timer
@@ -89,12 +88,10 @@ def test_primitive_summary(benchmark, mp, rns):
         with Timer() as t_pl:
             ctx.mul_plain_scalar(ct, 0.5)
         rows.append([name, t_mul.elapsed * 1e3, t_add.elapsed * 1e3, t_pl.elapsed * 1e3])
-    save_artifact(
+    save_record(
         "primitives",
-        format_table(
-            ["scheme", "ct*ct (ms)", "ct+ct (ms)", "ct*scalar (ms)"],
-            rows,
-            f"Primitive latencies at N={N}, depth={DEPTH}",
-        ),
+        ["scheme", "ct*ct (ms)", "ct+ct (ms)", "ct*scalar (ms)"],
+        rows,
+        f"Primitive latencies at N={N}, depth={DEPTH}",
     )
     save_trace_artifact("primitives")

@@ -11,9 +11,8 @@ import re
 import time
 from pathlib import Path
 
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table
 from repro.bench.workloads import make_engine
 from repro.henn.backend import CkksRnsBackend
 from repro.henn.inference import HeInferenceEngine
@@ -82,13 +81,11 @@ def test_plan_cache_cold_vs_warm(benchmark, cnn1_models, preset):
         rows.append(
             ["recorded fig5 pipeline baseline (total)", fig5_secs, f"{vs_fig5:.2f}x"]
         )
-    save_artifact(
+    save_record(
         "plan_cache",
-        format_table(
-            ["configuration", "seconds", "vs unplanned"],
-            rows,
-            f"PLAN CACHE — CNN1-HE-RNS single image, cold vs warm (preset={preset.name})",
-        ),
+        ["configuration", "seconds", "vs unplanned"],
+        rows,
+        f"PLAN CACHE — CNN1-HE-RNS single image, cold vs warm (preset={preset.name})",
     )
     assert warm_fresh == 0, "warm classify performed fresh plaintext encodes"
     assert warm_miss == 0, "warm classify missed the plaintext cache"

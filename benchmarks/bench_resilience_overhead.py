@@ -9,9 +9,8 @@ hybrid RNS conv stage, plus the price of an actual recovery (detection
 """
 
 import numpy as np
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table
 from repro.henn.rnscnn import rns_conv_pipeline
 from repro.resilience import FaultInjector
 from repro.utils.timing import Timer
@@ -46,11 +45,9 @@ def test_resilience_redundancy_overhead(benchmark):
     assert res["exact"] and res["faults"] == [1]
     rows.append(["r=2 + recovery", 5, t.elapsed * 1000, 100.0 * (t.elapsed * 1000 - base_ms) / base_ms])
 
-    save_artifact(
+    save_record(
         "resilience_overhead",
-        format_table(
-            ["config", "channels", "ms", "overhead %"],
-            rows,
-            "RESILIENCE — redundant-channel overhead (Fig. 5 conv stage, k=3, batch=32)",
-        ),
+        ["config", "channels", "ms", "overhead %"],
+        rows,
+        "RESILIENCE — redundant-channel overhead (Fig. 5 conv stage, k=3, batch=32)",
     )

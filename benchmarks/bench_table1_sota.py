@@ -5,9 +5,9 @@ measured on this machine (latency of one encrypted classification under
 CKKS-RNS; accuracy over the mock backend on the synthetic test set).
 """
 
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table, measure_engine_latency, mock_accuracy, table1_rows
+from repro.bench.tables import measure_engine_latency, mock_accuracy, table1_rows
 from repro.bench.workloads import make_engine
 
 
@@ -23,7 +23,9 @@ def test_table1(benchmark, cnn1_models, cnn2_models, preset):
         return table1_rows(measured)
 
     headers, rows = benchmark.pedantic(regen, rounds=1, iterations=1)
-    save_artifact(
+    save_record(
         "table1",
-        format_table(headers, rows, f"TABLE I — SOTA summary + ours (preset={preset.name})"),
+        headers,
+        rows,
+        f"TABLE I — SOTA summary + ours (preset={preset.name})",
     )

@@ -1,8 +1,8 @@
 """Table II — CKKS-RNS security settings, validated against the HE standard."""
 
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table, table2_rows
+from repro.bench.tables import table2_rows
 from repro.ckksrns import CkksRnsParams
 
 
@@ -12,7 +12,7 @@ def test_table2(benchmark):
     headers, rows = benchmark.pedantic(
         lambda: table2_rows(params), rounds=1, iterations=1
     )
-    save_artifact("table2", format_table(headers, rows, "TABLE II — CKKS-RNS security settings"))
+    save_record("table2", headers, rows, "TABLE II — CKKS-RNS security settings")
     d = {r[0]: r[1] for r in rows}
     assert d["HE-standard OK"] is True
     assert d["log q"] == 366

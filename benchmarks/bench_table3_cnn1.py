@@ -6,17 +6,17 @@ strictly faster than the multiprecision baseline (our pure-Python
 substrate typically widens the gap well beyond 36%).
 """
 
-from conftest import save_artifact, save_trace_artifact
+from conftest import save_record, save_trace_artifact
 
-from repro.bench.tables import format_table, run_table3
+from repro.bench.tables import run_table3
 
 
 def test_table3(benchmark, cnn1_models, preset):
     headers, rows = benchmark.pedantic(
         lambda: run_table3(cnn1_models), rounds=1, iterations=1
     )
-    save_artifact(
-        "table3", format_table(headers, rows, f"TABLE III — CNN1 (preset={preset.name})")
+    save_record(
+        "table3", headers, rows, f"TABLE III — CNN1 (preset={preset.name})"
     )
     save_trace_artifact("table3")
     he_row, rns_row = rows[0], rows[1]

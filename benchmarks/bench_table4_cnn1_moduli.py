@@ -6,18 +6,20 @@ of the convolution stage at a fixed total precision budget; the
 homomorphic tail is k-independent and reported as a constant column.
 """
 
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table, run_table4
+from repro.bench.tables import run_table4
 
 
 def test_table4(benchmark, cnn1_models, preset):
     headers, rows = benchmark.pedantic(
         lambda: run_table4(cnn1_models), rounds=1, iterations=1
     )
-    save_artifact(
+    save_record(
         "table4",
-        format_table(headers, rows, f"TABLE IV — CNN1-HE-RNS moduli sweep (preset={preset.name})"),
+        headers,
+        rows,
+        f"TABLE IV — CNN1-HE-RNS moduli sweep (preset={preset.name})",
     )
     ks = [r[0] for r in rows]
     assert ks == list(range(3, 11))

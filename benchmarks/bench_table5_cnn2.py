@@ -3,17 +3,17 @@
 Paper: 39.91 s -> 23.67 s (40.7% speed-up), accuracy 99.21 both rows.
 """
 
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table, run_table5
+from repro.bench.tables import run_table5
 
 
 def test_table5(benchmark, cnn2_models, preset):
     headers, rows = benchmark.pedantic(
         lambda: run_table5(cnn2_models), rounds=1, iterations=1
     )
-    save_artifact(
-        "table5", format_table(headers, rows, f"TABLE V — CNN2 (preset={preset.name})")
+    save_record(
+        "table5", headers, rows, f"TABLE V — CNN2 (preset={preset.name})"
     )
     he_row, rns_row = rows[0], rows[1]
     assert he_row[-1] == rns_row[-1], "accuracy parity violated"

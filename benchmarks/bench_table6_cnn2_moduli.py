@@ -5,18 +5,20 @@ k >= 3, minimum 22.46 s at k=9, uptick at k=10.  Row k=1 runs the
 non-decomposed multiprecision convolution.
 """
 
-from conftest import save_artifact
+from conftest import save_record
 
-from repro.bench.tables import format_table, run_table6
+from repro.bench.tables import run_table6
 
 
 def test_table6(benchmark, cnn2_models, preset):
     headers, rows = benchmark.pedantic(
         lambda: run_table6(cnn2_models), rounds=1, iterations=1
     )
-    save_artifact(
+    save_record(
         "table6",
-        format_table(headers, rows, f"TABLE VI — CNN2-HE-RNS moduli sweep (preset={preset.name})"),
+        headers,
+        rows,
+        f"TABLE VI — CNN2-HE-RNS moduli sweep (preset={preset.name})",
     )
     ks = [r[0] for r in rows]
     assert ks == [1] + list(range(3, 11))

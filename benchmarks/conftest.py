@@ -1,8 +1,11 @@
 """Shared benchmark fixtures: preset resolution and trained-model cache.
 
 Benchmarks print their tables and also persist them under
-``bench_artifacts/`` so EXPERIMENTS.md can reference actual runs.
-Select sizes with ``REPRO_BENCH_PRESET`` (tiny | reduced | paper).
+``bench_artifacts/`` — both as the human ``<name>.txt`` table and as a
+schema-versioned ``BENCH_<name>.json`` record
+(:mod:`repro.bench.record`) that ``tools/bench_compare.py`` diffs
+against the committed baselines.  Select sizes with
+``REPRO_BENCH_PRESET`` (tiny | reduced | paper).
 
 Set ``REPRO_BENCH_TRACE=1`` to enable the ``repro.obs`` tracer for the
 whole benchmark session: bench scripts that call
@@ -20,7 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro import obs
-from repro.bench import get_preset, prepare_models
+from repro.bench import format_table, get_preset, make_record, prepare_models, write_record
 
 ARTIFACTS = Path(__file__).resolve().parent.parent / "bench_artifacts"
 
@@ -46,6 +49,27 @@ def save_artifact(name: str, text: str) -> None:
     ARTIFACTS.mkdir(exist_ok=True)
     (ARTIFACTS / f"{name}.txt").write_text(text + "\n")
     print("\n" + text)
+
+
+def save_record(name: str, headers, rows, title: str, results=None) -> None:
+    """Persist one benchmark table as ``<name>.txt`` + ``BENCH_<name>.json``.
+
+    The JSON record (schema ``repro.bench/1``) carries the table, an
+    environment fingerprint, a snapshot of the metrics registry, and
+    the flat timing ``results`` map that ``tools/bench_compare.py``
+    judges regressions on (auto-derived from the table's time-like
+    columns unless given explicitly).
+    """
+    save_artifact(name, format_table(headers, rows, title))
+    record = make_record(
+        name,
+        headers,
+        rows,
+        title=title,
+        results=results,
+        metrics=obs.get_registry().snapshot(),
+    )
+    write_record(record, ARTIFACTS)
 
 
 def save_trace_artifact(name: str) -> None:

@@ -1,0 +1,99 @@
+"""Monitored inference: the full serving-telemetry surface on one run.
+
+A CNN1-HE-RNS engine classifies one encrypted batch behind the Fig. 1
+protocol with every observability layer switched on: ciphertext-health
+gauges at each layer boundary, a decrypt-side precision probe against
+the plaintext reference, structured JSON request logs, and live
+``/metrics`` + ``/healthz`` endpoints scraped over HTTP. The run dumps
+its artifacts — Prometheus text, the versioned JSON trace, the log
+lines — into ``monitored_artifacts/`` for inspection.
+
+Run:  python examples/monitored_inference.py
+"""
+
+import json
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.data import load_synth_mnist, normalize_unit, to_nchw
+from repro.henn import MockBackend, build_cnn1, compile_model, slafify
+from repro.henn.compiler import model_depth
+from repro.henn.protocol import Client, CloudService
+from repro.nn import TrainConfig, Trainer
+
+OUT = Path(__file__).resolve().parent / "monitored_artifacts"
+
+
+def main() -> None:
+    print("== 1. train + compile CNN1 (SLAF activations, BN folded) ==")
+    xtr, ytr, xte, yte = load_synth_mnist(n_train=4000, n_test=500, seed=1, image_size=12)
+    x, xv = to_nchw(normalize_unit(xtr)), to_nchw(normalize_unit(xte))
+    model = build_cnn1(variant="tiny", seed=0)
+    Trainer(model, TrainConfig(epochs=6, batch_size=64, max_lr=0.08, seed=0)).fit(x, ytr)
+    slaf = slafify(model, x, ytr, degree=3, epochs=2, seed=0)
+    layers = compile_model(slaf)
+    backend = MockBackend(batch=8, levels=model_depth(layers) + 1)
+    images = xv[:4]
+
+    OUT.mkdir(exist_ok=True)
+    log_path = OUT / "requests.log.jsonl"
+    log_path.unlink(missing_ok=True)  # the logger appends
+    obs.get_logger().configure(log_path)
+
+    print("== 2. cloud service up: /metrics + /healthz on an ephemeral port ==")
+    service = CloudService(backend, layers, (1, 12, 12))
+    client = Client(backend, (1, 12, 12))
+    server = service.start_observability(port=0)
+    print(f"   scrape endpoints: {server.url}/metrics  {server.url}/healthz")
+
+    print("== 3. traced encrypted classification through the protocol ==")
+    with obs.tracing() as tracer:
+        enc = client.encrypt_request(images)
+        response = service.try_classify(enc)
+        assert response.ok
+        logits = client.decrypt_response(response.scores, images.shape[0])
+    print(f"   predictions: {logits.argmax(1).tolist()}  (true: {yte[:4].tolist()})")
+
+    print("== 4. decrypt-side precision probe vs the plaintext model ==")
+    reference = Trainer(slaf).predict(images)
+    out = service.engine.run_encrypted(client.encrypt_request(images))
+    stats = obs.precision_probe(backend, out, reference, labels={"stage": "logits"})
+    print(f"   max |dec - ref| = {stats['max_abs']:.3e}  "
+          f"(~{stats['bits_precision']:.1f} bits of precision)")
+
+    print("== 5. ciphertext health at the layer boundaries ==")
+    reg = obs.get_registry()
+    floor = reg.gauge("henn.ct.noise_margin_bits").to_dict()
+    print(f"   noise margin floor: {floor['min']:.1f} bits "
+          f"(start {floor['max']:.1f}); level floor: "
+          f"{reg.gauge('henn.ct.level').to_dict()['min']:.0f}")
+
+    print("== 6. scrape the live endpoints ==")
+    with urllib.request.urlopen(server.url + "/metrics", timeout=5) as resp:
+        prom_text = resp.read().decode()
+    with urllib.request.urlopen(server.url + "/healthz", timeout=5) as resp:
+        health = json.loads(resp.read().decode())
+    print(f"   /healthz: {health}")
+    for line in prom_text.splitlines():
+        if line.startswith(("repro_henn_requests_total", "repro_henn_ct_level ")):
+            print(f"   {line}")
+
+    print("== 7. dump artifacts ==")
+    (OUT / "metrics.prom").write_text(prom_text)
+    obs.dump_json(OUT / "trace.json", tracer, reg)
+    obs.dump_chrome_trace(OUT / "chrome_trace.json", tracer)
+    (OUT / "report.txt").write_text(obs.render_report(tracer, reg))
+    service.stop_observability()
+    obs.get_logger().configure(None)
+    for rec in [json.loads(l) for l in log_path.read_text().splitlines()]:
+        print(f"   log: {rec['event']}  "
+              f"{({k: v for k, v in rec.items() if k in ('request', 'seconds', 'scores')})}")
+    print(f"   artifacts in {OUT}/: metrics.prom, trace.json, "
+          f"chrome_trace.json, report.txt, requests.log.jsonl")
+
+
+if __name__ == "__main__":
+    main()

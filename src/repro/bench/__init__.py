@@ -14,6 +14,15 @@ Size presets keep default runs CI-friendly:
 
 from repro.bench.presets import BenchPreset, get_preset
 from repro.bench.workloads import TrainedModels, prepare_models
+from repro.bench.record import (
+    SCHEMA,
+    compare_records,
+    env_fingerprint,
+    load_record,
+    make_record,
+    validate_record,
+    write_record,
+)
 from repro.bench.tables import (
     format_table,
     table1_rows,
@@ -29,6 +38,13 @@ __all__ = [
     "get_preset",
     "TrainedModels",
     "prepare_models",
+    "SCHEMA",
+    "env_fingerprint",
+    "make_record",
+    "write_record",
+    "load_record",
+    "validate_record",
+    "compare_records",
     "format_table",
     "table1_rows",
     "table2_rows",

@@ -1,0 +1,243 @@
+"""Schema-versioned benchmark records and regression comparison.
+
+Every benchmark table the suite prints is also persisted as a
+``BENCH_<name>.json`` record (schema :data:`SCHEMA`) carrying:
+
+* the table itself (headers + rows, exactly what the ``.txt`` shows);
+* ``results`` — the flat ``{op: seconds-like value}`` map regressions
+  are judged on, auto-derived from the table's time-like columns
+  (headers mentioning ms / sec / latency) unless passed explicitly;
+* an environment fingerprint (python / numpy / platform / cores /
+  preset), so a diff across machines is visibly apples-to-oranges;
+* an optional snapshot of the :mod:`repro.obs` metrics registry.
+
+:func:`compare_records` diffs two records' ``results`` and flags any
+key that got more than ``threshold`` slower (all result keys are
+lower-is-better by construction — only time-like columns are
+auto-derived).  ``tools/bench_compare.py`` is the CLI around it; the CI
+``bench-smoke`` job runs it warn-only against the committed baselines
+under ``bench_artifacts/baselines/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA",
+    "env_fingerprint",
+    "derive_results",
+    "make_record",
+    "write_record",
+    "load_record",
+    "validate_record",
+    "compare_records",
+]
+
+#: Record schema identifier; bump the suffix on breaking layout changes.
+SCHEMA = "repro.bench/1"
+
+#: Header fragments marking a column as a (lower-is-better) timing.
+_TIME_HINTS = ("ms", "sec", "seconds", "time", "lat", "(s)")
+
+_REQUIRED_KEYS = ("schema", "name", "created", "env", "results", "table")
+_ENV_KEYS = ("python", "numpy", "platform", "machine", "cpus", "preset")
+
+
+def env_fingerprint() -> dict[str, Any]:
+    """Where this record was measured (compare apples to apples)."""
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.system().lower(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+        "preset": os.environ.get("REPRO_BENCH_PRESET", "tiny"),
+    }
+
+
+def _is_time_header(header: str) -> bool:
+    h = header.lower()
+    return any(hint in h for hint in _TIME_HINTS)
+
+
+def derive_results(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> dict[str, float]:
+    """Flat ``{"<row label>.<column>": value}`` map of the timing columns.
+
+    The first column labels the row; every later column whose header
+    looks time-like (see :data:`_TIME_HINTS`) and whose cell is numeric
+    contributes one comparable result.  Non-timing columns (accuracy,
+    counts, parameter settings) are deliberately excluded — regression
+    comparison only makes sense where lower is better.
+    """
+    results: dict[str, float] = {}
+    for row in rows:
+        if not row:
+            continue
+        label = str(row[0]).strip()
+        for header, cell in zip(headers[1:], list(row)[1:]):
+            if not _is_time_header(str(header)):
+                continue
+            if isinstance(cell, bool) or not isinstance(cell, (int, float, np.number)):
+                continue
+            value = float(cell)
+            if value != value:  # NaN rows (e.g. skipped configs) are not comparable
+                continue
+            results[f"{label}.{header}"] = value
+    return results
+
+
+def make_record(
+    name: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    results: Mapping[str, float] | None = None,
+    metrics: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build one schema-valid record from a benchmark's table.
+
+    Parameters
+    ----------
+    name:
+        Artifact stem (``fig2`` → ``BENCH_fig2.json``).
+    headers, rows, title:
+        The table as passed to :func:`repro.bench.tables.format_table`.
+    results:
+        Explicit comparison map; by default derived from the table's
+        time-like columns via :func:`derive_results`.
+    metrics:
+        Optional :meth:`repro.obs.metrics.MetricsRegistry.snapshot`.
+    """
+    rows = [list(r) for r in rows]
+    record: dict[str, Any] = {
+        "schema": SCHEMA,
+        "name": str(name),
+        "title": title,
+        "created": time.time(),
+        "env": env_fingerprint(),
+        "results": {
+            k: float(v)
+            for k, v in (results or derive_results(headers, rows)).items()
+        },
+        "table": {"headers": [str(h) for h in headers], "rows": rows},
+    }
+    if metrics:
+        record["metrics"] = dict(metrics)
+    return record
+
+
+def record_path(directory: "str | Path", name: str) -> Path:
+    return Path(directory) / f"BENCH_{name}.json"
+
+
+def write_record(record: Mapping[str, Any], directory: "str | Path") -> Path:
+    """Persist as ``<directory>/BENCH_<name>.json``; returns the path."""
+    problems = validate_record(record)
+    if problems:
+        raise ValueError(f"refusing to write invalid record: {problems}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = record_path(directory, record["name"])
+    path.write_text(json.dumps(_plain(record), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_record(path: "str | Path") -> dict[str, Any]:
+    """Load and schema-validate one record; raises ``ValueError`` if bad."""
+    record = json.loads(Path(path).read_text())
+    problems = validate_record(record)
+    if problems:
+        raise ValueError(f"{path}: {problems}")
+    return record
+
+
+def validate_record(record: Any) -> list[str]:
+    """Problems with *record* against :data:`SCHEMA`; empty means valid."""
+    if not isinstance(record, dict):
+        return ["record is not an object"]
+    problems = [f"missing key {k!r}" for k in _REQUIRED_KEYS if k not in record]
+    if record.get("schema") != SCHEMA:
+        problems.append(f"schema is {record.get('schema')!r}, expected {SCHEMA!r}")
+    env = record.get("env")
+    if not isinstance(env, dict):
+        problems.append("env is not an object")
+    else:
+        problems += [f"env missing {k!r}" for k in _ENV_KEYS if k not in env]
+    results = record.get("results")
+    if not isinstance(results, dict):
+        problems.append("results is not an object")
+    else:
+        problems += [
+            f"results[{k!r}] is not a number"
+            for k, v in results.items()
+            if isinstance(v, bool) or not isinstance(v, (int, float))
+        ]
+    table = record.get("table")
+    if not isinstance(table, dict) or "headers" not in table or "rows" not in table:
+        problems.append("table must carry 'headers' and 'rows'")
+    return problems
+
+
+def compare_records(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    threshold: float = 0.25,
+) -> dict[str, Any]:
+    """Diff two records' ``results``; flag >``threshold`` slowdowns.
+
+    Returns ``{"name", "env_match", "rows", "regressions", "missing"}``
+    where each row is ``{key, baseline, current, ratio, regression}``
+    (``ratio`` = current / baseline, so 1.5 means 50% slower).  Keys
+    present only in the baseline are listed under ``missing`` — a
+    benchmark silently dropping an op is itself a reportable change.
+    """
+    base_res: Mapping[str, float] = baseline.get("results", {})
+    cur_res: Mapping[str, float] = current.get("results", {})
+    rows = []
+    for key in sorted(base_res):
+        if key not in cur_res:
+            continue
+        b, c = float(base_res[key]), float(cur_res[key])
+        ratio = c / b if b > 0 else (1.0 if c == 0 else float("inf"))
+        rows.append(
+            {
+                "key": key,
+                "baseline": b,
+                "current": c,
+                "ratio": ratio,
+                "regression": ratio > 1.0 + threshold,
+            }
+        )
+    env_match = all(
+        baseline.get("env", {}).get(k) == current.get("env", {}).get(k)
+        for k in _ENV_KEYS
+    )
+    return {
+        "name": current.get("name", baseline.get("name", "?")),
+        "env_match": env_match,
+        "rows": rows,
+        "regressions": [r for r in rows if r["regression"]],
+        "missing": sorted(set(base_res) - set(cur_res)),
+    }
+
+
+def _plain(obj: Any) -> Any:
+    """JSON-serialisable copy (numpy scalars → python scalars)."""
+    if isinstance(obj, Mapping):
+        return {str(k): _plain(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_plain(v) for v in obj]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return obj

@@ -27,6 +27,7 @@ from repro import obs
 from repro.henn.backend import HeBackend
 from repro.henn.layers import HeLayer
 from repro.henn.plan import InferencePlan, compile_plan
+from repro.obs import health as _health
 from repro.obs.tracer import Span, Tracer
 from repro.utils.timing import LatencyStats
 
@@ -176,6 +177,9 @@ class HeInferenceEngine:
                 with tracer.span("henn.layer", layer=type(layer).__name__, index=i) as h:
                     x = ex.forward(self.backend, x)
                 spans.append(h.record)
+                # Scale/level/noise gauges for the ciphertexts crossing
+                # this layer boundary; no-op unless tracing is enabled.
+                _health.observe_layer(self.backend, x, type(layer).__name__, i)
         self._layer_spans = spans
         return x
 

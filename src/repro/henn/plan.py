@@ -271,5 +271,9 @@ def compile_plan(
             else:
                 # HePoly and anything unknown: data-dependent, run as-is.
                 planned.append(layer)
-    get_registry().counter("plan.compiled").inc()
+    reg = get_registry()
+    reg.counter("plan.compiled").inc()
+    # Cache-size gauge next to the hit/miss counters: together they say
+    # whether a serving process is still warming or fully steady-state.
+    reg.gauge("plan.cache.entries", {"backend": backend.name}).set(len(cache))
     return InferencePlan(backend, layers, planned, input_shape, cache)

@@ -19,10 +19,18 @@ arguments (which could embed slot values or scales derived from the
 client's data).  The client drives bounded retry on top
 (:meth:`Client.classify_with_retry`), re-encrypting fresh request
 ciphertexts each attempt.
+
+Serving telemetry follows the same rule: every ``try_classify`` call
+emits ``henn.request.*`` lifecycle events through
+:mod:`repro.obs.logs` (silent until a sink is configured) carrying only
+durations, handle counts and sanitised error codes, and
+:meth:`CloudService.start_observability` optionally exposes the process
+metrics on ``/metrics`` + ``/healthz`` scrape endpoints.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,7 +38,9 @@ import numpy as np
 from repro.henn.backend import HeBackend
 from repro.henn.inference import HeInferenceEngine
 from repro.henn.layers import HeLayer
+from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.server import ObservabilityServer
 from repro.resilience.errors import (
     ChannelIntegrityError,
     ExecutorExhaustedError,
@@ -142,6 +152,8 @@ class CloudService:
 
     def __init__(self, backend: HeBackend, layers: list[HeLayer], input_shape: tuple[int, int, int]):
         self.engine = HeInferenceEngine(backend, layers, input_shape)
+        self._obs_server: ObservabilityServer | None = None
+        self._request_seq = 0
 
     def classify_encrypted(self, encrypted_images: np.ndarray) -> np.ndarray:
         """Run the CNN homomorphically; inputs and outputs stay encrypted."""
@@ -149,12 +161,78 @@ class CloudService:
 
     def try_classify(self, encrypted_images: np.ndarray) -> CloudResponse:
         """Like :meth:`classify_encrypted`, but failures come back as a
-        structured :class:`CloudResponse` instead of a raw exception."""
+        structured :class:`CloudResponse` instead of a raw exception.
+
+        Each call is one request-lifecycle: ``henn.request.start`` then
+        ``henn.request.ok`` / ``henn.request.error`` JSON log events
+        (with handle counts, latency and the sanitised error code —
+        never exception arguments), plus ``henn.requests`` counters
+        labelled by outcome.
+        """
+        log = get_logger()
+        reg = get_registry()
+        self._request_seq += 1
+        rid = self._request_seq
+        handles = int(np.asarray(encrypted_images).size)
+        log.event("henn.request.start", request=rid, handles=handles)
+        t0 = time.perf_counter()
         try:
-            return CloudResponse(ok=True, scores=self.classify_encrypted(encrypted_images))
+            scores = self.classify_encrypted(encrypted_images)
         except Exception as exc:
-            get_registry().counter("resilience.service_errors").inc()
-            return CloudResponse(ok=False, error=_sanitize(exc))
+            reg.counter("resilience.service_errors").inc()
+            error = _sanitize(exc)
+            reg.counter("henn.requests", {"outcome": "error"}).inc()
+            log.event(
+                "henn.request.error",
+                request=rid,
+                seconds=time.perf_counter() - t0,
+                code=error.code,
+                category=error.category,
+                retryable=error.retryable,
+            )
+            return CloudResponse(ok=False, error=error)
+        seconds = time.perf_counter() - t0
+        reg.counter("henn.requests", {"outcome": "ok"}).inc()
+        reg.histogram("henn.request.seconds").observe(seconds)
+        log.event(
+            "henn.request.ok", request=rid, seconds=seconds, scores=int(len(scores))
+        )
+        return CloudResponse(ok=True, scores=scores)
+
+    # -- scrape endpoints --------------------------------------------------------
+
+    def start_observability(
+        self, port: int = 0, host: str = "127.0.0.1"
+    ) -> ObservabilityServer:
+        """Expose ``/metrics`` + ``/healthz`` for this service (opt-in).
+
+        ``/healthz`` reports ready=true once at least one request has
+        been served, along with request counts and the last latency.
+        Returns the running :class:`ObservabilityServer`; read its
+        ``port``/``url`` for the bound address (``port=0`` = ephemeral).
+        Idempotent while running.
+        """
+        if self._obs_server is not None and self._obs_server.running:
+            return self._obs_server
+        self._obs_server = ObservabilityServer(
+            port=port, host=host, health_fn=self._health
+        ).start()
+        return self._obs_server
+
+    def stop_observability(self) -> None:
+        """Shut down the scrape endpoints, if running."""
+        if self._obs_server is not None:
+            self._obs_server.stop()
+            self._obs_server = None
+
+    def _health(self) -> dict:
+        return {
+            "ok": True,
+            "ready": self._request_seq > 0,
+            "requests": self._request_seq,
+            "backend": self.engine.backend.name,
+            "last_latency_seconds": self.last_latency,
+        }
 
     @property
     def last_latency(self) -> float:

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.obs.metrics import get_registry
 from repro.nt.crt import CrtBasis
 from repro.rns.limb import (
     LIMB_BITS,
@@ -324,6 +325,18 @@ class RnsIntegerConv:
                     )
                 self.last_faults = []
                 composed = self.base.compose_centered(outs)
+        if obs.enabled():
+            # Channel-health gauges for the integer pipeline: how many
+            # residue channels ran, how wide they are, and whether the
+            # RRNS recovery had to repair any this pass.
+            reg = get_registry()
+            labels = {"backend": "rnscnn"}
+            reg.gauge("rnscnn.channels", labels).set(self._work.k)
+            reg.gauge("rnscnn.channel_bits", labels).set(
+                max(m.bit_length() for m in self._work.moduli)
+            )
+            reg.gauge("rnscnn.faults.recovered", labels).set(len(self.last_faults))
+            reg.counter("rnscnn.conv.calls").inc()
         return composed.transpose(0, 2, 1).reshape(n, oc, oh, ow)
 
     def _lower(self, x_int: np.ndarray) -> tuple[np.ndarray, tuple]:

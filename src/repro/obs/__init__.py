@@ -1,18 +1,28 @@
-"""Unified observability for the HE stack: tracing + metrics.
+"""Unified observability for the HE stack: tracing + metrics + serving.
 
 The paper's claims are latency claims; this package is how the repo
-accounts for latency.  Three pieces:
+accounts for latency — and, since the telemetry refactor, how a
+serving process exposes its health.  The pieces:
 
 * :mod:`repro.obs.tracer` — nested spans with a zero-overhead disabled
   default.  The CKKS/CKKS-RNS primitives, the NTT/CRT kernels, the
   channel executors and the inference engines are all instrumented, so
   enabling the tracer turns one encrypted classification into a span
   tree from ``henn.stage.*`` down to individual NTTs.
-* :mod:`repro.obs.metrics` — process-global counters/histograms fed by
-  span completions (and usable directly).
+* :mod:`repro.obs.metrics` — process-global counters/gauges/histograms
+  fed by span completions (and usable directly), with labelled series
+  and cross-process delta merging (``to_delta``/``merge_delta``) used
+  by the :mod:`repro.parallel` executors to ship worker telemetry home.
+* :mod:`repro.obs.health` — ciphertext-health gauges (scale, level,
+  modulus-chain depth, noise margin) sampled at every ``henn`` layer
+  boundary, plus the decrypt-side precision probe.
 * :mod:`repro.obs.export` / :mod:`repro.obs.report` — JSON and
   Chrome-trace serialisation, plus the per-primitive pretty-printer the
   benchmark harness writes next to each table.
+* :mod:`repro.obs.prometheus` / :mod:`repro.obs.server` /
+  :mod:`repro.obs.logs` — the scrape surface: text-exposition
+  rendering, opt-in ``/metrics`` + ``/healthz`` endpoints, and
+  structured JSON request-lifecycle logs.
 
 Quick use::
 
@@ -38,7 +48,16 @@ from repro.obs.tracer import (
     traced,
     tracing,
 )
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry, get_registry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metric_key,
+    set_registry,
+)
+from repro.obs.health import ciphertext_health, observe_layer, precision_probe
 from repro.obs.export import (
     TraceDump,
     dump_chrome_trace,
@@ -48,6 +67,9 @@ from repro.obs.export import (
     trace_to_json,
 )
 from repro.obs.report import aggregate_spans, layer_rows, render_report
+from repro.obs.prometheus import render_prometheus
+from repro.obs.logs import JsonLogger, capture_logs, get_logger
+from repro.obs.server import ObservabilityServer
 
 __all__ = [
     "Span",
@@ -62,9 +84,15 @@ __all__ = [
     "traced",
     "tracing",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "set_registry",
+    "metric_key",
+    "ciphertext_health",
+    "observe_layer",
+    "precision_probe",
     "TraceDump",
     "to_chrome_trace",
     "trace_to_json",
@@ -74,4 +102,9 @@ __all__ = [
     "aggregate_spans",
     "layer_rows",
     "render_report",
+    "render_prometheus",
+    "JsonLogger",
+    "get_logger",
+    "capture_logs",
+    "ObservabilityServer",
 ]

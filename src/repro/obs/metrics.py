@@ -1,30 +1,90 @@
-"""Process-global named counters and histograms.
+"""Process-global named counters, gauges and histograms.
 
 Complements :mod:`repro.obs.tracer`: spans answer *where a particular
 run spent its time*; the registry answers *how often and how expensive*
 each operation is across runs, threads and engines.  All mutation is
 lock-protected, so residue-channel workers on a thread executor can
 bump the same counter concurrently.
+
+Three metric kinds:
+
+* :class:`Counter` — monotonic event count (``plan.cache.hit``).
+* :class:`Gauge` — last-observed value of a sampled quantity
+  (``henn.ct.scale_bits``); unlike a counter it can move both ways.
+* :class:`Histogram` — raw float observations with exact summaries
+  (``span.nt.ntt.forward.seconds``).
+
+Metrics may carry **labels** (``registry.gauge("henn.ct.level",
+labels={"layer": "HeConv2d"})``): each distinct label set is its own
+time series, keyed in the registry by the Prometheus-style flattened
+name ``henn.ct.level{layer="HeConv2d"}``.  Labels survive snapshots and
+the JSON trace round-trip and become real Prometheus labels in
+:func:`repro.obs.prometheus.render_prometheus`.
+
+Cross-process aggregation: a worker process records into its own
+registry, serialises it with :meth:`MetricsRegistry.to_delta`, and the
+parent folds it back in with :meth:`MetricsRegistry.merge_delta` —
+optionally tagged with a worker id, in which case the registry also
+keeps a per-worker ledger (:meth:`MetricsRegistry.per_worker`) next to
+the merged view.  :class:`~repro.parallel.ProcessExecutor` does this
+automatically for every traced ``map``.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from typing import Any
+from typing import Any, Iterable, Mapping
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "get_registry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "metric_key",
+]
 
 
-class Counter:
+def metric_key(name: str, labels: Mapping[str, Any] | None = None) -> str:
+    """Registry key of a metric: ``name`` or ``name{k="v",...}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class _Metric:
+    """Shared name/label plumbing of the three metric kinds."""
+
+    __slots__ = ("name", "labels", "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, Any] | None = None):
+        self.name = name
+        self.labels: dict[str, str] = {k: str(v) for k, v in (labels or {}).items()}
+        self._lock = threading.Lock()
+
+    @property
+    def key(self) -> str:
+        """Flattened registry key (name plus sorted labels)."""
+        return metric_key(self.name, self.labels)
+
+    def _base_dict(self, kind: str) -> dict[str, Any]:
+        d: dict[str, Any] = {"type": kind}
+        if self.labels:
+            d["labels"] = dict(self.labels)
+        return d
+
+
+class Counter(_Metric):
     """Monotonic named counter."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("_value",)
 
-    def __init__(self, name: str):
-        self.name = name
+    def __init__(self, name: str, labels: Mapping[str, Any] | None = None):
+        super().__init__(name, labels)
         self._value = 0
-        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
         """Add *n* (must be >= 0) to the counter."""
@@ -35,57 +95,140 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
     def to_dict(self) -> dict[str, Any]:
-        return {"type": "counter", "value": self._value}
+        d = self._base_dict("counter")
+        d["value"] = self.value
+        return d
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Counter({self.name}={self._value})"
+        return f"Counter({self.key}={self.value})"
 
 
-class Histogram:
+class Gauge(_Metric):
+    """Last-value metric for sampled quantities (can move both ways).
+
+    The serving-health gauges (`henn.ct.*`: ciphertext scale, level,
+    modulus-chain depth remaining, noise-budget estimate) are of this
+    kind: each sample overwrites the previous one, and ``min``/``max``
+    track the extremes seen since the last reset — the level *floor* a
+    run touched matters more than the last value sampled.
+    """
+
+    __slots__ = ("_value", "_min", "_max", "_samples")
+
+    def __init__(self, name: str, labels: Mapping[str, Any] | None = None):
+        super().__init__(name, labels)
+        self._value = math.nan
+        self._min = math.inf
+        self._max = -math.inf
+        self._samples = 0
+
+    def set(self, v: float) -> None:
+        """Record the current value of the tracked quantity."""
+        v = float(v)
+        with self._lock:
+            self._value = v
+            self._min = min(self._min, v)
+            self._max = max(self._max, v)
+            self._samples += 1
+
+    def inc(self, delta: float = 1.0) -> None:
+        """Adjust the gauge by *delta* (``nan`` start counts as 0)."""
+        with self._lock:
+            base = 0.0 if math.isnan(self._value) else self._value
+            v = base + float(delta)
+            self._value = v
+            self._min = min(self._min, v)
+            self._max = max(self._max, v)
+            self._samples += 1
+
+    def dec(self, delta: float = 1.0) -> None:
+        """Adjust the gauge by ``-delta``."""
+        self.inc(-delta)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            d = self._base_dict("gauge")
+            d["value"] = None if math.isnan(self._value) else self._value
+            d["min"] = None if self._samples == 0 else self._min
+            d["max"] = None if self._samples == 0 else self._max
+            d["samples"] = self._samples
+            return d
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.key}={self.value})"
+
+
+class Histogram(_Metric):
     """Accumulates float observations; exposes count/sum/min/max/mean.
 
     Keeps the raw samples (traces here are short-lived profiling runs,
     not unbounded production telemetry), so exact percentiles are
-    available via :meth:`percentile`.
+    available via :meth:`percentile` and :meth:`summary`.
     """
 
-    __slots__ = ("name", "_samples", "_lock")
+    __slots__ = ("_samples",)
 
-    def __init__(self, name: str):
-        self.name = name
+    def __init__(self, name: str, labels: Mapping[str, Any] | None = None):
+        super().__init__(name, labels)
         self._samples: list[float] = []
-        self._lock = threading.Lock()
 
     def observe(self, x: float) -> None:
         """Record one observation."""
         with self._lock:
             self._samples.append(float(x))
 
+    def observe_many(self, xs: Iterable[float]) -> None:
+        """Record a batch of observations (one lock acquisition)."""
+        xs = [float(x) for x in xs]
+        with self._lock:
+            self._samples.extend(xs)
+
+    def samples(self) -> list[float]:
+        """Copy of the raw observations (merge/serialisation hook)."""
+        with self._lock:
+            return list(self._samples)
+
     @property
     def count(self) -> int:
-        return len(self._samples)
+        with self._lock:
+            return len(self._samples)
 
     @property
     def total(self) -> float:
-        return sum(self._samples)
+        with self._lock:
+            return sum(self._samples)
 
     @property
     def min(self) -> float:
-        return min(self._samples) if self._samples else math.nan
+        with self._lock:
+            return min(self._samples) if self._samples else math.nan
 
     @property
     def max(self) -> float:
-        return max(self._samples) if self._samples else math.nan
+        with self._lock:
+            return max(self._samples) if self._samples else math.nan
 
     @property
     def mean(self) -> float:
-        return self.total / len(self._samples) if self._samples else math.nan
+        with self._lock:
+            return sum(self._samples) / len(self._samples) if self._samples else math.nan
 
     def percentile(self, q: float) -> float:
-        """Exact *q*-th percentile (0 <= q <= 100) by nearest-rank."""
+        """Exact *q*-th percentile (0 <= q <= 100) by nearest-rank.
+
+        Well-defined for every sample count: ``nan`` when empty, the
+        sample itself for a single observation (every ``q``), otherwise
+        the nearest-rank order statistic.
+        """
         if not 0 <= q <= 100:
             raise ValueError("percentile must be in [0, 100]")
         with self._lock:
@@ -95,60 +238,189 @@ class Histogram:
         rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
         return ordered[rank]
 
-    def to_dict(self) -> dict[str, Any]:
+    def summary(self) -> dict[str, Any]:
+        """One consistent stats dict for any sample count.
+
+        ``count``/``total`` are always numbers; the order statistics
+        (``min``/``max``/``mean``/``p50``/``p90``/``p99``) are ``None``
+        for the empty histogram and all equal to the single sample when
+        only one observation has been made — no ``nan`` leaks into JSON
+        artifacts.
+        """
         with self._lock:
-            s = list(self._samples)
+            s = sorted(self._samples)
+        if not s:
+            return {
+                "count": 0,
+                "total": 0.0,
+                "min": None,
+                "max": None,
+                "mean": None,
+                "p50": None,
+                "p90": None,
+                "p99": None,
+            }
+
+        def rank(q: float) -> float:
+            return s[max(0, math.ceil(q / 100 * len(s)) - 1)]
+
         return {
-            "type": "histogram",
             "count": len(s),
             "total": sum(s),
-            "min": min(s) if s else None,
-            "max": max(s) if s else None,
-            "mean": (sum(s) / len(s)) if s else None,
+            "min": s[0],
+            "max": s[-1],
+            "mean": sum(s) / len(s),
+            "p50": rank(50),
+            "p90": rank(90),
+            "p99": rank(99),
         }
 
+    def to_dict(self) -> dict[str, Any]:
+        d = self._base_dict("histogram")
+        d.update(self.summary())
+        return d
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.6f})"
+        return f"Histogram({self.key}, n={self.count}, mean={self.mean:.6f})"
 
 
 class MetricsRegistry:
-    """Name-keyed store of counters and histograms (get-or-create)."""
+    """Key-keyed store of counters, gauges and histograms (get-or-create).
+
+    The same ``(name, labels)`` pair always returns the same object;
+    distinct label sets of one name are distinct series.  The registry
+    lock only guards the map — each metric carries its own lock — so a
+    :meth:`snapshot` taken while worker merges are in flight sees a
+    consistent per-metric state (each ``to_dict`` is atomic under the
+    metric's lock) without stalling the writers.
+    """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._workers: dict[str, dict[str, dict[str, Any]]] = {}
         self._lock = threading.Lock()
 
-    def counter(self, name: str) -> Counter:
-        """The counter named *name*, creating it on first use."""
-        return self._get(name, Counter)  # type: ignore[return-value]
+    def counter(self, name: str, labels: Mapping[str, Any] | None = None) -> Counter:
+        """The counter named *name* (with *labels*), creating it on first use."""
+        return self._get(name, labels, Counter)  # type: ignore[return-value]
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram named *name*, creating it on first use."""
-        return self._get(name, Histogram)  # type: ignore[return-value]
+    def gauge(self, name: str, labels: Mapping[str, Any] | None = None) -> Gauge:
+        """The gauge named *name* (with *labels*), creating it on first use."""
+        return self._get(name, labels, Gauge)  # type: ignore[return-value]
 
-    def _get(self, name: str, cls: type) -> Counter | Histogram:
+    def histogram(self, name: str, labels: Mapping[str, Any] | None = None) -> Histogram:
+        """The histogram named *name* (with *labels*), creating it on first use."""
+        return self._get(name, labels, Histogram)  # type: ignore[return-value]
+
+    def _get(self, name: str, labels: Mapping[str, Any] | None, cls: type):
+        key = metric_key(name, {k: str(v) for k, v in (labels or {}).items()})
         with self._lock:
-            m = self._metrics.get(name)
+            m = self._metrics.get(key)
             if m is None:
-                m = self._metrics[name] = cls(name)
+                m = self._metrics[key] = cls(name, labels)
             elif not isinstance(m, cls):
-                raise TypeError(f"metric {name!r} already registered as {type(m).__name__}")
+                raise TypeError(f"metric {key!r} already registered as {type(m).__name__}")
             return m
 
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._metrics)
 
+    def _items(self) -> list[tuple[str, "Counter | Gauge | Histogram"]]:
+        with self._lock:
+            return sorted(self._metrics.items())
+
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """JSON-ready dump of every metric's current state."""
+        return {key: m.to_dict() for key, m in self._items()}
+
+    # -- cross-process aggregation ----------------------------------------
+
+    def to_delta(self) -> dict[str, dict[str, Any]]:
+        """Serialise the registry as a mergeable delta.
+
+        Unlike :meth:`snapshot` this keeps histograms as their raw
+        sample lists, so a parent-side :meth:`merge_delta` reconstructs
+        exact percentiles rather than merging summaries.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for key, m in self._items():
+            entry: dict[str, Any] = {"name": m.name}
+            if m.labels:
+                entry["labels"] = dict(m.labels)
+            if isinstance(m, Counter):
+                entry.update(type="counter", value=m.value)
+            elif isinstance(m, Gauge):
+                d = m.to_dict()
+                entry.update(type="gauge", value=d["value"], min=d["min"], max=d["max"])
+            else:
+                entry.update(type="histogram", samples=m.samples())
+            out[key] = entry
+        return out
+
+    def merge_delta(
+        self, delta: Mapping[str, Mapping[str, Any]], worker: str | None = None
+    ) -> None:
+        """Fold a :meth:`to_delta` document into this registry.
+
+        Counters add, histograms extend their samples, gauges adopt the
+        delta's last value (and widen their min/max envelope).  With a
+        *worker* id the raw delta is additionally accumulated into the
+        per-worker ledger, so reports can show both the merged totals
+        and each worker's contribution.
+        """
+        for entry in delta.values():
+            name = str(entry["name"])
+            labels = entry.get("labels") or None
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name, labels).inc(int(entry.get("value", 0)))
+            elif kind == "gauge":
+                value = entry.get("value")
+                g = self.gauge(name, labels)
+                if value is not None:
+                    g.set(float(value))
+                    for bound in (entry.get("min"), entry.get("max")):
+                        if bound is not None:
+                            with g._lock:
+                                g._min = min(g._min, float(bound))
+                                g._max = max(g._max, float(bound))
+            elif kind == "histogram":
+                self.histogram(name, labels).observe_many(entry.get("samples", ()))
+        if worker is not None:
+            self._note_worker(worker, delta)
+
+    def _note_worker(self, worker: str, delta: Mapping[str, Mapping[str, Any]]) -> None:
         with self._lock:
-            items = list(self._metrics.items())
-        return {name: m.to_dict() for name, m in sorted(items)}
+            ledger = self._workers.setdefault(worker, {})
+            for key, entry in delta.items():
+                kind = entry.get("type")
+                prev = ledger.get(key)
+                if kind == "counter":
+                    value = int(entry.get("value", 0))
+                    if prev is None:
+                        ledger[key] = {"type": "counter", "value": value}
+                    else:
+                        prev["value"] += value
+                elif kind == "gauge":
+                    ledger[key] = {"type": "gauge", "value": entry.get("value")}
+                elif kind == "histogram":
+                    samples = entry.get("samples", ())
+                    if prev is None:
+                        prev = ledger[key] = {"type": "histogram", "count": 0, "total": 0.0}
+                    prev["count"] += len(samples)
+                    prev["total"] += float(sum(samples))
+
+    def per_worker(self) -> dict[str, dict[str, dict[str, Any]]]:
+        """Per-worker metric ledgers accumulated by :meth:`merge_delta`."""
+        with self._lock:
+            return {w: {k: dict(v) for k, v in led.items()} for w, led in self._workers.items()}
 
     def reset(self) -> None:
-        """Drop every metric (names included)."""
+        """Drop every metric (names included) and the per-worker ledgers."""
         with self._lock:
             self._metrics.clear()
+            self._workers.clear()
 
 
 _REGISTRY = MetricsRegistry()
@@ -156,4 +428,16 @@ _REGISTRY = MetricsRegistry()
 
 def get_registry() -> MetricsRegistry:
     """The process-global registry (what :func:`repro.obs.enable` feeds)."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install *registry* as the process-global registry and return it.
+
+    Used by the metered executors: a pool worker redirects the global
+    registry to a fresh one for the duration of an item, so the item's
+    metrics arrive as an isolated, serialisable delta.
+    """
+    global _REGISTRY
+    _REGISTRY = registry
     return _REGISTRY

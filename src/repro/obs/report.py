@@ -139,9 +139,40 @@ def render_report(
         for name, m in metrics.snapshot().items():
             if m["type"] == "counter":
                 mrows.append([name, m["value"], ""])
+            elif m["type"] == "gauge":
+                value = m["value"]
+                detail = ""
+                if m.get("min") is not None and m.get("min") != m.get("max"):
+                    detail = f"min={m['min']:.6g} max={m['max']:.6g}"
+                mrows.append(
+                    [name, f"{value:.6g}" if value is not None else "-", detail]
+                )
             else:
                 mean = m["mean"]
                 mrows.append([name, m["count"], f"mean={mean:.6f}" if mean is not None else ""])
         sections.append(format_table(["metric", "count/value", "detail"], mrows, "metrics"))
+
+    workers = metrics.per_worker() if metrics is not None else {}
+    if workers:
+        # Merged totals above; this is each pool worker's contribution,
+        # as shipped back by the metered ProcessExecutor maps.
+        wrows = []
+        for worker in sorted(workers):
+            for name, m in sorted(workers[worker].items()):
+                if m["type"] == "counter":
+                    wrows.append([worker, name, m["value"], ""])
+                elif m["type"] == "gauge":
+                    v = m.get("value")
+                    wrows.append([worker, name, f"{v:.6g}" if v is not None else "-", ""])
+                else:
+                    total = m.get("total", 0.0)
+                    wrows.append([worker, name, m.get("count", 0), f"total={total:.6f}"])
+        sections.append(
+            format_table(
+                ["worker", "metric", "count/value", "detail"],
+                wrows,
+                "per-worker metrics (merged into the totals above)",
+            )
+        )
 
     return "\n\n".join(sections)

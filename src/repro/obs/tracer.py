@@ -16,15 +16,21 @@ manager) and read the results from :meth:`Tracer.finished`.
 
 Spans opened inside :class:`~repro.parallel.ThreadExecutor` workers are
 recorded with that worker's ``thread_id`` and no parent (each thread has
-its own nesting stack); :class:`~repro.parallel.ProcessExecutor` workers
-run in child processes whose spans cannot propagate back — only the
-parent-side dispatch span is observed.
+its own nesting stack).  :class:`~repro.parallel.ProcessExecutor`
+workers run in child processes: for a traced ``map`` the executor
+meters each item — worker-side spans and metric deltas are serialised
+and merged back into the parent tracer/registry (tagged with the worker
+pid).  On unmetered paths (``submit``, tracing enabled only inside the
+worker) a fork-inherited tracer cannot propagate spans back; those are
+counted in the worker-local ``obs.spans.dropped`` counter instead of
+being recorded into memory the parent will never read.
 """
 
 from __future__ import annotations
 
 import functools
 import itertools
+import os
 import threading
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -178,6 +184,10 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self.metrics = metrics
+        #: Owning process: a fork-inherited copy of this tracer records
+        #: into memory the parent will never read, so spans finished
+        #: under a different pid are counted as dropped instead.
+        self._pid = os.getpid()
 
     # -- recording ---------------------------------------------------------
 
@@ -192,6 +202,16 @@ class Tracer:
         return stack
 
     def _record(self, sp: Span) -> None:
+        if os.getpid() != self._pid:
+            # This tracer is a fork-inherited copy inside a pool worker:
+            # whatever it stores, the parent process will never read it.
+            # ProcessExecutor ships spans home for metered maps; on any
+            # other path, at least leave a trace of the loss in the
+            # worker-local registry (which a later metered map merges).
+            from repro.obs.metrics import get_registry
+
+            get_registry().counter("obs.spans.dropped").inc()
+            return
         with self._lock:
             self._spans.append(sp)
         if self.metrics is not None:

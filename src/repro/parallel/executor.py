@@ -36,6 +36,95 @@ from repro.obs import tracer as _obs
 __all__ = ["Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor", "make_executor"]
 
 
+class _MeteredResult:
+    """Envelope a metered pool worker returns: result + telemetry delta."""
+
+    __slots__ = ("result", "delta", "spans", "pid")
+
+    def __init__(self, result: Any, delta: dict, spans: list[dict], pid: int):
+        self.result = result
+        self.delta = delta
+        self.spans = spans
+        self.pid = pid
+
+
+class _MeteredTask:
+    """Picklable wrapper that captures a worker item's metrics and spans.
+
+    Inside the worker it installs a fresh process-global registry and a
+    fresh collecting tracer for the duration of one item, so everything
+    the item records — ``span.*`` counters, NTT call counts,
+    ``parallel.shm.*`` bumps, health gauges — lands in an isolated
+    delta that travels back through the normal result pickle.  The
+    previous registry/tracer are restored afterwards, so un-metered
+    items in the same long-lived worker are unaffected.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[..., Any]):
+        self.fn = fn
+
+    def __call__(self, item: Any) -> "_MeteredResult":
+        from repro.obs import metrics as _metrics
+        from repro.obs import tracer as _tracer
+
+        registry = _metrics.MetricsRegistry()
+        prev_registry = _metrics.get_registry()
+        _metrics.set_registry(registry)
+        tracer = _tracer.Tracer(metrics=registry)
+        prev_tracer = _tracer.get_tracer()
+        _tracer.set_tracer(tracer)
+        try:
+            result = self.fn(item)
+        finally:
+            _tracer.set_tracer(prev_tracer)
+            _metrics.set_registry(prev_registry)
+        return _MeteredResult(
+            result,
+            registry.to_delta(),
+            [s.to_dict() for s in tracer.finished()],
+            os.getpid(),
+        )
+
+
+def _merge_metered(envelopes: Sequence[Any], tracer: Any) -> list[Any]:
+    """Unwrap metered results, folding worker telemetry into the parent.
+
+    Metric deltas merge into the tracer's registry (or the global one)
+    twice over: into the plain metrics for the merged view, and into the
+    per-worker ledger keyed ``worker-<pid>``.  Worker spans are re-ided
+    from the parent's counter (fork copies the id counter, so worker ids
+    can collide with parent ids), tagged with their worker, and absorbed
+    into the parent tracer.
+    """
+    from repro.obs.metrics import get_registry
+    from repro.obs.tracer import _IDS, Span
+
+    registry = getattr(tracer, "metrics", None) or get_registry()
+    results: list[Any] = []
+    for env in envelopes:
+        if not isinstance(env, _MeteredResult):  # worker predates metering
+            results.append(env)
+            continue
+        results.append(env.result)
+        worker = f"worker-{env.pid}"
+        if env.delta:
+            registry.merge_delta(env.delta, worker=worker)
+        if env.spans and tracer.enabled:
+            spans = [Span.from_dict(d) for d in env.spans]
+            # Two passes: children complete before their parents, so all
+            # new ids must exist before parent links are rewritten.
+            remap = {sp.span_id: next(_IDS) for sp in spans}
+            for sp in spans:
+                sp.span_id = remap[sp.span_id]
+                if sp.parent_id is not None:
+                    sp.parent_id = remap.get(sp.parent_id)
+                sp.tags.setdefault("worker", worker)
+            tracer.absorb(spans)
+    return results
+
+
 class _StarCall:
     """Picklable ``fn(*args)`` adapter used by :meth:`Executor.starmap`.
 
@@ -207,12 +296,29 @@ class ThreadExecutor(_PoolExecutor):
 
 
 class ProcessExecutor(_PoolExecutor):
-    """Process-pool dispatch (fork-based); items and results are pickled."""
+    """Process-pool dispatch (fork-based); items and results are pickled.
+
+    When :mod:`repro.obs` tracing is enabled, ``map`` items are metered:
+    each worker captures the metrics and spans its item produced and
+    ships them back inside the result envelope, which the parent merges
+    into the active registry/tracer (per-worker ledgers included).
+    Worker telemetry therefore stops vanishing at the process boundary
+    — at the cost of one registry/tracer swap per item, which is why
+    metering stays off for untraced maps.  ``submit`` (the
+    resilience-executor path) is not metered; spans recorded there are
+    counted by ``obs.spans.dropped``.
+    """
 
     name = "process"
 
     def _make_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _map(self, fn: Callable[..., Any], items: Sequence[Any]) -> list[Any]:
+        tracer = _obs.get_tracer()
+        if len(items) <= 1 or not tracer.enabled:
+            return super()._map(fn, items)
+        return _merge_metered(super()._map(_MeteredTask(fn), items), tracer)
 
 
 def make_executor(kind: str, workers: int | None = None) -> Executor:

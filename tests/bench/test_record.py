@@ -1,0 +1,135 @@
+"""BENCH_*.json records: schema, derivation, regression comparison, CLI."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.record import (
+    SCHEMA,
+    compare_records,
+    derive_results,
+    env_fingerprint,
+    load_record,
+    make_record,
+    validate_record,
+    write_record,
+)
+
+TOOL = Path(__file__).resolve().parents[2] / "tools" / "bench_compare.py"
+
+HEADERS = ["stage", "ms", "accuracy (%)"]
+ROWS = [["decompose", 1.5, 99.0], ["recompose", 20.0, 99.0]]
+
+
+def test_env_fingerprint_fields():
+    env = env_fingerprint()
+    assert set(env) == {"python", "numpy", "platform", "machine", "cpus", "preset"}
+    assert env["cpus"] >= 1
+
+
+def test_derive_results_keeps_only_time_like_columns():
+    res = derive_results(HEADERS, ROWS)
+    assert res == {"decompose.ms": 1.5, "recompose.ms": 20.0}
+    # NaN cells (skipped configs) and non-numeric cells never surface
+    assert derive_results(["op", "ms"], [["a", float("nan")], ["b", "-"]]) == {}
+
+
+def test_make_record_is_schema_valid():
+    rec = make_record("fig2", HEADERS, ROWS, title="FIG 2")
+    assert validate_record(rec) == []
+    assert rec["schema"] == SCHEMA
+    assert rec["results"]["recompose.ms"] == 20.0
+    assert rec["table"]["headers"] == HEADERS
+
+
+def test_write_load_round_trip(tmp_path):
+    rec = make_record("fig2", HEADERS, ROWS, title="FIG 2")
+    path = write_record(rec, tmp_path)
+    assert path.name == "BENCH_fig2.json"
+    loaded = load_record(path)
+    assert loaded == json.loads(json.dumps(rec))
+
+
+def test_validate_rejects_malformed_records(tmp_path):
+    assert validate_record([]) == ["record is not an object"]
+    rec = make_record("x", HEADERS, ROWS)
+    bad = dict(rec, schema="other/9")
+    assert any("schema" in p for p in validate_record(bad))
+    del bad["env"]
+    assert any("env" in p for p in validate_record(bad))
+    bad2 = dict(rec, results={"k": "fast"})
+    assert any("not a number" in p for p in validate_record(bad2))
+    with pytest.raises(ValueError):
+        write_record(bad2, tmp_path)
+    p = tmp_path / "BENCH_bad.json"
+    p.write_text(json.dumps({"schema": "other"}))
+    with pytest.raises(ValueError):
+        load_record(p)
+
+
+def test_compare_flags_50_percent_regression():
+    base = make_record("fig2", HEADERS, ROWS)
+    slow = [["decompose", 1.5, 99.0], ["recompose", 30.0, 99.0]]
+    cur = make_record("fig2", HEADERS, slow)
+    diff = compare_records(base, cur, threshold=0.25)
+    assert diff["env_match"] is True
+    assert [r["key"] for r in diff["regressions"]] == ["recompose.ms"]
+    assert diff["regressions"][0]["ratio"] == pytest.approx(1.5)
+    # within threshold: clean
+    assert compare_records(base, base, threshold=0.25)["regressions"] == []
+
+
+def test_compare_reports_keys_dropped_from_current():
+    base = make_record("fig2", HEADERS, ROWS)
+    cur = make_record("fig2", HEADERS, ROWS[:1])
+    diff = compare_records(base, cur)
+    assert diff["missing"] == ["recompose.ms"]
+
+
+def _run_cli(*args):
+    return subprocess.run(
+        [sys.executable, str(TOOL), *args], capture_output=True, text=True
+    )
+
+
+def test_cli_exits_nonzero_on_injected_regression(tmp_path):
+    baseline_dir = tmp_path / "baselines"
+    current_dir = tmp_path / "current"
+    write_record(make_record("fig2", HEADERS, ROWS), baseline_dir)
+    slow = [[r[0], r[1] * 1.5, r[2]] for r in ROWS]
+    write_record(make_record("fig2", HEADERS, slow), current_dir)
+
+    proc = _run_cli("--baseline", str(baseline_dir), "--current", str(current_dir))
+    assert proc.returncode == 1
+    assert "REGRESSION" in proc.stdout
+
+    warn = _run_cli(
+        "--baseline", str(baseline_dir), "--current", str(current_dir), "--warn-only"
+    )
+    assert warn.returncode == 0
+    assert "REGRESSION" in warn.stdout
+
+
+def test_cli_clean_and_missing_current(tmp_path):
+    baseline_dir = tmp_path / "baselines"
+    current_dir = tmp_path / "current"
+    write_record(make_record("fig2", HEADERS, ROWS), baseline_dir)
+    write_record(make_record("fig2", HEADERS, ROWS), current_dir)
+    assert _run_cli("--baseline", str(baseline_dir), "--current", str(current_dir)).returncode == 0
+
+    # a baseline with no current record is a failure, not a silent skip
+    write_record(make_record("other", HEADERS, ROWS), baseline_dir)
+    proc = _run_cli("--baseline", str(baseline_dir), "--current", str(current_dir))
+    assert proc.returncode == 1 and "MISSING" in proc.stdout
+
+
+def test_committed_baselines_are_schema_valid():
+    baselines = Path(__file__).resolve().parents[2] / "bench_artifacts" / "baselines"
+    records = sorted(baselines.glob("BENCH_*.json"))
+    assert len(records) >= 2, "at least two committed baseline records expected"
+    for path in records:
+        rec = load_record(path)  # raises on schema violations
+        assert rec["results"], f"{path.name} carries no comparable results"

@@ -1,0 +1,92 @@
+"""Acceptance: traced encrypted classification over a process pool.
+
+The serving-telemetry contract end to end — one CNN1-HE-RNS classify
+with a process-pool executor must leave behind a merged metrics report
+carrying worker-side counters (NTT span counts shipped home through the
+metered map), the shm dispatch counters, and per-layer ciphertext
+health gauges.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.ckksrns import CkksRnsParams
+from repro.henn.backend import CkksRnsBackend
+from repro.henn.inference import HeInferenceEngine
+from repro.henn.layers import HeConv2d, HeFlatten, HeLinear, HePoly
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.obs.report import render_report
+from repro.parallel import ProcessExecutor
+
+
+@pytest.fixture()
+def fresh_registry():
+    prev = get_registry()
+    reg = set_registry(MetricsRegistry())
+    try:
+        yield reg
+    finally:
+        set_registry(prev)
+
+
+def _pool_engine(executor):
+    rng = np.random.default_rng(0)
+    layers = [
+        HeConv2d(rng.uniform(-0.5, 0.5, (2, 1, 3, 3)), rng.uniform(-0.1, 0.1, 2)),
+        HePoly(np.array([0.1, 0.5, 0.25])),
+        HeFlatten(),
+        HeLinear(rng.uniform(-0.3, 0.3, (10, 32)), rng.uniform(-0.1, 0.1, 10)),
+    ]
+    backend = CkksRnsBackend(
+        CkksRnsParams(
+            n=128,
+            moduli_bits=(36, 26, 26, 26, 26, 26),
+            scale_bits=26,
+            special_bits=45,
+            hw=16,
+        ),
+        executor=executor,
+        seed=0,
+    )
+    return HeInferenceEngine(backend, layers, (1, 6, 6))
+
+
+def test_traced_pool_classify_yields_merged_telemetry(fresh_registry):
+    images = np.random.default_rng(1).uniform(0, 1, (2, 1, 6, 6))
+    with ProcessExecutor(workers=2) as ex:
+        engine = _pool_engine(ex)
+        with obs.tracing(metrics=fresh_registry) as tracer:
+            logits = engine.classify(images)
+    assert logits.shape == (2, 10)
+
+    names = fresh_registry.names()
+
+    # shm dispatch path was exercised and counted
+    assert fresh_registry.counter("parallel.shm.dispatches").value > 0
+    assert fresh_registry.counter("parallel.shm.items").value > 0
+
+    # worker-side NTT counts came home through the metered map
+    ledgers = fresh_registry.per_worker()
+    assert ledgers, "process-pool workers shipped no metric deltas"
+    shipped = set()
+    for ledger in ledgers.values():
+        shipped.update(ledger)
+    assert any(k.startswith("span.nt.ntt") for k in shipped), sorted(shipped)
+    # and the merged totals include those same counters
+    assert any(n.startswith("span.nt.ntt") for n in names)
+
+    # per-layer ciphertext health gauges, labelled by layer + backend
+    for layer in ("HeConv2d", "HePoly", "HeLinear"):
+        assert any(
+            n.startswith("henn.ct.level{") and f'layer="{layer}"' in n for n in names
+        ), layer
+    assert "henn.ct.level" in names  # unlabelled floor
+    assert fresh_registry.gauge("henn.ct.noise_margin_bits").value > 0
+    assert fresh_registry.counter("henn.ct.sampled").value > 0
+
+    # the rendered report shows both the merged and the per-worker view
+    report = render_report(tracer, metrics=fresh_registry)
+    assert "per-worker metrics" in report
+    assert "henn.ct.level" in report
+    assert any(w in report for w in ledgers)

@@ -83,3 +83,33 @@ def test_chrome_trace_is_valid_json_on_disk(tmp_path):
 
 def test_chrome_trace_empty_tracer():
     assert to_chrome_trace(Tracer())["traceEvents"] == []
+
+
+def test_json_round_trip_with_gauges_and_labels(tmp_path):
+    """Gauges and labelled series survive the JSON dump/load unchanged."""
+    t = _sample_tracer()
+    reg = MetricsRegistry()
+    reg.gauge("henn.ct.level", {"layer": "HeConv2d", "index": 0}).set(3.0)
+    reg.gauge("henn.ct.level", {"layer": "HeConv2d", "index": 0}).set(2.0)
+    reg.gauge("henn.ct.noise_margin_bits").set(14.5)
+    reg.counter("henn.requests", {"outcome": "ok"}).inc(2)
+
+    dump = load_json(dump_json(tmp_path / "trace.json", t, reg))
+    assert dump.metrics == reg.snapshot()
+    labelled = dump.metrics['henn.ct.level{index="0",layer="HeConv2d"}']
+    assert labelled["type"] == "gauge"
+    assert labelled["value"] == 2.0 and labelled["min"] == 2.0 and labelled["max"] == 3.0
+    assert labelled["labels"] == {"layer": "HeConv2d", "index": "0"}
+    assert dump.metrics['henn.requests{outcome="ok"}']["value"] == 2
+    # the document itself is plain JSON (no NaN tokens etc.)
+    json.loads((tmp_path / "trace.json").read_text())
+
+
+def test_chrome_trace_round_trip_preserves_worker_tags(tmp_path):
+    """Spans absorbed from workers keep their tags through Chrome export."""
+    t = _sample_tracer()
+    for sp in t.finished():
+        sp.tags.setdefault("worker", "worker-42")
+    path = dump_chrome_trace(tmp_path / "chrome.json", t)
+    doc = json.loads(path.read_text())
+    assert all(ev["args"]["worker"] == "worker-42" for ev in doc["traceEvents"])

@@ -1,0 +1,94 @@
+"""Structured JSON logs and the /metrics + /healthz scrape server."""
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.logs import JsonLogger, capture_logs, get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import CONTENT_TYPE
+from repro.obs.server import ObservabilityServer
+
+
+def test_logger_is_noop_until_configured():
+    log = JsonLogger()
+    assert not log.enabled
+    assert log.event("x", a=1) is None
+
+
+def test_logger_emits_json_lines():
+    log = JsonLogger()
+    buf = io.StringIO()
+    log.configure(buf)
+    rec = log.event("henn.request.ok", seconds=0.5, scores=10)
+    assert rec["event"] == "henn.request.ok" and rec["pid"] > 0 and rec["ts"] > 0
+    parsed = json.loads(buf.getvalue().splitlines()[0])
+    assert parsed["seconds"] == 0.5 and parsed["scores"] == 10
+    log.configure(None)
+    assert not log.enabled
+
+
+def test_logger_stringifies_unserialisable_fields():
+    log = JsonLogger()
+    log.configure(io.StringIO())
+    rec = log.event("x", obj=object())
+    assert isinstance(rec["obj"], str)
+
+
+def test_capture_logs_scopes_and_restores():
+    with capture_logs() as cap:
+        get_logger().event("a", n=1)
+        get_logger().event("b", n=2)
+    assert not get_logger().enabled
+    assert [r["event"] for r in cap.records()] == ["a", "b"]
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("test.hits").inc(7)
+    reg.gauge("test.level").set(3)
+    return reg
+
+def test_server_serves_prometheus_metrics(registry):
+    with ObservabilityServer(port=0, registry=registry) as srv:
+        assert srv.running and srv.port > 0
+        status, ctype, body = _get(srv.url + "/metrics")
+    assert status == 200 and ctype == CONTENT_TYPE
+    assert "repro_test_hits_total 7" in body
+    assert "repro_test_level 3.0" in body
+    assert not srv.running
+
+
+def test_server_healthz_ok_and_failing(registry):
+    health = {"ok": True, "requests": 0}
+    with ObservabilityServer(port=0, registry=registry, health_fn=lambda: health) as srv:
+        status, _, body = _get(srv.url + "/healthz")
+        assert status == 200 and json.loads(body) == health
+        health["ok"] = False
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(srv.url + "/healthz")
+        assert err.value.code == 503
+
+
+def test_server_unknown_path_is_404(registry):
+    with ObservabilityServer(port=0, registry=registry) as srv:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(srv.url + "/nope")
+        assert err.value.code == 404
+
+
+def test_server_start_stop_idempotent(registry):
+    srv = ObservabilityServer(port=0, registry=registry)
+    assert srv.start() is srv.start()
+    srv.stop()
+    srv.stop()
+    assert not srv.running

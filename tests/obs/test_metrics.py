@@ -1,10 +1,10 @@
-"""Counters and histograms: aggregation, thread safety, registry semantics."""
+"""Counters, gauges and histograms: aggregation, thread safety, registry semantics."""
 
 import math
 
 import pytest
 
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_key
 from repro.parallel import ThreadExecutor
 
 
@@ -80,3 +80,112 @@ def test_snapshot_is_json_shaped():
     assert snap["c"] == {"type": "counter", "value": 3}
     assert snap["h"]["type"] == "histogram"
     assert snap["h"]["count"] == 1 and snap["h"]["mean"] == 1.5
+
+
+def test_gauge_set_inc_dec_and_envelope():
+    g = Gauge("level")
+    assert math.isnan(g.value)
+    assert g.to_dict() == {"type": "gauge", "value": None, "min": None, "max": None, "samples": 0}
+    g.set(4.0)
+    g.set(2.0)
+    g.set(3.0)
+    assert g.value == 3.0
+    d = g.to_dict()
+    assert d["min"] == 2.0 and d["max"] == 4.0 and d["samples"] == 3
+    g.inc(1.5)
+    g.dec(0.5)
+    assert g.value == 4.0
+
+
+def test_gauge_inc_from_unset_starts_at_zero():
+    g = Gauge("delta")
+    g.inc(2.0)
+    assert g.value == 2.0
+
+
+def test_labelled_metrics_are_distinct_series():
+    reg = MetricsRegistry()
+    a = reg.gauge("henn.ct.level", {"layer": "HeConv2d"})
+    b = reg.gauge("henn.ct.level", {"layer": "HePoly"})
+    plain = reg.gauge("henn.ct.level")
+    assert a is not b and a is not plain
+    assert a is reg.gauge("henn.ct.level", {"layer": "HeConv2d"})
+    a.set(3)
+    b.set(2)
+    keys = reg.names()
+    assert metric_key("henn.ct.level", {"layer": "HeConv2d"}) in keys
+    snap = reg.snapshot()
+    assert snap['henn.ct.level{layer="HeConv2d"}']["labels"] == {"layer": "HeConv2d"}
+
+
+def test_metric_key_sorts_labels():
+    assert metric_key("m", {"b": 2, "a": 1}) == 'm{a="1",b="2"}'
+    assert metric_key("m") == "m"
+
+
+def test_summary_empty_and_single_sample():
+    h = Histogram("lat")
+    s = h.summary()
+    assert s["count"] == 0 and s["total"] == 0.0
+    assert all(s[k] is None for k in ("min", "max", "mean", "p50", "p90", "p99"))
+    h.observe(0.7)
+    s = h.summary()
+    assert s["count"] == 1
+    assert all(s[k] == 0.7 for k in ("min", "max", "mean", "p50", "p90", "p99"))
+    # single-sample percentiles are the sample for every q, not an index error
+    assert h.percentile(0) == h.percentile(99) == 0.7
+
+
+def test_merge_delta_counters_gauges_histograms():
+    worker = MetricsRegistry()
+    worker.counter("ops").inc(5)
+    worker.gauge("level", {"layer": "L"}).set(2.0)
+    worker.gauge("level", {"layer": "L"}).set(4.0)
+    worker.histogram("secs").observe_many([0.1, 0.2])
+
+    parent = MetricsRegistry()
+    parent.counter("ops").inc(1)
+    parent.merge_delta(worker.to_delta(), worker="worker-1")
+    assert parent.counter("ops").value == 6
+    g = parent.gauge("level", {"layer": "L"})
+    assert g.value == 4.0
+    assert g.to_dict()["min"] == 2.0  # envelope widened from the delta's min
+    assert parent.histogram("secs").count == 2
+    ledger = parent.per_worker()["worker-1"]
+    assert ledger["ops"]["value"] == 5
+    assert ledger["secs"] == {"type": "histogram", "count": 2, "total": pytest.approx(0.3)}
+
+
+def test_snapshot_consistent_under_concurrent_merges():
+    """snapshot() while worker deltas merge in never crashes or tears."""
+    worker = MetricsRegistry()
+    worker.counter("c").inc(3)
+    worker.gauge("g").set(1.0)
+    worker.histogram("h").observe_many([1.0, 2.0, 3.0])
+    delta = worker.to_delta()
+
+    parent = MetricsRegistry()
+    n_merges = 200
+
+    def merge(i):
+        parent.merge_delta(delta, worker=f"worker-{i % 4}")
+        return i
+
+    snaps = []
+
+    def snap(i):
+        snaps.append(parent.snapshot())
+        return i
+
+    with ThreadExecutor(workers=8) as ex:
+        ex.map(lambda i: merge(i) if i % 2 else snap(i), list(range(n_merges)))
+
+    final = parent.snapshot()
+    assert final["c"]["value"] == 3 * (n_merges // 2)
+    assert final["h"]["count"] == 3 * (n_merges // 2)
+    # every intermediate snapshot is internally consistent
+    for s in snaps:
+        if "h" in s:
+            assert s["h"]["count"] % 3 == 0
+    # odd indices merge, and odd i mod 4 is 1 or 3
+    assert set(parent.per_worker()) == {"worker-1", "worker-3"}

@@ -1,0 +1,127 @@
+"""ProcessExecutor metering: worker telemetry merges back into the parent."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.obs.tracer import Tracer
+from repro.parallel import ProcessExecutor
+
+
+@pytest.fixture()
+def fresh_registry():
+    prev = get_registry()
+    reg = set_registry(MetricsRegistry())
+    try:
+        yield reg
+    finally:
+        set_registry(prev)
+
+
+def _work(i):
+    """Worker payload: bumps counters/gauges and opens spans."""
+    reg = get_registry()
+    reg.counter("worker.items").inc()
+    reg.counter("worker.ops").inc(i)
+    reg.gauge("worker.level").set(float(i))
+    reg.histogram("worker.seconds").observe(0.01 * (i + 1))
+    with obs.span("worker.outer", item=i):
+        with obs.span("worker.inner"):
+            pass
+    return i * i
+
+
+def _span_on_forked_tracer(i):
+    """Record a span on a tracer that believes it belongs to another process.
+
+    Same situation as a fork-inherited tracer inside a pool worker: the
+    recording pid differs from the owning pid, so the span must be
+    counted as dropped rather than stored in memory the owner will
+    never read.
+    """
+    tracer = Tracer()
+    tracer._pid = -1
+    with tracer.span("lost.span"):
+        pass
+    return i
+
+
+def test_metered_map_merges_counters_spans_and_workers(fresh_registry):
+    with obs.tracing(metrics=fresh_registry) as tracer:
+        with ProcessExecutor(workers=2) as ex:
+            out = ex.map(_work, list(range(4)))
+    assert out == [0, 1, 4, 9]
+    assert fresh_registry.counter("worker.items").value == 4
+    assert fresh_registry.counter("worker.ops").value == 0 + 1 + 2 + 3
+    assert fresh_registry.histogram("worker.seconds").count == 4
+    # gauges adopt a worker's last value; the envelope spans all items
+    g = fresh_registry.gauge("worker.level").to_dict()
+    assert g["min"] == 0.0 and g["max"] == 3.0
+
+    spans = tracer.finished()
+    names = [s.name for s in spans]
+    assert names.count("worker.outer") == 4 and names.count("worker.inner") == 4
+    # absorbed worker spans are re-ided uniquely and tagged with their worker
+    ids = [s.span_id for s in spans]
+    assert len(ids) == len(set(ids))
+    workers = {s.tags["worker"] for s in spans if s.name.startswith("worker.")}
+    assert all(w.startswith("worker-") for w in workers)
+    # parent links survive the id remap
+    for inner in (s for s in spans if s.name == "worker.inner"):
+        parents = [s for s in spans if s.span_id == inner.parent_id]
+        assert len(parents) == 1 and parents[0].name == "worker.outer"
+
+    ledgers = fresh_registry.per_worker()
+    assert ledgers and set(ledgers) == workers
+    assert sum(l["worker.items"]["value"] for l in ledgers.values()) == 4
+
+
+def test_untraced_map_is_not_metered(fresh_registry):
+    with ProcessExecutor(workers=2) as ex:
+        out = ex.map(_work, list(range(4)))
+    assert out == [0, 1, 4, 9]
+    # worker registries were forked copies; nothing came home
+    assert fresh_registry.names() == []
+    assert fresh_registry.per_worker() == {}
+
+
+def test_single_item_map_runs_inline(fresh_registry):
+    with obs.tracing(metrics=fresh_registry):
+        with ProcessExecutor(workers=2) as ex:
+            assert ex.map(_work, [5]) == [25]
+    # inline execution records into the parent registry directly: no ledger
+    assert fresh_registry.counter("worker.items").value == 1
+    assert fresh_registry.per_worker() == {}
+
+
+def test_spans_dropped_counter_ships_home(fresh_registry):
+    """A span recorded on a fork-inherited tracer is counted, not lost silently."""
+    with obs.tracing(metrics=fresh_registry):
+        with ProcessExecutor(workers=2) as ex:
+            ex.map(_span_on_forked_tracer, list(range(3)))
+    # the worker-side drop counter travelled back inside the metered delta
+    assert fresh_registry.counter("obs.spans.dropped").value == 3
+
+
+def test_dropped_span_counted_in_process(fresh_registry):
+    """Unit view of the same contract, no pool involved."""
+    tracer = Tracer()
+    tracer._pid = -1
+    with tracer.span("lost.span"):
+        pass
+    assert tracer.finished() == []
+    assert fresh_registry.counter("obs.spans.dropped").value == 1
+
+
+def test_starmap_is_metered_too(fresh_registry):
+    with obs.tracing(metrics=fresh_registry):
+        with ProcessExecutor(workers=2) as ex:
+            out = ex.starmap(_np_add, [(1, 2), (3, 4)])
+    assert out == [3, 7]
+    assert fresh_registry.counter("add.calls").value == 2
+
+
+def _np_add(a, b):
+    get_registry().counter("add.calls").inc()
+    return int(np.int64(a) + np.int64(b))

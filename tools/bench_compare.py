@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Diff current BENCH_*.json benchmark records against a baseline set.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_compare.py \
+        [--baseline bench_artifacts/baselines] [--current bench_artifacts] \
+        [--threshold 0.25] [--warn-only] [name ...]
+
+For every ``BENCH_<name>.json`` in the baseline directory (or just the
+names given), the matching current record is loaded, both are validated
+against the ``repro.bench/1`` schema, and their timing ``results`` are
+compared.  Any key that got more than ``threshold`` slower (default
+25%) is a regression; schema violations and baselines with no current
+counterpart are also failures.
+
+Exit status: 0 clean, 1 regressions or invalid/missing records —
+unless ``--warn-only`` (the CI bench-smoke default, since shared
+runners make wall-clock noisy), which always exits 0 after printing
+the same report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench.record import compare_records, load_record, record_path  # noqa: E402
+
+
+def _fmt_seconds(v: float) -> str:
+    return f"{v:.6g}"
+
+
+def compare_pair(base_path: Path, cur_path: Path, threshold: float) -> tuple[bool, list[str]]:
+    """(ok, report lines) for one baseline/current record pair."""
+    lines: list[str] = []
+    try:
+        baseline = load_record(base_path)
+    except (ValueError, OSError) as exc:
+        return False, [f"  INVALID baseline: {exc}"]
+    if not cur_path.exists():
+        return False, [f"  MISSING current record {cur_path.name} (benchmark not run?)"]
+    try:
+        current = load_record(cur_path)
+    except (ValueError, OSError) as exc:
+        return False, [f"  INVALID current record: {exc}"]
+
+    diff = compare_records(baseline, current, threshold=threshold)
+    if not diff["env_match"]:
+        lines.append(
+            "  note: environment fingerprints differ "
+            f"(baseline {baseline['env']} vs current {current['env']}) — "
+            "timings are not apples-to-apples"
+        )
+    for row in diff["rows"]:
+        marker = "REGRESSION" if row["regression"] else "ok"
+        lines.append(
+            f"  {marker:>10}  {row['key']}: "
+            f"{_fmt_seconds(row['baseline'])} -> {_fmt_seconds(row['current'])} "
+            f"({row['ratio']:.2f}x)"
+        )
+    for key in diff["missing"]:
+        lines.append(f"  {'MISSING':>10}  {key}: present in baseline only")
+    ok = not diff["regressions"] and not diff["missing"]
+    return ok, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="benchmark names (default: every BENCH_*.json in the baseline dir)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO / "bench_artifacts" / "baselines",
+        help="directory holding the committed baseline records",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=REPO / "bench_artifacts",
+        help="directory holding the freshly emitted records",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed slowdown fraction before a key counts as a regression",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print the full report but always exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    if args.names:
+        pairs = [(record_path(args.baseline, n), record_path(args.current, n)) for n in args.names]
+    else:
+        pairs = [
+            (p, args.current / p.name) for p in sorted(args.baseline.glob("BENCH_*.json"))
+        ]
+    if not pairs:
+        print(f"no baseline records under {args.baseline}")
+        return 0 if args.warn_only else 1
+
+    failures = 0
+    for base_path, cur_path in pairs:
+        ok, lines = compare_pair(base_path, cur_path, args.threshold)
+        status = "OK" if ok else "FAIL"
+        print(f"{status}  {base_path.stem.removeprefix('BENCH_')}")
+        print("\n".join(lines))
+        failures += 0 if ok else 1
+
+    print(
+        f"\n{len(pairs) - failures}/{len(pairs)} benchmark records within "
+        f"{args.threshold:.0%} of baseline"
+    )
+    if failures and args.warn_only:
+        print("warn-only: regressions reported but not failing the run")
+    return 0 if (args.warn_only or not failures) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
