@@ -29,7 +29,13 @@ from repro.henn.security import he_standard_max_logq, validate_security
 from repro.henn.rnscnn import RnsIntegerConv, rns_conv_pipeline
 from repro.henn.packing import dense_single, encrypt_features, rotations_needed
 from repro.henn.hybrid import HybridRnsEngine
-from repro.henn.protocol import Client, CloudResponse, CloudService, ServiceError
+from repro.henn.protocol import (
+    BatchedCloudService,
+    Client,
+    CloudResponse,
+    CloudService,
+    ServiceError,
+)
 
 __all__ = [
     "HeBackend",
@@ -60,6 +66,7 @@ __all__ = [
     "HybridRnsEngine",
     "Client",
     "CloudService",
+    "BatchedCloudService",
     "CloudResponse",
     "ServiceError",
 ]

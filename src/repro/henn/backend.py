@@ -56,6 +56,15 @@ class HeBackend(ABC):
 
     name: str = "abstract"
 
+    #: Whether :meth:`concat_slots` packs requests into genuinely shared
+    #: ciphertexts (SIMD slot stacking).  True only where packing is
+    #: *exact*: the mock backend concatenates plaintext slot vectors
+    #: bit-identically, while the real schemes would need rotations
+    #: (keyswitch noise breaks bit-identity with the serial run), so
+    #: they serve batches through the structural
+    #: :class:`repro.serving.packing.MemberwiseBackend` instead.
+    native_slot_concat: bool = False
+
     @property
     @abstractmethod
     def scale(self) -> float:
@@ -113,6 +122,23 @@ class HeBackend(ABC):
     def rotate(self, a: Any, r: int) -> Any:
         """Left-rotate slots by *r* (requires rotation keys where real)."""
         raise NotImplementedError(f"{self.name} backend has no rotations")
+
+    # -- slot packing (serving gateway) -----------------------------------------
+
+    def concat_slots(self, handles: Sequence[Any], counts: Sequence[int]) -> Any:
+        """Stack independent request ciphertexts along the slot axis.
+
+        Handle *j* contributes slots ``[offset_j, offset_j + counts[j])``
+        of the packed result, where ``offset_j = sum(counts[:j])`` — the
+        batching gateway's assembly primitive.  Only backends that can
+        do this exactly implement it (``native_slot_concat``); the base
+        class refuses so callers fall back to structural packing.
+        """
+        raise NotImplementedError(f"{self.name} backend has no native slot packing")
+
+    def slice_slots(self, a: Any, start: int, count: int) -> Any:
+        """Inverse of :meth:`concat_slots`: one request's slot range."""
+        raise NotImplementedError(f"{self.name} backend has no native slot packing")
 
     # -- composite operations (overridable fast paths) -------------------------
 
@@ -336,6 +362,41 @@ class MockBackend(HeBackend):
 
     def rotate(self, a: _MockHandle, r: int) -> _MockHandle:
         return _MockHandle(np.roll(a.values, -r), a.scale, a.level)
+
+    # -- slot packing ------------------------------------------------------------
+
+    native_slot_concat = True
+
+    def concat_slots(self, handles: Sequence[_MockHandle], counts: Sequence[int]) -> _MockHandle:
+        """Exact SIMD packing: slot vectors concatenate bit-identically.
+
+        Every mock operation is slotwise over ``values``, so evaluating
+        the packed handle restricted to one request's slot range equals
+        evaluating that request alone — the bit-identity the batching
+        gateway's tests assert.  Requests must agree on scale and level
+        exactly (fresh encryptions do; a drifted ciphertext is the
+        caller's admission-validation problem, reported here as
+        :class:`ValueError`).
+        """
+        if len(handles) != len(counts) or not handles:
+            raise ValueError("bad concat_slots arguments")
+        head = handles[0]
+        for h, c in zip(handles, counts):
+            if h.values.shape[0] != c:
+                raise ValueError(f"handle holds {h.values.shape[0]} slots, declared {c}")
+            if h.level != head.level or h.scale != head.scale:
+                raise ValueError("concat_slots requires identical scales and levels")
+        total = int(sum(counts))
+        if total > self._batch:
+            raise ValueError(f"packed batch {total} exceeds backend capacity {self._batch}")
+        return _MockHandle(
+            np.concatenate([h.values for h in handles]), head.scale, head.level
+        )
+
+    def slice_slots(self, a: _MockHandle, start: int, count: int) -> _MockHandle:
+        if start < 0 or count < 1 or start + count > a.values.shape[0]:
+            raise ValueError(f"slot range [{start}, {start + count}) out of bounds")
+        return _MockHandle(a.values[start : start + count].copy(), a.scale, a.level)
 
 
 # --------------------------------------------------------------------------- multiprecision CKKS

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -147,6 +148,64 @@ class HeInferenceEngine:
                     for j in range(w):
                         enc[ci, i, j] = self.backend.encrypt(images[:, ci, i, j])
         return enc
+
+    # -- batch assembly (serving gateway) ----------------------------------------
+
+    def assemble_batch(
+        self, requests: "Sequence[np.ndarray]", counts: "Sequence[int]"
+    ) -> np.ndarray:
+        """Slot-stack N encrypted requests into one batch of handles.
+
+        Cell ``(c, h, w)`` of the result packs the matching cell of
+        every request along the slot axis
+        (:meth:`~repro.henn.backend.HeBackend.concat_slots`), so one
+        :meth:`run_encrypted` evaluates all requests at once.  The
+        caller (the batching gateway) validates shapes, levels and
+        scales *before* assembly — a poisoned request must be rejected
+        at admission, not fail its batchmates here.
+
+        Parameters
+        ----------
+        requests:
+            Encrypted ``(C, H, W)`` handle arrays from
+            :meth:`encrypt_images`, one per request.
+        counts:
+            Images (slots) each request claims, in the same order.
+        """
+        if len(requests) != len(counts) or not len(requests):
+            raise ValueError("bad assemble_batch arguments")
+        for r in requests:
+            if r.shape != self.input_shape:
+                raise ValueError(f"request shape {r.shape} != {self.input_shape}")
+        c, h, w = self.input_shape
+        out = np.empty((c, h, w), dtype=object)
+        with obs.span("henn.stage.assemble", requests=len(requests), slots=int(sum(counts))):
+            for idx in np.ndindex(c, h, w):
+                out[idx] = self.backend.concat_slots([r[idx] for r in requests], counts)
+        return out
+
+    def split_scores(
+        self, scores: np.ndarray, counts: "Sequence[int]"
+    ) -> "list[np.ndarray]":
+        """Inverse of :meth:`assemble_batch` on the output side.
+
+        Splits the flat per-class score handles of a packed
+        :meth:`run_encrypted` back into one ``(classes,)`` handle array
+        per request, so each response carries *only* that request's
+        slot range.
+        """
+        out: list[np.ndarray] = []
+        with obs.span("henn.stage.disassemble", requests=len(counts)):
+            offset = 0
+            for count in counts:
+                out.append(
+                    np.array(
+                        [self.backend.slice_slots(s, offset, count) for s in scores],
+                        dtype=object,
+                    )
+                )
+                offset += count
+        return out
 
     # -- server side -------------------------------------------------------------
 

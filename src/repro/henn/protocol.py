@@ -30,7 +30,10 @@ metrics on ``/metrics`` + ``/healthz`` scrape endpoints.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
+from concurrent.futures import Future
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,6 +41,7 @@ import numpy as np
 from repro.henn.backend import HeBackend
 from repro.henn.inference import HeInferenceEngine
 from repro.henn.layers import HeLayer
+from repro.obs import health as _obs_health
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.server import ObservabilityServer
@@ -47,8 +51,20 @@ from repro.resilience.errors import (
     ItemTimeoutError,
     ProtocolError,
 )
+from repro.serving.errors import (
+    RequestValidationError,
+    SchedulerClosedError,
+    ServiceOverloadedError,
+)
+from repro.serving.scheduler import BatchingScheduler
 
-__all__ = ["Client", "CloudService", "ServiceError", "CloudResponse"]
+__all__ = [
+    "Client",
+    "CloudService",
+    "BatchedCloudService",
+    "ServiceError",
+    "CloudResponse",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +111,14 @@ def _sanitize(exc: BaseException) -> ServiceError:
         )
     if isinstance(exc, (ExecutorExhaustedError, ItemTimeoutError)):
         return ServiceError(code, "compute", True, "evaluation resources exhausted")
+    if isinstance(exc, ServiceOverloadedError):
+        return ServiceError(
+            code, "overload", True, "service at capacity, retry with backoff"
+        )
+    if isinstance(exc, RequestValidationError):
+        return ServiceError(code, "state", False, "request rejected at admission")
+    if isinstance(exc, SchedulerClosedError):
+        return ServiceError(code, "unavailable", False, "service is shutting down")
     if isinstance(exc, ValueError):
         return ServiceError(
             code, "state", True, "ciphertext bookkeeping rejected the request"
@@ -122,7 +146,11 @@ class Client:
         )
 
     def classify_with_retry(
-        self, cloud: "CloudService", images: np.ndarray, max_attempts: int = 3
+        self,
+        cloud: "CloudService",
+        images: np.ndarray,
+        max_attempts: int = 3,
+        backoff_seconds: float = 0.0,
     ) -> np.ndarray:
         """Full round trip with bounded client-side retry.
 
@@ -132,12 +160,20 @@ class Client:
         retryable ones, raise
         :class:`~repro.resilience.errors.ProtocolError` carrying the
         sanitised error only.
+
+        ``backoff_seconds`` > 0 sleeps ``backoff_seconds * 2^(k-1)``
+        before retry *k* — the polite response to an ``overload``
+        rejection from a backpressured
+        :class:`BatchedCloudService` (its queue needs draining, not
+        hammering).
         """
         images = np.asarray(images, dtype=np.float64)
         error: ServiceError | None = None
         for attempt in range(1, max_attempts + 1):
             if attempt > 1:
                 get_registry().counter("resilience.protocol_retries").inc()
+                if backoff_seconds > 0:
+                    time.sleep(backoff_seconds * 2 ** (attempt - 2))
             response = cloud.try_classify(self.encrypt_request(images))
             if response.ok:
                 return self.decrypt_response(response.scores, images.shape[0])
@@ -153,7 +189,13 @@ class CloudService:
     def __init__(self, backend: HeBackend, layers: list[HeLayer], input_shape: tuple[int, int, int]):
         self.engine = HeInferenceEngine(backend, layers, input_shape)
         self._obs_server: ObservabilityServer | None = None
-        self._request_seq = 0
+        # Request ids must stay unique under concurrent try_classify
+        # calls: itertools.count.__next__ is atomic under the GIL, and
+        # the served/latency bookkeeping shares one lock.
+        self._request_ids = itertools.count(1)
+        self._state_lock = threading.Lock()
+        self._requests_served = 0
+        self._last_latency = 0.0
 
     def classify_encrypted(self, encrypted_images: np.ndarray) -> np.ndarray:
         """Run the CNN homomorphically; inputs and outputs stay encrypted."""
@@ -171,21 +213,23 @@ class CloudService:
         """
         log = get_logger()
         reg = get_registry()
-        self._request_seq += 1
-        rid = self._request_seq
+        rid = next(self._request_ids)
         handles = int(np.asarray(encrypted_images).size)
         log.event("henn.request.start", request=rid, handles=handles)
         t0 = time.perf_counter()
         try:
             scores = self.classify_encrypted(encrypted_images)
         except Exception as exc:
+            seconds = time.perf_counter() - t0
             reg.counter("resilience.service_errors").inc()
             error = _sanitize(exc)
             reg.counter("henn.requests", {"outcome": "error"}).inc()
+            with self._state_lock:
+                self._requests_served += 1
             log.event(
                 "henn.request.error",
                 request=rid,
-                seconds=time.perf_counter() - t0,
+                seconds=seconds,
                 code=error.code,
                 category=error.category,
                 retryable=error.retryable,
@@ -194,6 +238,11 @@ class CloudService:
         seconds = time.perf_counter() - t0
         reg.counter("henn.requests", {"outcome": "ok"}).inc()
         reg.histogram("henn.request.seconds").observe(seconds)
+        # Snapshot per request under the lock: reading the engine's
+        # mutable trace here would race concurrent classifications.
+        with self._state_lock:
+            self._requests_served += 1
+            self._last_latency = seconds
         log.event(
             "henn.request.ok", request=rid, seconds=seconds, scores=int(len(scores))
         )
@@ -226,15 +275,279 @@ class CloudService:
             self._obs_server = None
 
     def _health(self) -> dict:
+        with self._state_lock:
+            served = self._requests_served
         return {
             "ok": True,
-            "ready": self._request_seq > 0,
-            "requests": self._request_seq,
+            "ready": served > 0,
+            "requests": served,
             "backend": self.engine.backend.name,
             "last_latency_seconds": self.last_latency,
         }
 
     @property
     def last_latency(self) -> float:
-        """Seconds spent on the most recent encrypted classification."""
+        """Seconds spent on the most recent encrypted classification.
+
+        Snapshotted per request inside :meth:`try_classify` (reading
+        the engine's shared trace would race concurrent requests); for
+        direct :meth:`classify_encrypted` callers that bypass the
+        request path it falls back to the engine's layer-span total.
+        """
+        with self._state_lock:
+            if self._requests_served:
+                return self._last_latency
         return self.engine.trace.total()
+
+
+class BatchedCloudService(CloudService):
+    """Dynamic-batching gateway: coalesces requests into slot-packed runs.
+
+    The serving-throughput problem this solves: a CKKS classification
+    costs nearly the same wall-clock whether 1 or ``max_batch`` SIMD
+    slots are filled, yet :meth:`CloudService.try_classify` evaluates
+    one request per call — single-image clients pay full price and
+    throughput is ``1/latency``.  This gateway admits requests into a
+    bounded queue, a :class:`~repro.serving.scheduler.BatchingScheduler`
+    worker coalesces them (fire on slots-full or ``max_wait_ms``
+    deadline of the oldest request), the engine evaluates the packed
+    batch **once**, and the score ciphertexts are split back so each
+    response carries only its own slot range.
+
+    Guarantees:
+
+    * **Error isolation** — shapes, levels and scales are validated at
+      admission; a poisoned request is rejected alone (non-retryable
+      ``state`` error) and never joins a batch.  A backend fault while
+      a batch runs fails all its members with the same *retryable*
+      sanitised error.
+    * **Backpressure** — beyond ``max_queue_depth`` pending requests,
+      admission answers the retryable ``overload``
+      :class:`ServiceError`, which
+      :meth:`Client.classify_with_retry` backs off on.
+    * **Exactness** — packing is exact: native slot concatenation where
+      the backend supports it bit-identically (mock), structural
+      memberwise dispatch otherwise (both real schemes); see
+      :mod:`repro.serving.packing`.
+    * **Telemetry** — ``serving.*`` gauges/histograms plus the same
+      ``henn.request.*`` lifecycle events and counters as the serial
+      service, all visible on ``/metrics`` and ``/healthz``.
+
+    Parameters
+    ----------
+    backend, layers, input_shape:
+        As for :class:`CloudService`; *backend* is what the clients
+        share (the gateway wraps it for packing as needed).
+    max_batch_slots:
+        Slot capacity of one coalesced batch (default: the backend's
+        ``max_batch``).
+    max_wait_ms:
+        Most latency a partial batch may add waiting for batchmates.
+    max_queue_depth:
+        Admission bound (requests) before overload rejections start.
+    request_timeout_s:
+        Upper bound a blocking :meth:`try_classify` waits on its
+        future before answering with a ``compute`` error.
+    """
+
+    def __init__(
+        self,
+        backend: HeBackend,
+        layers: list[HeLayer],
+        input_shape: tuple[int, int, int],
+        *,
+        max_batch_slots: int | None = None,
+        max_wait_ms: float = 5.0,
+        max_queue_depth: int = 64,
+        request_timeout_s: float = 120.0,
+    ):
+        # Deferred: repro.serving.packing subclasses HeBackend, so a
+        # module-level import would close an import cycle through the
+        # repro.henn package init.
+        from repro.serving.packing import serving_backend_for
+
+        self.client_backend = backend
+        super().__init__(serving_backend_for(backend), layers, input_shape)
+        self.request_timeout_s = float(request_timeout_s)
+        self._expected_level = _obs_health._top_level(backend)
+        self._expected_scale = float(backend.scale)
+        self.scheduler = BatchingScheduler(
+            self._run_batch,
+            max_batch_slots=int(max_batch_slots or backend.max_batch),
+            max_wait_ms=max_wait_ms,
+            max_queue_depth=max_queue_depth,
+            name="henn-serving",
+        )
+
+    # -- admission ----------------------------------------------------------------
+
+    def _request_slots(self, encrypted_images: np.ndarray, count: int | None) -> int:
+        """Slots a request claims: declared, or discovered from the mock
+        handles (real ciphertexts hide their occupancy — that is the
+        point of HE — so multi-image clients must declare)."""
+        if count is not None:
+            return int(count)
+        cell = encrypted_images.reshape(-1)[0] if encrypted_images.size else None
+        values = getattr(cell, "values", None)
+        if values is not None:
+            return int(np.asarray(values).shape[0])
+        return 1
+
+    def _validate_request(self, encrypted_images: object, count: int) -> np.ndarray:
+        """Admission gate: shape/level/scale checks, *before* batching.
+
+        Raises :class:`~repro.serving.errors.RequestValidationError`
+        (index-only messages — never slot values) so one malformed or
+        drifted request cannot poison its batchmates mid-batch.
+        """
+        enc = np.asarray(encrypted_images, dtype=object)
+        if enc.shape != self.engine.input_shape:
+            raise RequestValidationError(
+                f"request shape {enc.shape} != expected {self.engine.input_shape}"
+            )
+        if not 1 <= count <= self.scheduler.max_batch_slots:
+            raise RequestValidationError(
+                f"request claims {count} slots, capacity {self.scheduler.max_batch_slots}"
+            )
+        backend = self.client_backend
+        for i, cell in enumerate(enc.reshape(-1)):
+            try:
+                level = int(backend.level_of(cell))
+                scale = float(backend.scale_of(cell))
+            except Exception as exc:
+                raise RequestValidationError(f"handle {i} is not a ciphertext") from exc
+            if self._expected_level is not None and level != self._expected_level:
+                raise RequestValidationError(
+                    f"handle {i} at level {level}, expected {self._expected_level}"
+                )
+            if scale != self._expected_scale:
+                raise RequestValidationError(f"handle {i} off the base scale")
+            values = getattr(cell, "values", None)
+            if values is not None and np.asarray(values).shape[0] != count:
+                raise RequestValidationError(
+                    f"handle {i} holds a different slot count than declared"
+                )
+        return enc
+
+    def submit(self, encrypted_images: object, count: int | None = None) -> Future:
+        """Non-blocking admission: returns a future of the
+        :class:`CloudResponse`.
+
+        Admission failures (validation, overload, shutdown) resolve the
+        future immediately with the sanitised error response — callers
+        never need to distinguish sync from async rejection.
+        """
+        log = get_logger()
+        reg = get_registry()
+        rid = next(self._request_ids)
+        try:
+            enc = np.asarray(encrypted_images, dtype=object)
+            slots = self._request_slots(enc, count)
+            log.event("henn.request.start", request=rid, handles=int(enc.size))
+            validated = self._validate_request(enc, slots)
+            return self.scheduler.submit((rid, validated, time.perf_counter()), slots)
+        except Exception as exc:
+            error = _sanitize(exc)
+            reg.counter("henn.requests", {"outcome": "rejected"}).inc()
+            log.event(
+                "henn.request.rejected",
+                request=rid,
+                code=error.code,
+                category=error.category,
+                retryable=error.retryable,
+            )
+            future: Future = Future()
+            future.set_result(CloudResponse(ok=False, error=error))
+            return future
+
+    # -- request path --------------------------------------------------------------
+
+    def try_classify(self, encrypted_images: np.ndarray, count: int | None = None) -> CloudResponse:
+        """Blocking classify through the batching queue.
+
+        Same contract as :meth:`CloudService.try_classify` — the
+        coalescing is invisible apart from the throughput — plus the
+        ``overload`` rejection when the queue is full.
+        """
+        future = self.submit(encrypted_images, count)
+        try:
+            return future.result(timeout=self.request_timeout_s)
+        except Exception as exc:  # scheduler fault or timeout: still sanitised
+            return CloudResponse(ok=False, error=_sanitize(exc))
+
+    def classify_encrypted(self, encrypted_images: np.ndarray) -> np.ndarray:
+        """Single-request evaluation, routed through the batch path.
+
+        The gateway's engine only understands assembled batches, so the
+        inherited direct call is re-pointed at the queue; a failure
+        raises :class:`~repro.resilience.errors.ProtocolError` carrying
+        the sanitised error.
+        """
+        response = self.try_classify(encrypted_images)
+        if not response.ok:
+            raise ProtocolError(response.error, attempts=1)
+        return response.scores
+
+    def _run_batch(self, payloads: list, slots: list[int]) -> list[CloudResponse]:
+        """Scheduler callback: assemble -> run once -> split.
+
+        Runs on the single scheduler worker thread, so the engine never
+        sees concurrent evaluations.
+        """
+        log = get_logger()
+        reg = get_registry()
+        rids = [rid for rid, _, _ in payloads]
+        requests = [enc for _, enc, _ in payloads]
+        t0 = time.perf_counter()
+        try:
+            assembled = self.engine.assemble_batch(requests, slots)
+            score_handles = self.engine.run_encrypted(assembled)
+            per_request = self.engine.split_scores(score_handles, slots)
+        except Exception as exc:
+            seconds = time.perf_counter() - t0
+            reg.counter("resilience.service_errors").inc()
+            error = _sanitize(exc)
+            for rid in rids:
+                reg.counter("henn.requests", {"outcome": "error"}).inc()
+                log.event(
+                    "henn.request.error",
+                    request=rid,
+                    seconds=seconds,
+                    code=error.code,
+                    category=error.category,
+                    retryable=error.retryable,
+                )
+            with self._state_lock:
+                self._requests_served += len(rids)
+            return [CloudResponse(ok=False, error=error)] * len(rids)
+        seconds = time.perf_counter() - t0
+        responses = []
+        for rid, scores in zip(rids, per_request):
+            reg.counter("henn.requests", {"outcome": "ok"}).inc()
+            reg.histogram("henn.request.seconds").observe(seconds)
+            log.event(
+                "henn.request.ok", request=rid, seconds=seconds, scores=int(len(scores))
+            )
+            responses.append(CloudResponse(ok=True, scores=scores))
+        with self._state_lock:
+            self._requests_served += len(rids)
+            self._last_latency = seconds
+        return responses
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Drain (default) or abort the queue, then stop scrapes."""
+        self.scheduler.close(drain=drain)
+        self.stop_observability()
+
+    def __enter__(self) -> "BatchedCloudService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _health(self) -> dict:
+        status = super()._health()
+        status["serving"] = self.scheduler.stats()
+        return status

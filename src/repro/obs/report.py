@@ -14,7 +14,14 @@ from typing import Iterable, Sequence
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span, Tracer
 
-__all__ = ["SpanAggregate", "aggregate_spans", "layer_rows", "render_report", "format_table"]
+__all__ = [
+    "SpanAggregate",
+    "aggregate_spans",
+    "layer_rows",
+    "serving_rows",
+    "render_report",
+    "format_table",
+]
 
 
 @dataclass
@@ -75,6 +82,33 @@ def layer_rows(source: Tracer | Iterable[Span]) -> list[tuple[str, float]]:
     return rows
 
 
+def serving_rows(metrics: MetricsRegistry) -> list[list]:
+    """Serving-gateway summary rows from the ``serving.*`` metrics.
+
+    One row per series: histograms show count / mean / p50 / p99 (the
+    batching trade-off in four numbers — how full batches get and what
+    the coalescing wait costs), gauges and counters their value.
+    Empty when no batching gateway ran.
+    """
+    rows: list[list] = []
+    for key, m in sorted(metrics.snapshot().items()):
+        if not key.startswith("serving."):
+            continue
+        if m["type"] == "histogram":
+            if m["count"]:
+                rows.append(
+                    [key, m["count"], f"{m['mean']:.6g}", f"{m['p50']:.6g}", f"{m['p99']:.6g}"]
+                )
+            else:
+                rows.append([key, 0, "-", "-", "-"])
+        elif m["type"] == "gauge":
+            v = m["value"]
+            rows.append([key, m.get("samples", ""), f"{v:.6g}" if v is not None else "-", "", ""])
+        else:
+            rows.append([key, "", str(m["value"]), "", ""])
+    return rows
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
     """Monospace table (same layout as the benchmark tables)."""
     cells = [[str(h) for h in headers]] + [
@@ -131,6 +165,16 @@ def render_report(
                 ["layer", "seconds"],
                 [[n, s] for n, s in layers],
                 "per-layer breakdown (henn.layer spans)",
+            )
+        )
+
+    srows = serving_rows(metrics) if metrics is not None else []
+    if srows:
+        sections.append(
+            format_table(
+                ["serving metric", "n", "value/mean", "p50", "p99"],
+                srows,
+                "serving gateway (batch coalescing)",
             )
         )
 

@@ -1,0 +1,35 @@
+"""Dynamic request batching for the HE serving path.
+
+``repro.serving`` turns the one-request-per-call
+:class:`~repro.henn.protocol.CloudService` into a throughput-oriented
+gateway: independent client requests are coalesced into slot-packed
+batches (:mod:`repro.serving.packing`), fired by a fill-or-deadline
+scheduler with bounded-queue backpressure
+(:mod:`repro.serving.scheduler`), and observed end to end through
+:mod:`repro.obs` (``serving.*`` gauges and histograms, Prometheus
+export, ``/healthz``).
+
+The protocol-level entry point is
+:class:`repro.henn.protocol.BatchedCloudService`; this package holds
+the reusable machinery beneath it.
+"""
+
+from repro.serving.errors import (
+    RequestValidationError,
+    SchedulerClosedError,
+    ServiceOverloadedError,
+    ServingError,
+)
+from repro.serving.scheduler import BatchingScheduler
+from repro.serving.packing import MemberwiseBackend, PackedHandle, serving_backend_for
+
+__all__ = [
+    "BatchingScheduler",
+    "MemberwiseBackend",
+    "PackedHandle",
+    "serving_backend_for",
+    "ServingError",
+    "ServiceOverloadedError",
+    "SchedulerClosedError",
+    "RequestValidationError",
+]

@@ -1,0 +1,47 @@
+"""Typed failures of the serving gateway.
+
+Like :mod:`repro.resilience.errors`, every condition a caller can react
+to gets its own class, so the protocol layer can map failures onto the
+fixed :class:`~repro.henn.protocol.ServiceError` vocabulary without
+parsing messages (and without leaking request data into error strings).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "ServiceOverloadedError",
+    "SchedulerClosedError",
+    "RequestValidationError",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class of all serving-gateway failures."""
+
+
+class ServiceOverloadedError(ServingError):
+    """The admission queue is at capacity; the request was not enqueued.
+
+    This is the *backpressure* signal: it is retryable by design —
+    :meth:`repro.henn.protocol.Client.classify_with_retry` backs off and
+    resubmits, and a load balancer can route elsewhere.
+    """
+
+
+class SchedulerClosedError(ServingError):
+    """The scheduler is shut down; no further requests are accepted.
+
+    Pending futures failed by a non-draining :meth:`close` also carry
+    this error, so a waiting client always gets an answer — the
+    scheduler never drops a future silently.
+    """
+
+
+class RequestValidationError(ServingError):
+    """A request was rejected at admission (shape / level / scale).
+
+    Raised *before* the request joins a batch: a poisoned request must
+    fail alone, never its batchmates.  Not retryable — resubmitting the
+    same malformed ciphertexts cannot succeed.
+    """

@@ -1,0 +1,247 @@
+"""Batch assembly for the serving gateway: exact slot packing.
+
+Two packing strategies sit behind one interface
+(:meth:`repro.henn.backend.HeBackend.concat_slots` /
+:meth:`~repro.henn.backend.HeBackend.slice_slots`):
+
+* **Native SIMD packing** — backends whose slot concatenation is exact
+  (``native_slot_concat``) stack N requests into genuinely shared
+  ciphertexts; the engine then evaluates the network **once** for the
+  whole batch.  The mock backend does this (its handles are plaintext
+  slot vectors), which is where the near-``max_batch``× serving
+  throughput gain comes from.
+* **Structural packing** — the real CKKS backends cannot concatenate
+  slots exactly (moving a fresh ciphertext's payload to a different
+  slot range needs a Galois rotation, whose key-switch noise breaks
+  bit-identity with the serial evaluation).  For them,
+  :class:`MemberwiseBackend` wraps the backend so a "packed handle" is
+  the tuple of member ciphertexts and every primitive fans out
+  memberwise.  Results are *exactly* the serial computation — same
+  ops, same order, same constants — so correctness is preserved while
+  the batch still shares one graph traversal, one compiled
+  :class:`~repro.henn.plan.InferencePlan` and one telemetry span tree.
+  True rotation-based packing (approximate, Triton-style) is a
+  documented future extension, not silently substituted.
+
+:func:`serving_backend_for` picks the strategy; the gateway and the
+engine's :meth:`~repro.henn.inference.HeInferenceEngine.assemble_batch`
+/ :meth:`~repro.henn.inference.HeInferenceEngine.split_scores` hooks
+are agnostic to which one is active.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.henn.backend import EncodedTaps, HeBackend
+
+__all__ = ["PackedHandle", "MemberwiseBackend", "serving_backend_for"]
+
+
+class PackedHandle:
+    """A batch-of-requests ciphertext: one member handle per request.
+
+    ``counts[j]`` is the number of SIMD slots (images) member *j*
+    claims, so the packed handle presents the same "slot axis" contract
+    as a natively packed ciphertext: request *j* owns slot range
+    ``[sum(counts[:j]), sum(counts[:j+1]))``.
+    """
+
+    __slots__ = ("members", "counts")
+
+    def __init__(self, members: Sequence[Any], counts: Sequence[int]):
+        if len(members) != len(counts) or not len(members):
+            raise ValueError("bad PackedHandle arguments")
+        self.members = list(members)
+        self.counts = [int(c) for c in counts]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PackedHandle(members={len(self.members)}, counts={self.counts})"
+
+
+def _unwrap(a: Any) -> PackedHandle:
+    if not isinstance(a, PackedHandle):
+        raise TypeError(
+            f"expected a PackedHandle, got {type(a).__name__} — memberwise "
+            "backends only evaluate batches assembled via concat_slots"
+        )
+    return a
+
+
+class MemberwiseBackend(HeBackend):
+    """Structural packing: every primitive fans out over the members.
+
+    Wraps an inner :class:`~repro.henn.backend.HeBackend` so the
+    inference engine sees a backend whose handles are
+    :class:`PackedHandle` tuples.  Each operation applies the inner
+    backend's operation to every member with identical arguments, so
+    the evaluation of member *j* is instruction-for-instruction the
+    serial evaluation of request *j* — bit-identical results by
+    construction (the packing-equivalence tests assert this on both
+    real schemes).
+
+    Plaintext-side work is *not* duplicated: :meth:`encode_taps`
+    delegates to the inner backend once, and the replayed
+    :class:`~repro.henn.backend.EncodedTaps` are shared by all members
+    (and by the compiled inference plan).
+
+    Attribute access falls through to the inner backend (``ctx``,
+    ``levels``, …), so health telemetry and parameter introspection
+    keep working unchanged.
+    """
+
+    native_slot_concat = True  # packs structurally, still exact
+
+    def __init__(self, inner: HeBackend):
+        if isinstance(inner, MemberwiseBackend):
+            raise TypeError("refusing to nest MemberwiseBackend")
+        self.inner = inner
+        self.name = f"packed+{inner.name}"
+
+    def __getattr__(self, item: str) -> Any:
+        if item == "inner":  # guard unpickling / partial construction
+            raise AttributeError(item)
+        return getattr(self.inner, item)
+
+    # -- packing -----------------------------------------------------------------
+
+    def concat_slots(self, handles: Sequence[Any], counts: Sequence[int]) -> PackedHandle:
+        return PackedHandle(handles, counts)
+
+    def slice_slots(self, a: PackedHandle, start: int, count: int) -> Any:
+        """Member lookup: slices are only defined at request boundaries."""
+        a = _unwrap(a)
+        offset = 0
+        for member, c in zip(a.members, a.counts):
+            if offset == start and c == count:
+                return member
+            offset += c
+        raise ValueError(
+            f"slot range [{start}, {start + count}) does not match a member "
+            f"boundary of counts {a.counts}"
+        )
+
+    # -- scalars / capacity --------------------------------------------------------
+
+    @property
+    def scale(self) -> float:
+        return self.inner.scale
+
+    @property
+    def max_batch(self) -> int:
+        return self.inner.max_batch
+
+    def scale_of(self, a: Any) -> float:
+        return self.inner.scale_of(_unwrap(a).members[0])
+
+    def level_of(self, a: Any) -> int:
+        return self.inner.level_of(_unwrap(a).members[0])
+
+    # -- memberwise primitives -----------------------------------------------------
+
+    def encrypt(self, values: np.ndarray) -> Any:
+        return self.inner.encrypt(values)
+
+    def decrypt(self, handle: Any, count: int | None = None) -> np.ndarray:
+        if not isinstance(handle, PackedHandle):
+            return self.inner.decrypt(handle, count)
+        parts = [
+            np.asarray(self.inner.decrypt(m, count=c))
+            for m, c in zip(handle.members, handle.counts)
+        ]
+        values = np.concatenate(parts)
+        return values[:count] if count is not None else values
+
+    def add(self, a: Any, b: Any) -> PackedHandle:
+        a, b = _unwrap(a), _unwrap(b)
+        return PackedHandle(
+            [self.inner.add(x, y) for x, y in zip(a.members, b.members)], a.counts
+        )
+
+    def add_plain(self, a: Any, value: float) -> PackedHandle:
+        a = _unwrap(a)
+        return PackedHandle([self.inner.add_plain(m, value) for m in a.members], a.counts)
+
+    def mul_plain_scalar(
+        self, a: Any, scalar: float, plain_scale: float | None = None
+    ) -> PackedHandle:
+        a = _unwrap(a)
+        return PackedHandle(
+            [self.inner.mul_plain_scalar(m, scalar, plain_scale) for m in a.members],
+            a.counts,
+        )
+
+    def mul(self, a: Any, b: Any) -> PackedHandle:
+        a, b = _unwrap(a), _unwrap(b)
+        return PackedHandle(
+            [self.inner.mul(x, y) for x, y in zip(a.members, b.members)], a.counts
+        )
+
+    def square(self, a: Any) -> PackedHandle:
+        a = _unwrap(a)
+        return PackedHandle([self.inner.square(m) for m in a.members], a.counts)
+
+    def rescale(self, a: Any) -> PackedHandle:
+        a = _unwrap(a)
+        return PackedHandle([self.inner.rescale(m) for m in a.members], a.counts)
+
+    def mul_plain_vector(self, a: Any, values: np.ndarray) -> PackedHandle:
+        """Slotwise plain multiply: each member sees its own slot range."""
+        a = _unwrap(a)
+        values = np.asarray(values)
+        out, offset = [], 0
+        for member, c in zip(a.members, a.counts):
+            out.append(self.inner.mul_plain_vector(member, values[offset : offset + c]))
+            offset += c
+        return PackedHandle(out, a.counts)
+
+    def rotate(self, a: Any, r: int) -> Any:
+        raise NotImplementedError(
+            "packed handles do not rotate: slot ranges belong to distinct requests"
+        )
+
+    # -- composite fast paths ------------------------------------------------------
+
+    def weighted_sum(
+        self, handles: Sequence[Any], weights: np.ndarray, plain_scale: float | None = None
+    ) -> PackedHandle:
+        packed = [_unwrap(h) for h in handles]
+        counts = packed[0].counts
+        return PackedHandle(
+            [
+                self.inner.weighted_sum([p.members[j] for p in packed], weights, plain_scale)
+                for j in range(len(counts))
+            ],
+            counts,
+        )
+
+    def encode_taps(self, weights: np.ndarray, plain_scale: float | None = None) -> EncodedTaps:
+        return self.inner.encode_taps(weights, plain_scale)
+
+    def weighted_sum_encoded(self, handles: Sequence[Any], enc: EncodedTaps) -> PackedHandle:
+        packed = [_unwrap(h) for h in handles]
+        counts = packed[0].counts
+        return PackedHandle(
+            [
+                self.inner.weighted_sum_encoded([p.members[j] for p in packed], enc)
+                for j in range(len(counts))
+            ],
+            counts,
+        )
+
+
+def serving_backend_for(backend: HeBackend) -> HeBackend:
+    """The backend a batching gateway should run its engine on.
+
+    Backends with exact native slot concatenation serve as-is; the rest
+    are wrapped in :class:`MemberwiseBackend`.  Idempotent for already
+    serving-capable backends.
+    """
+    if backend.native_slot_concat:
+        return backend
+    return MemberwiseBackend(backend)

@@ -1,0 +1,299 @@
+"""Slot-packed coalescing scheduler: Triton/TF-Serving-style batching.
+
+A CKKS classification costs nearly the same wall-clock whether one or
+all of the ciphertext's SIMD slots are filled, so serving throughput is
+won by *coalescing*: independent requests claim slots of one batch and
+the engine runs once.  :class:`BatchingScheduler` implements the
+generic half of that bargain, with no knowledge of HE:
+
+* ``submit(payload, slots)`` enqueues a request and returns a
+  :class:`concurrent.futures.Future`; admission is bounded by
+  ``max_queue_depth`` and over-capacity submits raise the retryable
+  :class:`~repro.serving.errors.ServiceOverloadedError` (backpressure,
+  never silent queueing without bound).
+* A single worker thread fires a batch when either the pending prefix
+  fills ``max_batch_slots`` (or the next request no longer fits), or
+  the *oldest* pending request has waited ``max_wait_ms`` — the classic
+  fill-or-deadline policy.  While the worker is busy evaluating one
+  batch, new arrivals accumulate, so the batch size adapts to offered
+  load by itself.
+* ``process_batch(payloads, slots)`` — the owner's callback — returns
+  one result per request (an exception instance fails just that
+  request); the scheduler distributes results to the futures.  Every
+  admitted future is resolved on every path, including worker faults
+  and shutdown: the scheduler never deadlocks a waiting client.
+
+Telemetry (:mod:`repro.obs.metrics`): ``serving.queue.depth`` and
+``serving.slot_utilization`` gauges, ``serving.batch.size`` /
+``serving.batch.slots`` / ``serving.batch.wait_seconds`` /
+``serving.batch.compute_seconds`` histograms and the
+``serving.requests`` outcome-labelled counter, all exported through the
+existing Prometheus path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.obs.metrics import get_registry
+from repro.serving.errors import SchedulerClosedError, ServiceOverloadedError
+
+__all__ = ["BatchingScheduler"]
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for a batch slot."""
+
+    payload: Any
+    slots: int
+    future: Future
+    enqueued_at: float
+
+
+class BatchingScheduler:
+    """Bounded-queue request coalescer with a fill-or-deadline worker.
+
+    Parameters
+    ----------
+    process_batch:
+        ``(payloads, slots) -> results`` callback evaluating one fired
+        batch; must return one result per payload, in order.  A result
+        that is an exception instance fails only its own request; a
+        raised exception fails the whole batch (every future gets it).
+    max_batch_slots:
+        Slot capacity of one batch (for the HE gateway: the backend's
+        SIMD slot count).  A batch fires early once its pending prefix
+        can grow no further.
+    max_wait_ms:
+        Deadline of the *oldest* pending request: a partial batch fires
+        at most this long after its first request was admitted.  ``0``
+        fires immediately with whatever accumulated while the worker
+        was busy (pure adaptive batching, minimal added latency).
+    max_queue_depth:
+        Admission bound (in requests).  Submits beyond it raise
+        :class:`ServiceOverloadedError` — backpressure the client can
+        retry on.
+    name:
+        Thread / telemetry name prefix.
+    start:
+        Start the worker thread immediately (tests may defer).
+    """
+
+    def __init__(
+        self,
+        process_batch: Callable[[list[Any], list[int]], Sequence[Any]],
+        *,
+        max_batch_slots: int,
+        max_wait_ms: float = 5.0,
+        max_queue_depth: int = 64,
+        name: str = "serving",
+        start: bool = True,
+    ):
+        if max_batch_slots < 1:
+            raise ValueError("max_batch_slots must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self._process_batch = process_batch
+        self.max_batch_slots = int(max_batch_slots)
+        self.max_wait = float(max_wait_ms) / 1e3
+        self.max_queue_depth = int(max_queue_depth)
+        self.name = name
+        self._queue: deque[_Pending] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._batches = 0
+        self._completed = 0
+        self._rejected = 0
+        self._last_utilization = 0.0
+        self._worker = threading.Thread(
+            target=self._loop, name=f"{name}-batcher", daemon=True
+        )
+        if start:
+            self._worker.start()
+
+    # -- admission ---------------------------------------------------------------
+
+    def submit(self, payload: Any, slots: int = 1) -> Future:
+        """Enqueue one request claiming *slots*; returns its future.
+
+        Raises
+        ------
+        ValueError
+            *slots* is not in ``1..max_batch_slots`` (can never fit).
+        SchedulerClosedError
+            The scheduler is shut down.
+        ServiceOverloadedError
+            The queue is at ``max_queue_depth`` (backpressure; retry).
+        """
+        slots = int(slots)
+        if not 1 <= slots <= self.max_batch_slots:
+            raise ValueError(
+                f"request claims {slots} slots, capacity is {self.max_batch_slots}"
+            )
+        reg = get_registry()
+        with self._cond:
+            if self._closed:
+                raise SchedulerClosedError("scheduler is closed")
+            if len(self._queue) >= self.max_queue_depth:
+                self._rejected += 1
+                reg.counter("serving.requests", {"outcome": "rejected"}).inc()
+                raise ServiceOverloadedError(
+                    f"queue at capacity ({self.max_queue_depth} requests)"
+                )
+            future: Future = Future()
+            self._queue.append(_Pending(payload, slots, future, time.monotonic()))
+            reg.gauge("serving.queue.depth").set(len(self._queue))
+            self._cond.notify_all()
+            return future
+
+    # -- worker ------------------------------------------------------------------
+
+    def _fillable(self) -> tuple[list[_Pending], int, bool]:
+        """Greedy FIFO prefix that fits the slot budget (under the lock).
+
+        Returns ``(prefix, slots, blocked)`` where *blocked* means a
+        queued request exists beyond the prefix — the batch cannot grow
+        further, so waiting for the deadline would only add latency.
+        """
+        batch: list[_Pending] = []
+        slots = 0
+        for pending in self._queue:
+            if slots + pending.slots > self.max_batch_slots:
+                return batch, slots, True
+            batch.append(pending)
+            slots += pending.slots
+        return batch, slots, False
+
+    def _next_batch(self) -> list[_Pending] | None:
+        """Block until a batch should fire; ``None`` means shut down."""
+        with self._cond:
+            while True:
+                if not self._queue:
+                    if self._closed:
+                        return None
+                    self._cond.wait()
+                    continue
+                now = time.monotonic()
+                deadline = self._queue[0].enqueued_at + self.max_wait
+                batch, slots, blocked = self._fillable()
+                full = slots >= self.max_batch_slots
+                if self._closed or full or blocked or now >= deadline:
+                    for _ in batch:
+                        self._queue.popleft()
+                    get_registry().gauge("serving.queue.depth").set(len(self._queue))
+                    live = [p for p in batch if p.future.set_running_or_notify_cancel()]
+                    if live:
+                        return live
+                    continue  # everything in the prefix was cancelled
+                self._cond.wait(timeout=deadline - now)
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._fire(batch)
+
+    def _fire(self, batch: list[_Pending]) -> None:
+        reg = get_registry()
+        now = time.monotonic()
+        slots = sum(p.slots for p in batch)
+        utilization = slots / self.max_batch_slots
+        reg.histogram("serving.batch.size").observe(len(batch))
+        reg.histogram("serving.batch.slots").observe(slots)
+        reg.histogram("serving.batch.wait_seconds").observe_many(
+            now - p.enqueued_at for p in batch
+        )
+        reg.gauge("serving.slot_utilization").set(utilization)
+        t0 = time.perf_counter()
+        error: BaseException | None = None
+        results: Sequence[Any] | None = None
+        try:
+            results = self._process_batch(
+                [p.payload for p in batch], [p.slots for p in batch]
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the futures
+            error = exc
+        reg.histogram("serving.batch.compute_seconds").observe(time.perf_counter() - t0)
+        if error is None and (results is None or len(results) != len(batch)):
+            error = RuntimeError(
+                f"process_batch returned {0 if results is None else len(results)} "
+                f"results for {len(batch)} requests"
+            )
+        for i, pending in enumerate(batch):
+            if error is not None:
+                pending.future.set_exception(error)
+            elif isinstance(results[i], BaseException):
+                pending.future.set_exception(results[i])
+            else:
+                pending.future.set_result(results[i])
+        with self._cond:
+            self._batches += 1
+            self._completed += len(batch)
+            self._last_utilization = utilization
+
+    # -- lifecycle / introspection -----------------------------------------------
+
+    def close(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Shut down the worker; idempotent.
+
+        With ``drain=True`` (default) every pending request is still
+        evaluated (the worker fires residual batches until the queue is
+        empty, ignoring the deadline).  With ``drain=False`` pending
+        futures fail with :class:`SchedulerClosedError` immediately.
+        Either way no future is ever left unresolved.
+        """
+        with self._cond:
+            self._closed = True
+            if not drain:
+                while self._queue:
+                    pending = self._queue.popleft()
+                    if pending.future.set_running_or_notify_cancel():
+                        pending.future.set_exception(
+                            SchedulerClosedError("scheduler closed before evaluation")
+                        )
+            self._cond.notify_all()
+        if self._worker.is_alive():
+            self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "BatchingScheduler":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently admitted but not yet fired."""
+        with self._cond:
+            return len(self._queue)
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for health endpoints: batches, sizes, rejections."""
+        with self._cond:
+            batches = self._batches
+            completed = self._completed
+            return {
+                "queue_depth": len(self._queue),
+                "batches": batches,
+                "requests_completed": completed,
+                "requests_rejected": self._rejected,
+                "mean_batch_size": (completed / batches) if batches else 0.0,
+                "last_slot_utilization": self._last_utilization,
+                "max_batch_slots": self.max_batch_slots,
+                "max_wait_ms": self.max_wait * 1e3,
+                "closed": self._closed,
+            }

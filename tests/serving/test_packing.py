@@ -1,0 +1,182 @@
+"""Slot packing: native mock concatenation and structural memberwise packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksParams
+from repro.ckksrns import CkksRnsParams
+from repro.henn.backend import CkksBackend, CkksRnsBackend, HeBackend, MockBackend
+from repro.serving import MemberwiseBackend, PackedHandle, serving_backend_for
+
+
+def _rns_backend():
+    return CkksRnsBackend(
+        CkksRnsParams(
+            n=128, moduli_bits=(36, 26, 26, 26, 26), scale_bits=26, special_bits=45, hw=16
+        ),
+        seed=0,
+    )
+
+
+# -- native concatenation on the mock backend ----------------------------------------
+
+
+def test_mock_concat_and_slice_roundtrip():
+    backend = MockBackend(batch=8, levels=4)
+    a = backend.encrypt(np.array([1.0, 2.0]))
+    b = backend.encrypt(np.array([3.0]))
+    packed = backend.concat_slots([a, b], [2, 1])
+    assert np.array_equal(backend.decrypt(packed, count=3), [1.0, 2.0, 3.0])
+    assert np.array_equal(backend.decrypt(backend.slice_slots(packed, 0, 2), count=2), [1.0, 2.0])
+    assert np.array_equal(backend.decrypt(backend.slice_slots(packed, 2, 1), count=1), [3.0])
+
+
+def test_mock_concat_is_bit_exact():
+    backend = MockBackend(batch=8, levels=4)
+    xs = [np.array([0.1, 0.2]), np.array([0.3])]
+    handles = [backend.encrypt(x) for x in xs]
+    packed = backend.concat_slots(handles, [2, 1])
+    # serial evaluation of each member vs sliced evaluation of the pack
+    serial = [backend.square(backend.rescale(h)) for h in handles]
+    batched = backend.square(backend.rescale(packed))
+    for i, (s, count) in enumerate(zip(serial, [2, 1])):
+        got = backend.decrypt(
+            backend.slice_slots(batched, 0 if i == 0 else 2, count), count=count
+        )
+        assert np.array_equal(got, backend.decrypt(s, count=count))
+
+
+def test_mock_concat_rejects_mixed_levels_and_scales():
+    backend = MockBackend(batch=8, levels=4)
+    a = backend.encrypt(np.array([1.0]))
+    b = backend.rescale(backend.square(backend.encrypt(np.array([2.0]))))
+    with pytest.raises(ValueError):
+        backend.concat_slots([a, b], [1, 1])
+
+
+def test_mock_concat_rejects_capacity_overflow():
+    backend = MockBackend(batch=2, levels=4)
+    handles = [backend.encrypt(np.array([float(i)])) for i in range(3)]
+    with pytest.raises(ValueError):
+        backend.concat_slots(handles, [1, 1, 1])
+
+
+def test_mock_slice_bounds_checked():
+    backend = MockBackend(batch=4, levels=4)
+    packed = backend.encrypt(np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        backend.slice_slots(packed, 1, 4)
+
+
+def test_base_backend_has_no_native_concat():
+    assert HeBackend.native_slot_concat is False
+    assert MockBackend.native_slot_concat is True
+    assert CkksBackend.native_slot_concat is False
+    assert CkksRnsBackend.native_slot_concat is False
+
+
+# -- strategy selection --------------------------------------------------------------
+
+
+def test_serving_backend_for_picks_strategy():
+    mock = MockBackend(batch=4, levels=3)
+    assert serving_backend_for(mock) is mock
+    rns = _rns_backend()
+    wrapped = serving_backend_for(rns)
+    assert isinstance(wrapped, MemberwiseBackend)
+    assert wrapped.inner is rns
+    # idempotent: a serving-capable backend is never double-wrapped
+    assert serving_backend_for(wrapped) is wrapped
+    with pytest.raises(TypeError):
+        MemberwiseBackend(wrapped)
+
+
+# -- structural packing --------------------------------------------------------------
+
+
+def test_memberwise_ops_are_bit_identical_to_serial():
+    inner = _rns_backend()
+    packed_backend = MemberwiseBackend(inner)
+    xs = [np.array([0.5, -0.25]), np.array([0.125])]
+    handles = [inner.encrypt(x) for x in xs]
+    packed = packed_backend.concat_slots(handles, [2, 1])
+    assert isinstance(packed, PackedHandle)
+
+    # identical instruction streams: square -> rescale -> scalar mul
+    def program(b, h):
+        return b.mul_plain_scalar(b.rescale(b.square(h)), 0.5)
+
+    serial = [program(inner, h) for h in handles]
+    batched = program(packed_backend, packed)
+    got = packed_backend.decrypt(batched, count=3)
+    want = np.concatenate(
+        [inner.decrypt(s, count=c) for s, c in zip(serial, [2, 1])]
+    )
+    assert np.array_equal(got, want)
+
+
+def test_memberwise_weighted_sum_matches_serial():
+    inner = _rns_backend()
+    backend = MemberwiseBackend(inner)
+    weights = np.array([0.25, -0.5, 1.0])
+    members = [[inner.encrypt(np.array([float(i + j)])) for j in range(3)] for i in range(2)]
+    packs = [
+        backend.concat_slots([members[0][j], members[1][j]], [1, 1]) for j in range(3)
+    ]
+    serial = [inner.weighted_sum(members[i], weights) for i in range(2)]
+    batched = backend.weighted_sum(packs, weights)
+    assert np.array_equal(
+        backend.decrypt(batched, count=2),
+        np.concatenate([inner.decrypt(s, count=1) for s in serial]),
+    )
+
+
+def test_memberwise_mul_plain_vector_routes_slot_ranges():
+    backend = MemberwiseBackend(MockBackend(batch=8, levels=4))
+    inner = backend.inner
+    a = inner.encrypt(np.array([1.0, 1.0]))
+    b = inner.encrypt(np.array([1.0]))
+    packed = backend.concat_slots([a, b], [2, 1])
+    out = backend.mul_plain_vector(packed, np.array([2.0, 3.0, 4.0]))
+    got = backend.decrypt(backend.rescale(out), count=3)
+    assert np.allclose(got, [2.0, 3.0, 4.0], atol=1e-6)
+
+
+def test_memberwise_slice_only_at_member_boundaries():
+    backend = MemberwiseBackend(MockBackend(batch=8, levels=4))
+    inner = backend.inner
+    packed = backend.concat_slots(
+        [inner.encrypt(np.array([1.0, 2.0])), inner.encrypt(np.array([3.0]))], [2, 1]
+    )
+    member = backend.slice_slots(packed, 2, 1)
+    assert np.array_equal(inner.decrypt(member, count=1), [3.0])
+    with pytest.raises(ValueError):
+        backend.slice_slots(packed, 1, 2)
+
+
+def test_memberwise_guards():
+    backend = MemberwiseBackend(MockBackend(batch=4, levels=3))
+    raw = backend.inner.encrypt(np.array([1.0]))
+    with pytest.raises(TypeError):
+        backend.square(raw)
+    packed = backend.concat_slots([raw], [1])
+    with pytest.raises(NotImplementedError):
+        backend.rotate(packed, 1)
+    # attribute fallthrough keeps introspection working
+    assert backend.levels == backend.inner.levels
+    assert backend.name.startswith("packed+")
+
+
+def test_memberwise_ckks_end_to_end_matches_serial():
+    inner = CkksBackend(CkksParams(n=128, levels=5, scale_bits=24), seed=0)
+    backend = MemberwiseBackend(inner)
+    handles = [inner.encrypt(np.array([0.3])), inner.encrypt(np.array([-0.7]))]
+    packed = backend.concat_slots(handles, [1, 1])
+    serial = [inner.add_plain(inner.rescale(inner.square(h)), 0.25) for h in handles]
+    batched = backend.add_plain(backend.rescale(backend.square(packed)), 0.25)
+    assert np.array_equal(
+        backend.decrypt(batched, count=2),
+        np.concatenate([inner.decrypt(s, count=1) for s in serial]),
+    )

@@ -1,0 +1,229 @@
+"""BatchingScheduler: coalescing policy, backpressure, future safety."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.serving import (
+    BatchingScheduler,
+    SchedulerClosedError,
+    ServiceOverloadedError,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    reg = MetricsRegistry()
+    set_registry(reg)
+    yield reg
+    set_registry(MetricsRegistry())
+
+
+def echo_batch(payloads, slots):
+    return [(p, s) for p, s in zip(payloads, slots)]
+
+
+def test_coalesces_queued_requests_into_one_batch():
+    fired = []
+
+    def process(payloads, slots):
+        fired.append((list(payloads), list(slots)))
+        return payloads
+
+    sched = BatchingScheduler(process, max_batch_slots=8, max_wait_ms=50.0, start=False)
+    futures = [sched.submit(i, slots=2) for i in range(4)]
+    sched._worker.start()
+    assert [f.result(timeout=10) for f in futures] == [0, 1, 2, 3]
+    # all four fit the 8-slot budget -> exactly one batch
+    assert fired == [([0, 1, 2, 3], [2, 2, 2, 2])]
+    sched.close()
+
+
+def test_fires_early_when_next_request_does_not_fit():
+    fired = []
+
+    def process(payloads, slots):
+        fired.append(sum(slots))
+        return payloads
+
+    sched = BatchingScheduler(process, max_batch_slots=4, max_wait_ms=60_000.0, start=False)
+    first, second = [sched.submit(i, slots=3) for i in range(2)]
+    sched._worker.start()
+    # the second request (3 slots) cannot join the first (3 of 4 slots
+    # used): the batch must fire *now*, 60 s deadline notwithstanding
+    assert first.result(timeout=10) == 0
+    # ... while the leftover request keeps waiting for batchmates until
+    # its own deadline; a draining close flushes it
+    assert not second.done()
+    sched.close(drain=True)
+    assert second.result(timeout=1) == 1
+    assert fired == [3, 3]
+
+
+def test_deadline_fires_partial_batch():
+    with BatchingScheduler(echo_batch, max_batch_slots=64, max_wait_ms=10.0) as sched:
+        assert sched.submit("only", slots=1).result(timeout=10) == ("only", 1)
+        assert sched.stats()["batches"] == 1
+
+
+def test_submit_validates_slots():
+    with BatchingScheduler(echo_batch, max_batch_slots=4) as sched:
+        with pytest.raises(ValueError):
+            sched.submit("x", slots=0)
+        with pytest.raises(ValueError):
+            sched.submit("x", slots=5)
+
+
+def test_backpressure_rejects_when_queue_full(fresh_registry):
+    sched = BatchingScheduler(
+        echo_batch, max_batch_slots=4, max_queue_depth=2, start=False
+    )
+    sched.submit("a")
+    sched.submit("b")
+    with pytest.raises(ServiceOverloadedError):
+        sched.submit("c")
+    assert sched.stats()["requests_rejected"] == 1
+    assert (
+        fresh_registry.counter("serving.requests", {"outcome": "rejected"}).value == 1
+    )
+    sched.close(drain=False)
+
+
+def test_per_request_error_isolation():
+    def process(payloads, slots):
+        return [RuntimeError("boom") if p == "bad" else p for p in payloads]
+
+    with BatchingScheduler(process, max_batch_slots=8, max_wait_ms=5.0) as sched:
+        good = sched.submit("good")
+        bad = sched.submit("bad")
+        assert good.result(timeout=10) == "good"
+        with pytest.raises(RuntimeError):
+            bad.result(timeout=10)
+
+
+def test_batch_wide_exception_fails_every_future():
+    def process(payloads, slots):
+        raise ValueError("batch fault")
+
+    with BatchingScheduler(process, max_batch_slots=8, max_wait_ms=5.0) as sched:
+        futures = [sched.submit(i) for i in range(3)]
+        for f in futures:
+            with pytest.raises(ValueError):
+                f.result(timeout=10)
+    # the worker survives a faulting batch
+    assert sched.stats()["batches"] >= 1
+
+
+def test_result_length_mismatch_is_an_error_not_a_hang():
+    with BatchingScheduler(
+        lambda p, s: [], max_batch_slots=8, max_wait_ms=5.0
+    ) as sched:
+        future = sched.submit("x")
+        with pytest.raises(RuntimeError, match="results"):
+            future.result(timeout=10)
+
+
+def test_close_drains_pending_requests():
+    sched = BatchingScheduler(echo_batch, max_batch_slots=2, max_wait_ms=60_000.0, start=False)
+    futures = [sched.submit(i) for i in range(5)]
+    sched._worker.start()
+    sched.close(drain=True)
+    assert [f.result(timeout=1)[0] for f in futures] == [0, 1, 2, 3, 4]
+
+
+def test_close_without_drain_fails_pending():
+    sched = BatchingScheduler(echo_batch, max_batch_slots=2, start=False)
+    future = sched.submit("pending")
+    sched.close(drain=False)
+    with pytest.raises(SchedulerClosedError):
+        future.result(timeout=1)
+    with pytest.raises(SchedulerClosedError):
+        sched.submit("late")
+
+
+def test_cancelled_future_is_skipped():
+    sched = BatchingScheduler(echo_batch, max_batch_slots=2, max_wait_ms=30.0, start=False)
+    cancelled = sched.submit("a")
+    live = sched.submit("b")
+    assert cancelled.cancel()
+    sched._worker.start()
+    assert live.result(timeout=10) == ("b", 1)
+    sched.close()
+
+
+def test_telemetry_and_stats(fresh_registry):
+    with BatchingScheduler(echo_batch, max_batch_slots=4, max_wait_ms=5.0, start=False) as sched:
+        futures = [sched.submit(i) for i in range(4)]
+        sched._worker.start()
+        [f.result(timeout=10) for f in futures]
+        stats = sched.stats()
+        assert stats["requests_completed"] == 4
+        assert stats["batches"] == 1
+        assert stats["mean_batch_size"] == 4.0
+        assert stats["last_slot_utilization"] == 1.0
+        assert fresh_registry.histogram("serving.batch.size").count == 1
+        assert fresh_registry.histogram("serving.batch.wait_seconds").count == 4
+        assert fresh_registry.histogram("serving.batch.compute_seconds").count == 1
+        assert fresh_registry.gauge("serving.slot_utilization").value == 1.0
+
+
+@pytest.mark.faults
+def test_concurrent_submitters_never_drop_a_future():
+    """Hammer admission from many threads through faults, rejections and
+    a mid-run close: every accepted future must resolve."""
+
+    def process(payloads, slots):
+        # deterministic per-request outcome: multiples of 7 fail alone
+        return [
+            RuntimeError(f"poison {p}") if p % 7 == 0 else p * 2 for p in payloads
+        ]
+
+    sched = BatchingScheduler(
+        process, max_batch_slots=8, max_wait_ms=1.0, max_queue_depth=16
+    )
+    outcomes: list[tuple[int, str]] = []
+    lock = threading.Lock()
+
+    def submitter(base):
+        for i in range(25):
+            rid = base * 1000 + i
+            try:
+                future = sched.submit(rid)
+            except ServiceOverloadedError:
+                with lock:
+                    outcomes.append((rid, "rejected"))
+                continue
+            except SchedulerClosedError:
+                with lock:
+                    outcomes.append((rid, "closed"))
+                continue
+            try:
+                result = future.result(timeout=30)
+                assert result == rid * 2
+                with lock:
+                    outcomes.append((rid, "ok"))
+            except RuntimeError:
+                assert rid % 7 == 0
+                with lock:
+                    outcomes.append((rid, "poisoned"))
+
+    threads = [threading.Thread(target=submitter, args=(b,)) for b in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+        assert not t.is_alive(), "submitter wedged: a future was dropped"
+    sched.close()
+    # every single request got exactly one outcome
+    assert len(outcomes) == 8 * 25
+    counted = {kind for _, kind in outcomes}
+    assert "ok" in counted and "poisoned" in counted
+    stats = sched.stats()
+    assert stats["queue_depth"] == 0
+    assert stats["requests_completed"] + stats["requests_rejected"] >= len(
+        [o for o in outcomes if o[1] != "closed"]
+    )
