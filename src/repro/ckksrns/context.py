@@ -35,7 +35,12 @@ from repro.ckksrns.keys import (
     RnsSecretKey,
 )
 from repro.ckksrns.params import CkksRnsParams
-from repro.nt.kernels import fused_weighted_sum, scale_channels, weighted_accumulate
+from repro.nt.kernels import (
+    fused_weighted_sum,
+    scale_channels,
+    scale_positions,
+    weighted_accumulate,
+)
 from repro.nt.modarith import addmod, mulmod, negmod, submod
 from repro.nt.ntt import BatchedNttPlan, NttPlan
 from repro.nt.primes import gen_ntt_primes
@@ -107,12 +112,13 @@ class _KeySwitchChannel:
     def __call__(self, arrays, i: int) -> tuple[np.ndarray, np.ndarray]:
         m = self.ext[i]
         k = self.k
-        lifted_eval = NttPlan.get(self.n, m).forward(
-            np.mod(arrays["centered"], np.int64(m))
-        )
+        centered = arrays["centered"]
+        lifted_eval = NttPlan.get(self.n, m).forward(np.mod(centered, np.int64(m)))
         key_idx = i if i < k else self.k_top  # special prime is last in key
-        p0 = mulmod(lifted_eval, arrays["kb"][:k, key_idx], m)
-        p1 = mulmod(lifted_eval, arrays["ka"][:k, key_idx], m)
+        # Key rows broadcast over any batch axes between digit and coeff.
+        kshape = (k,) + (1,) * (centered.ndim - 2) + (centered.shape[-1],)
+        p0 = mulmod(lifted_eval, arrays["kb"][:k, key_idx].reshape(kshape), m)
+        p1 = mulmod(lifted_eval, arrays["ka"][:k, key_idx].reshape(kshape), m)
         return p0.sum(axis=0) % m, p1.sum(axis=0) % m
 
 
@@ -415,6 +421,80 @@ class CkksRnsContext:
         m_stack = self._ntt(self._decompose_big(m, self.moduli), self.moduli)
         return self._encrypt_stack(pk, m_stack, scale, rng)
 
+    @traced("ckksrns.encrypt_many")
+    def encrypt_many(
+        self,
+        pk: RnsPublicKey,
+        values_rows: "Sequence[np.ndarray]",
+        rng: int | np.random.Generator | None = None,
+        scale: float | None = None,
+    ) -> list[RnsCiphertext]:
+        """Encrypt many slot vectors through shared batched transforms.
+
+        Bit-identical to ``[encrypt(pk, v, rng) for v in values_rows]``
+        with the same generator: the encryption randomness is drawn in
+        exactly that order (zo, e0, e1 per row), only the NTTs of the
+        message/randomness stacks are fused into one ``(k, 4B, n)``
+        batched transform instead of ``4B`` separate ``(k, n)`` ones.
+
+        Parameters
+        ----------
+        pk:
+            Public key from :meth:`keygen`.
+        values_rows:
+            Slot vectors to protect, one fresh ciphertext each.
+        rng, scale:
+            As on :meth:`encrypt`.
+
+        Returns
+        -------
+        One top-level :class:`RnsCiphertext` per input row.
+        """
+        rng = derive_rng(rng)
+        scale = float(scale or self.params.scale)
+        rows = [
+            self.encoder.encode(np.asarray(v, dtype=np.float64), scale)
+            for v in values_rows
+        ]
+        if not rows:
+            return []
+        b = len(rows)
+        small = np.empty((3 * b, self.n), dtype=np.int64)
+        for i in range(b):
+            small[3 * i] = sample_zo(self.n, rng)
+            small[3 * i + 1] = sample_gaussian(self.n, rng, self.params.sigma)
+            small[3 * i + 2] = sample_gaussian(self.n, rng, self.params.sigma)
+        m_res = self._decompose_big(np.stack(rows), self.moduli)  # (k, B, n)
+        s_res = self._decompose_small(small, self.moduli)  # (k, 3B, n)
+        ev = self._ntt(np.concatenate([m_res, s_res], axis=1), self.moduli)
+        m_ev = ev[:, :b]
+        v = ev[:, b::3]
+        e0 = ev[:, b + 1 :: 3]
+        e1 = ev[:, b + 2 :: 3]
+        c0 = np.stack(
+            [
+                addmod(
+                    addmod(mulmod(v[i], pk.b[i], m), m_ev[i], m), e0[i], m
+                )
+                for i, m in enumerate(self.moduli)
+            ]
+        )
+        c1 = np.stack(
+            [
+                addmod(mulmod(v[i], pk.a[i], m), e1[i], m)
+                for i, m in enumerate(self.moduli)
+            ]
+        )
+        return [
+            RnsCiphertext(
+                np.ascontiguousarray(c0[:, j]),
+                np.ascontiguousarray(c1[:, j]),
+                self.top_level,
+                scale,
+            )
+            for j in range(b)
+        ]
+
     def _encrypt_stack(
         self, pk: RnsPublicKey, m_stack: np.ndarray, scale: float, rng: np.random.Generator
     ) -> RnsCiphertext:
@@ -530,18 +610,44 @@ class CkksRnsContext:
             if pt.level != a.level:
                 raise ValueError(f"plaintext level {pt.level} != ciphertext level {a.level}")
         elif np.isscalar(values):
-            v = float(values)
-            if self.plain_cache is not None:
-                key = ("rns.scalar", self.n, a.level, float(a.scale), v)
-                pt = self.plain_cache.get_or_encode(
-                    key, lambda: self.encode(np.full(self.slots, v), a.scale, a.level)
-                )
-            else:
-                pt = self.encode(np.full(self.slots, v), a.scale, a.level)
+            pt = self._scalar_plain(float(values), a.scale, a.level)
         else:
             pt = self.encode(values, a.scale, a.level)
         moduli = self.moduli[: a.k]
+        # pt.data rows are (n,); they broadcast over any batch axes of a.
         c0 = np.stack([addmod(a.c0[i], pt.data[i], m) for i, m in enumerate(moduli)])
+        return RnsCiphertext(c0, a.c1.copy(), a.level, a.scale)
+
+    def _scalar_plain(self, v: float, scale: float, level: int) -> RnsPlaintext:
+        """Broadcast-scalar plaintext, via :attr:`plain_cache` when installed."""
+        if self.plain_cache is not None:
+            key = ("rns.scalar", self.n, level, float(scale), v)
+            return self.plain_cache.get_or_encode(
+                key, lambda: self.encode(np.full(self.slots, v), scale, level)
+            )
+        return self.encode(np.full(self.slots, v), scale, level)
+
+    @traced("ckksrns.add_plain_many")
+    def add_plain_many(self, a: RnsCiphertext, values: np.ndarray) -> RnsCiphertext:
+        """Position-wise scalar addition over a batched ciphertext.
+
+        ``a`` holds ``B`` ciphertexts as ``(k, B, n)`` component stacks;
+        ``values[b]`` is broadcast over the slots of position *b*.  Each
+        *distinct* value is encoded once (through :attr:`plain_cache`
+        when installed) and the encoded rows are gathered per position —
+        the "encode coefficients once per layer" path of the SLAF
+        activations.  Bit-identical per position to :meth:`add_plain`.
+        """
+        vals = np.asarray(values, dtype=np.float64)
+        if a.c0.ndim != 3 or vals.shape != (a.c0.shape[1],):
+            raise ValueError("add_plain_many needs a (k, B, n) batch and B values")
+        moduli = self.moduli[: a.k]
+        uniq, inverse = np.unique(vals, return_inverse=True)
+        pts = np.stack(
+            [self._scalar_plain(float(v), a.scale, a.level).data for v in uniq]
+        )  # (U, k, n)
+        sel = np.ascontiguousarray(pts[inverse].transpose(1, 0, 2))  # (k, B, n)
+        c0 = np.stack([addmod(a.c0[i], sel[i], m) for i, m in enumerate(moduli)])
         return RnsCiphertext(c0, a.c1.copy(), a.level, a.scale)
 
     @traced("ckksrns.mul_plain_scalar")
@@ -555,6 +661,35 @@ class CkksRnsContext:
         residues = np.array([c % m for m in moduli], dtype=np.int64)
         c0 = scale_channels(a.c0, residues, moduli)
         c1 = scale_channels(a.c1, residues, moduli)
+        return RnsCiphertext(c0, c1, a.level, a.scale * plain_scale)
+
+    @traced("ckksrns.mul_plain_scalar_many")
+    def mul_plain_scalar_many(
+        self, a: RnsCiphertext, scalars: np.ndarray, plain_scale: float | None = None
+    ) -> RnsCiphertext:
+        """Position-wise scalar multiply over a batched ciphertext.
+
+        ``a`` holds ``B`` ciphertexts as ``(k, B, n)`` component stacks;
+        position *b* is multiplied by ``scalars[b]`` quantized at
+        *plain_scale* — the kernel that applies per-channel SLAF
+        coefficients to a whole feature map in one sweep.  Quantization
+        (``round(s * plain_scale)``) and residue reduction match
+        :meth:`mul_plain_scalar` exactly, so each position's result is
+        bit-identical to the one-at-a-time path.
+        """
+        plain_scale = float(plain_scale or self.params.scale)
+        if a.c0.ndim != 3:
+            raise ValueError("mul_plain_scalar_many needs a (k, B, n) batch")
+        consts = np.array(
+            [int(round(float(s) * plain_scale)) for s in scalars], dtype=np.int64
+        )
+        if consts.shape[0] != a.c0.shape[1]:
+            raise ValueError("one scalar per batched position required")
+        moduli = self.moduli[: a.k]
+        mods = np.asarray(moduli, dtype=np.int64)
+        residues = np.mod(consts[None, :], mods[:, None])  # (k, B)
+        c0 = scale_positions(a.c0, residues, moduli)
+        c1 = scale_positions(a.c1, residues, moduli)
         return RnsCiphertext(c0, c1, a.level, a.scale * plain_scale)
 
     @traced("ckksrns.mul_plain")
@@ -699,27 +834,47 @@ class CkksRnsContext:
     def _keyswitch_coeff(
         self, x_coeff: np.ndarray, kb: np.ndarray, ka: np.ndarray, level: int
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Digit key switch of a coefficient-domain stack; returns eval stacks."""
+        """Digit key switch of a coefficient-domain stack; returns eval stacks.
+
+        ``x_coeff`` may be ``(k, n)`` or ``(k, B, n)`` — batch axes ride
+        through the digit decomposition, lifts, transforms and inner
+        products unchanged, so a batched switch is bit-identical to *B*
+        independent ones (same per-element arithmetic, same order).
+        """
         k = level + 1
         moduli = self.moduli[:k]
         ext = moduli + [self.p_special]
         # Digits D_j = [x * hat_j^{-1}]_{q_j} with centered lifts, stacked.
-        centered = np.empty((k, self.n), dtype=np.int64)
+        centered = np.empty(x_coeff.shape, dtype=np.int64)
         for j, qj in enumerate(moduli):
             d = mulmod(x_coeff[j], np.int64(self.hat_inv_top[j]), qj)
             centered[j] = np.where(d > qj // 2, d - qj, d)
+        # Key rows broadcast over any batch axes between digit and coeff.
+        kshape = (k,) + (1,) * (x_coeff.ndim - 2) + (x_coeff.shape[-1],)
 
         if isinstance(self.executor, SerialExecutor):
             # All digits lifted into every target modulus at once: a
-            # (k+1, k, n) tensor through one batched stage loop.
+            # (k+1, k, ..., n) tensor through one batched stage loop.
             lifted = np.stack([np.mod(centered, np.int64(m)) for m in ext])
             lifted_eval = BatchedNttPlan.get(self.n, tuple(ext)).forward(lifted)
             contribs = []
             for i, m in enumerate(ext):
                 key_idx = i if i < k else self.k_top
-                p0 = mulmod(lifted_eval[i], kb[:k, key_idx], m)
-                p1 = mulmod(lifted_eval[i], ka[:k, key_idx], m)
-                contribs.append((p0.sum(axis=0) % m, p1.sum(axis=0) % m))
+                krow_b = kb[:k, key_idx].reshape(kshape)
+                krow_a = ka[:k, key_idx].reshape(kshape)
+                if k * m * m < 2**63:
+                    # Narrow modulus: raw products fit int64 even summed
+                    # over all k digits, so skip the per-product
+                    # reduction and fold one modulo at the end — exact,
+                    # same ints as the reduced path.
+                    le = lifted_eval[i]
+                    p0 = np.multiply(le, krow_b, dtype=np.int64).sum(axis=0)
+                    p1 = np.multiply(le, krow_a, dtype=np.int64).sum(axis=0)
+                    contribs.append((p0 % m, p1 % m))
+                else:
+                    p0 = mulmod(lifted_eval[i], krow_b, m)
+                    p1 = mulmod(lifted_eval[i], krow_a, m)
+                    contribs.append((p0.sum(axis=0) % m, p1.sum(axis=0) % m))
         else:
             worker = _KeySwitchChannel(self.n, ext, k, self.k_top)
             contribs = dispatch_channels(
@@ -738,22 +893,32 @@ class CkksRnsContext:
         return np.ascontiguousarray(r[:, 0]), np.ascontiguousarray(r[:, 1])
 
     def _div_special(self, acc_ext: np.ndarray, moduli: list[int]) -> np.ndarray:
-        """Exact division by P: (acc - lift([acc]_P)) * P^{-1}, back to eval.
+        """Exact division by P: (acc - lift([acc]_P)) * P^{-1}, in eval domain.
 
         Accepts ``(k+1, n)`` stacks or ``(k+1, B, n)`` batches (extra
         axes divide together, sharing the transforms).
+
+        Only the special channel leaves the evaluation domain: its
+        centered lift is transformed forward under each target modulus
+        and subtracted *in eval domain*.  The NTT is a ring isomorphism,
+        so this is bit-identical to inverse-transforming the whole
+        stack, subtracting in coefficient domain and transforming back —
+        while doing one single-channel inverse instead of ``k + 1``
+        (see ``docs/KERNELS.md``).
         """
         k = len(moduli)
-        ext = moduli + [self.p_special]
-        coeff = self._intt(acc_ext, ext)
-        last = coeff[k]
-        half = self.p_special // 2
-        lifted = np.where(last > half, last - self.p_special, last)
-        out = np.empty((k,) + coeff.shape[1:], dtype=np.int64)
+        p = self.p_special
+        last = NttPlan.get(self.n, p).inverse(acc_ext[k])
+        half = p // 2
+        lifted = np.where(last > half, last - p, last)
+        lift_eval = self._ntt(
+            np.stack([np.mod(lifted, np.int64(m)) for m in moduli]), moduli
+        )
+        out = np.empty((k,) + acc_ext.shape[1:], dtype=np.int64)
         for i, m in enumerate(moduli):
-            t = submod(coeff[i], np.mod(lifted, np.int64(m)), m)
+            t = submod(acc_ext[i], lift_eval[i], m)
             out[i] = mulmod(t, np.int64(self.p_inv[i]), m)
-        return self._ntt(out, moduli)
+        return out
 
     # -- rescaling / level management ---------------------------------------------------
 
@@ -777,19 +942,27 @@ class CkksRnsContext:
         moduli = self.moduli[:k]
         q_last = moduli[-1]
         half = q_last // 2
-        # c0 and c1 drop the last prime together: one fused (k, 2, n)
-        # inverse/forward transform pair instead of two of each.
-        coeff = self._intt(np.stack([a.c0, a.c1], axis=1), moduli)
-        last = coeff[k - 1]
+        # Only the dropped channel leaves the evaluation domain; its
+        # centered lift is transformed forward under every remaining
+        # modulus and subtracted in eval domain.  Bit-identical to the
+        # full coefficient-domain round trip (the NTT is a ring
+        # isomorphism) at one single-channel inverse instead of ``k``
+        # (see ``docs/KERNELS.md``).
+        last = NttPlan.get(self.n, q_last).inverse(
+            np.stack([a.c0[k - 1], a.c1[k - 1]])
+        )
         lifted = np.where(last > half, last - q_last, last)
-        out = np.empty((k - 1, 2, self.n), dtype=np.int64)
-        for i, m in enumerate(moduli[:-1]):
-            inv = pow(q_last % m, -1, m)
-            t = submod(coeff[i], np.mod(lifted, np.int64(m)), m)
-            out[i] = mulmod(t, np.int64(inv), m)
-        res = self._ntt(out, moduli[:-1])
-        c0 = np.ascontiguousarray(res[:, 0])
-        c1 = np.ascontiguousarray(res[:, 1])
+        rem = moduli[:-1]
+        lift_eval = self._ntt(
+            np.stack([np.mod(lifted, np.int64(m)) for m in rem]), rem
+        )
+        out = np.empty((k - 1, 2) + a.c0.shape[1:], dtype=np.int64)
+        for i, m in enumerate(rem):
+            inv = np.int64(pow(q_last % m, -1, m))
+            out[i, 0] = mulmod(submod(a.c0[i], lift_eval[i, 0], m), inv, m)
+            out[i, 1] = mulmod(submod(a.c1[i], lift_eval[i, 1], m), inv, m)
+        c0 = np.ascontiguousarray(out[:, 0])
+        c1 = np.ascontiguousarray(out[:, 1])
         return RnsCiphertext(c0, c1, a.level - 1, a.scale / q_last)
 
     def mod_switch_to(self, a: RnsCiphertext, level: int) -> RnsCiphertext:

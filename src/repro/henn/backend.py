@@ -27,9 +27,99 @@ import numpy as np
 from repro import obs
 from repro.ckks import CkksContext, CkksParams
 from repro.ckksrns import CkksRnsContext, CkksRnsParams, RnsCiphertext
+from repro.nt.kernels import MAX_POLY_DEGREE, PolyProgram, compile_poly_program
+from repro.obs.metrics import get_registry
 from repro.utils.rng import derive_rng
 
 __all__ = ["HeBackend", "MockBackend", "CkksBackend", "CkksRnsBackend", "EncodedTaps"]
+
+
+# ----------------------------------------------------------------- BSGS interpreter
+#
+# One interpreter serves every backend: the `ops` adapter supplies the
+# primitive operations, either on a single handle with scalar constants
+# (`_SinglePolyOps`, any backend) or on a batched (k, B, n) RNS
+# ciphertext with per-position constant vectors (`_RnsBatchOps`).  The
+# adapter contract: square / mul / rescale / add as usual, plus
+# ``mul_plain_vec(h, consts, ps)`` and ``add_plain_vec(h, consts)``
+# where ``consts`` has one value per packed position.
+
+
+class _SinglePolyOps:
+    """Adapter: one handle, position batch of size 1."""
+
+    __slots__ = ("b",)
+
+    def __init__(self, backend: "HeBackend"):
+        self.b = backend
+
+    @property
+    def delta(self) -> float:
+        return self.b.scale
+
+    def scale_of(self, h: Any) -> float:
+        return self.b.scale_of(h)
+
+    def square(self, h: Any) -> Any:
+        return self.b.square(h)
+
+    def mul(self, a: Any, b: Any) -> Any:
+        return self.b.mul(a, b)
+
+    def rescale(self, h: Any) -> Any:
+        return self.b.rescale(h)
+
+    def add(self, a: Any, b: Any) -> Any:
+        return self.b.add(a, b)
+
+    def mul_plain_vec(self, h: Any, consts: np.ndarray, ps: float) -> Any:
+        return self.b.mul_plain_scalar(h, float(consts[0]), ps)
+
+    def add_plain_vec(self, h: Any, consts: np.ndarray) -> Any:
+        return self.b.add_plain(h, float(consts[0]))
+
+
+def _run_poly_program(ops: Any, prog: PolyProgram, x: Any, coeffs: np.ndarray) -> Any:
+    """Interpret a compiled BSGS program over one (possibly batched) handle.
+
+    ``coeffs`` is ``(B, degree + 1)`` with one coefficient row per packed
+    position (``B == 1`` for the single-handle path).  Blocks are folded
+    from the top giant down (Horner in ``y = x^baby_m``); inside each
+    block, terms align to a common scale via per-term plain-scale
+    compensation exactly like the legacy power-basis evaluator, so
+    degrees 1–2 reproduce it bit-identically.  A constant-only top block
+    is deferred and folded into the first giant step as a plaintext
+    multiply (no ciphertext mult).  Ends with one rescale back to ~Δ.
+    """
+    powers = {1: x}
+    for j in range(2, prog.baby_top + 1):
+        prev = powers[j - 1]
+        powers[j] = ops.rescale(ops.square(prev) if j == 2 else ops.mul(prev, x))
+    y = powers[prog.baby_m] if prog.giants > 1 else None
+    m = prog.baby_m
+    acc = None
+    pending = None  # constants of a deferred degree-0 top block
+    for g in range(prog.giants - 1, -1, -1):
+        base = g * m
+        bd = prog.block_degrees[g]
+        if acc is None and pending is None:
+            if bd == 0:
+                pending = coeffs[:, base]
+                continue
+            target = ops.scale_of(powers[bd]) * ops.delta
+        elif pending is not None:
+            acc = ops.mul_plain_vec(y, pending, ops.delta)
+            pending = None
+            target = ops.scale_of(acc)
+        else:
+            acc = ops.rescale(ops.mul(acc, y))
+            target = ops.scale_of(acc)
+        for j in range(bd, 0, -1):
+            ps = target / ops.scale_of(powers[j])
+            term = ops.mul_plain_vec(powers[j], coeffs[:, base + j], ps)
+            acc = term if acc is None else ops.add(acc, term)
+        acc = ops.add_plain_vec(acc, coeffs[:, base])
+    return ops.rescale(acc)
 
 
 @dataclass
@@ -82,6 +172,15 @@ class HeBackend(ABC):
     @abstractmethod
     def decrypt(self, handle: Any, count: int | None = None) -> np.ndarray:
         """Decrypt *handle*, returning the first *count* slots (all if None)."""
+
+    def encrypt_many(self, rows: Sequence[np.ndarray]) -> list[Any]:
+        """Encrypt many slot vectors, one handle each.
+
+        The generic implementation loops :meth:`encrypt`; the RNS
+        backend overrides it to run all rows through shared batched
+        transforms (same randomness order, so same ciphertexts).
+        """
+        return [self.encrypt(v) for v in rows]
 
     @abstractmethod
     def add(self, a: Any, b: Any) -> Any:
@@ -206,46 +305,114 @@ class HeBackend(ABC):
         return self.weighted_sum(handles, enc.weights, enc.plain_scale)
 
     def poly_eval(self, x: Any, coeffs: np.ndarray) -> Any:
-        """Evaluate ``sum_k coeffs[k] x^k`` homomorphically (degree <= 3).
+        """Evaluate ``sum_k coeffs[k] x^k`` homomorphically.
 
-        Power-basis evaluation with per-term plain-scale compensation so
-        every branch lands on an identical ciphertext scale; one final
-        rescale returns to ~Δ.  Consumes ``degree`` levels.
+        Routed through the baby-step/giant-step program of
+        :func:`repro.nt.kernels.compile_poly_program`: ``~2*sqrt(d)``
+        ciphertext multiplies and at most ``d`` levels for degree *d*
+        (exact per-degree accounting in ``docs/KERNELS.md``).  One final
+        rescale returns the result to ~Δ.
 
         Parameters
         ----------
         x:
             Input ciphertext handle.
         coeffs:
-            Polynomial coefficients, constant term first (length 2..4).
+            Polynomial coefficients, constant term first (length
+            ``2 .. MAX_POLY_DEGREE + 1``).
 
         Returns
         -------
         Handle for ``p(x)`` rescaled back to ~Δ.
         """
+        coeffs = self._check_poly_coeffs(coeffs)
+        with obs.span("henn.poly_eval", backend=self.name, degree=len(coeffs) - 1):
+            return self.poly_eval_bsgs(x, coeffs)
+
+    @staticmethod
+    def _check_poly_coeffs(coeffs: np.ndarray) -> np.ndarray:
         coeffs = np.asarray(coeffs, dtype=np.float64)
         degree = len(coeffs) - 1
-        if degree < 1 or degree > 3:
-            raise ValueError("poly_eval supports degrees 1..3")
-        with obs.span("henn.poly_eval", backend=self.name, degree=degree):
-            return self._poly_eval(x, coeffs, degree)
+        if degree < 1 or degree > MAX_POLY_DEGREE:
+            raise ValueError(f"poly_eval supports degrees 1..{MAX_POLY_DEGREE}")
+        return coeffs
 
-    def _poly_eval(self, x: Any, coeffs: np.ndarray, degree: int) -> Any:
+    def power_basis(self, x: Any, top: int) -> dict[int, Any]:
+        """Baby-step powers ``x^1 .. x^top``, one rescale per product.
+
+        ``x^2`` uses :meth:`square`; higher powers multiply by *x*.
+        Power ``j`` sits ``j - 1`` levels below *x*.  This is the basis
+        a BSGS program shares across all polynomial blocks (and, in the
+        batched RNS path, across every feature-map position at once).
+        """
         powers = {1: x}
-        if degree >= 2:
-            powers[2] = self.rescale(self.square(x))
-        if degree >= 3:
-            powers[3] = self.rescale(self.mul(powers[2], x))
-        # Deepest power has the smallest scale; align every term to
-        # target = scale(x^d) * Δ via adjusted plain scales.
-        target = self.scale_of(powers[degree]) * self.scale
-        acc = None
-        for k in range(degree, 0, -1):
-            ps = target / self.scale_of(powers[k])
-            term = self.mul_plain_scalar(powers[k], float(coeffs[k]), ps)
-            acc = term if acc is None else self.add(acc, term)
-        acc = self.add_plain(acc, float(coeffs[0]))
-        return self.rescale(acc)
+        for j in range(2, top + 1):
+            prev = powers[j - 1]
+            powers[j] = self.rescale(self.square(prev) if j == 2 else self.mul(prev, x))
+        return powers
+
+    def poly_eval_bsgs(
+        self, x: Any, coeffs: np.ndarray, program: "PolyProgram | None" = None
+    ) -> Any:
+        """Baby-step/giant-step evaluation of one polynomial on one handle.
+
+        Interprets a compiled :class:`~repro.nt.kernels.PolyProgram`
+        (compiled on the fly when *program* is None): baby powers once,
+        plaintext-weighted blocks, Horner fold over the giant step, all
+        terms aligned to a common scale by per-term plain-scale
+        compensation.  Consumes ``program.depth <= degree`` levels and
+        ``program.ct_mults`` ciphertext multiplies.
+        """
+        coeffs = self._check_poly_coeffs(coeffs)
+        if program is None:
+            program = compile_poly_program(len(coeffs) - 1)
+        reg = get_registry()
+        reg.counter("poly.bsgs.evals").inc()
+        reg.counter("poly.bsgs.ct_mults").inc(program.ct_mults)
+        return _run_poly_program(_SinglePolyOps(self), program, x, coeffs[None, :])
+
+    def poly_eval_many(
+        self,
+        handles: Sequence[Any],
+        rows: np.ndarray,
+        program: "PolyProgram | None" = None,
+    ) -> list[Any]:
+        """Evaluate one polynomial per handle (``rows[i]`` on ``handles[i]``).
+
+        The generic implementation loops :meth:`poly_eval_bsgs`; the RNS
+        backend overrides it to evaluate all positions through shared
+        batched kernels.  ``rows`` may be a single row (broadcast to all
+        handles) or one row per handle.
+        """
+        handles = list(handles)
+        rows = self._check_poly_rows(rows, len(handles))
+        degree = rows.shape[1] - 1
+        if program is None:
+            program = compile_poly_program(degree)
+        with obs.span(
+            "henn.poly_eval_many", backend=self.name, positions=len(handles), degree=degree
+        ):
+            return [self.poly_eval_bsgs(h, rows[i], program) for i, h in enumerate(handles)]
+
+    def rescale_many(self, handles: Sequence[Any]) -> list[Any]:
+        """Rescale each handle (overridden with a packed batch on RNS)."""
+        return [self.rescale(h) for h in handles]
+
+    def add_plain_each(self, handles: Sequence[Any], values: np.ndarray) -> list[Any]:
+        """``handles[i] + values[i]`` per handle (batched on RNS)."""
+        return [self.add_plain(h, float(v)) for h, v in zip(handles, values)]
+
+    @staticmethod
+    def _check_poly_rows(rows: np.ndarray, count: int) -> np.ndarray:
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if rows.shape[0] == 1 and count > 1:
+            rows = np.broadcast_to(rows, (count, rows.shape[1]))
+        if rows.shape[0] != count:
+            raise ValueError(f"{rows.shape[0]} coefficient rows for {count} handles")
+        degree = rows.shape[1] - 1
+        if degree < 1 or degree > MAX_POLY_DEGREE:
+            raise ValueError(f"poly_eval supports degrees 1..{MAX_POLY_DEGREE}")
+        return rows
 
 
 # --------------------------------------------------------------------------- mock
@@ -547,6 +714,18 @@ class CkksRnsBackend(HeBackend):
             ct.scale = self.fault_injector.next_scale(ct.scale)
         return ct
 
+    def encrypt_many(self, rows: Sequence[np.ndarray]) -> list[RnsCiphertext]:
+        """Batched encryption: one fused NTT sweep for all rows."""
+        cts = self.ctx.encrypt_many(self.keys.pk, list(rows), self._rng)
+        if self.fault_injector is not None:
+            out = []
+            for ct in cts:
+                ct = self.fault_injector.apply_ciphertext_faults(ct)
+                ct.scale = self.fault_injector.next_scale(ct.scale)
+                out.append(ct)
+            return out
+        return cts
+
     def decrypt(self, handle, count: int | None = None) -> np.ndarray:
         return self.ctx.decrypt_real(self.keys.sk, handle, count)
 
@@ -621,3 +800,134 @@ class CkksRnsBackend(HeBackend):
                 consts=enc.consts,
                 residues=enc.residues,
             )
+
+    def poly_eval_many(
+        self,
+        handles: Sequence[Any],
+        rows: np.ndarray,
+        program: "PolyProgram | None" = None,
+    ) -> list[RnsCiphertext]:
+        """Batched BSGS: pack positions into one ciphertext per level group.
+
+        Handles sharing (level, scale) stack into a single
+        :class:`RnsCiphertext` with ``(k, B, n)`` components, so the
+        whole position batch runs through *one* BSGS program — one NTT /
+        keyswitch sweep per ciphertext multiply instead of *B*.
+        Per-position SLAF coefficients apply through
+        :meth:`CkksRnsContext.mul_plain_scalar_many` /
+        :meth:`~CkksRnsContext.add_plain_many`.  Bit-identical per
+        position to :meth:`poly_eval_bsgs` on the lone handle, because
+        every context primitive is slot-parallel over the packed axis.
+        """
+        handles = list(handles)
+        rows = self._check_poly_rows(rows, len(handles))
+        degree = rows.shape[1] - 1
+        if program is None:
+            program = compile_poly_program(degree)
+        groups = _rns_groups(handles)
+        reg = get_registry()
+        reg.counter("poly.bsgs.evals").inc(len(handles))
+        reg.counter("poly.bsgs.batches").inc(len(groups))
+        reg.counter("poly.bsgs.ct_mults").inc(program.ct_mults * len(groups))
+        out: list[RnsCiphertext | None] = [None] * len(handles)
+        with obs.span(
+            "henn.poly_eval_many", backend=self.name, positions=len(handles), degree=degree
+        ):
+            for idxs in groups:
+                packed = _pack_rns(handles, idxs)
+                res = _run_poly_program(_RnsBatchOps(self), program, packed, rows[idxs])
+                _unpack_rns(res, idxs, out)
+        return out  # type: ignore[return-value]
+
+    def rescale_many(self, handles: Sequence[RnsCiphertext]) -> list[RnsCiphertext]:
+        """Batched rescale: one transform pair per (level, scale) group.
+
+        Bit-identical per handle to :meth:`rescale` — the context's
+        rescale is slot-parallel over the packed position axis.
+        """
+        handles = list(handles)
+        out: list[RnsCiphertext | None] = [None] * len(handles)
+        for idxs in _rns_groups(handles):
+            res = self.rescale(_pack_rns(handles, idxs))
+            _unpack_rns(res, idxs, out)
+        return out  # type: ignore[return-value]
+
+    def add_plain_each(self, handles: Sequence[RnsCiphertext], values: np.ndarray) -> list[RnsCiphertext]:
+        """Batched per-handle plaintext adds (``values[i]`` onto ``handles[i]``)."""
+        handles = list(handles)
+        values = np.asarray(values, dtype=np.float64)
+        out: list[RnsCiphertext | None] = [None] * len(handles)
+        for idxs in _rns_groups(handles):
+            res = self.ctx.add_plain_many(_pack_rns(handles, idxs), values[idxs])
+            _unpack_rns(res, idxs, out)
+        return out  # type: ignore[return-value]
+
+
+def _rns_groups(handles: Sequence[RnsCiphertext]) -> "list[np.ndarray]":
+    """Indices of *handles* grouped by (level, scale) for exact packing."""
+    groups: dict[tuple[int, float], list[int]] = {}
+    for i, h in enumerate(handles):
+        groups.setdefault((h.level, float(h.scale)), []).append(i)
+    return [np.asarray(idxs, dtype=np.int64) for idxs in groups.values()]
+
+
+def _pack_rns(handles: Sequence[RnsCiphertext], idxs: np.ndarray) -> RnsCiphertext:
+    """Stack same-(level, scale) handles into one (k, B, n) ciphertext."""
+    first = handles[int(idxs[0])]
+    return RnsCiphertext(
+        np.stack([handles[int(i)].c0 for i in idxs], axis=1),
+        np.stack([handles[int(i)].c1 for i in idxs], axis=1),
+        first.level,
+        first.scale,
+    )
+
+
+def _unpack_rns(res: RnsCiphertext, idxs: np.ndarray, out: "list[RnsCiphertext | None]") -> None:
+    """Slice a packed result back into per-position ciphertexts."""
+    for b, i in enumerate(idxs):
+        out[int(i)] = RnsCiphertext(
+            np.ascontiguousarray(res.c0[:, b]),
+            np.ascontiguousarray(res.c1[:, b]),
+            res.level,
+            res.scale,
+        )
+
+
+class _RnsBatchOps:
+    """Adapter: batched ``(k, B, n)`` RNS ciphertext, per-position constants.
+
+    Every primitive delegates to the backend (hence the context), whose
+    elementwise kernels, NTT plans and keyswitch are shape-generic over
+    the packed position axis; only the plaintext-constant ops need the
+    position-aware ``*_many`` variants.
+    """
+
+    __slots__ = ("b",)
+
+    def __init__(self, backend: "CkksRnsBackend"):
+        self.b = backend
+
+    @property
+    def delta(self) -> float:
+        return self.b.scale
+
+    def scale_of(self, h: RnsCiphertext) -> float:
+        return h.scale
+
+    def square(self, h: RnsCiphertext) -> RnsCiphertext:
+        return self.b.square(h)
+
+    def mul(self, a: RnsCiphertext, b: RnsCiphertext) -> RnsCiphertext:
+        return self.b.mul(a, b)
+
+    def rescale(self, h: RnsCiphertext) -> RnsCiphertext:
+        return self.b.rescale(h)
+
+    def add(self, a: RnsCiphertext, b: RnsCiphertext) -> RnsCiphertext:
+        return self.b.add(a, b)
+
+    def mul_plain_vec(self, h: RnsCiphertext, consts: np.ndarray, ps: float) -> RnsCiphertext:
+        return self.b.ctx.mul_plain_scalar_many(h, consts, ps)
+
+    def add_plain_vec(self, h: RnsCiphertext, consts: np.ndarray) -> RnsCiphertext:
+        return self.b.ctx.add_plain_many(h, consts)

@@ -162,10 +162,11 @@ class HybridRnsEngine:
         c, h, w = feats.shape[1:]
         enc = np.empty((c, h, w), dtype=object)
         with obs.span("hybrid.stage.he"):
-            for ci in range(c):
-                for i in range(h):
-                    for j in range(w):
-                        enc[ci, i, j] = self.backend.encrypt(feats[:, ci, i, j])
+            rows = feats.reshape(batch, -1).T  # one slot vector per position
+            handles = self.backend.encrypt_many(list(rows))
+            flat = enc.reshape(-1)
+            for idx, hd in enumerate(handles):
+                flat[idx] = hd
             out = self.tail.run_encrypted(enc)
         t2 = time.perf_counter()
         self.stages = StageTimings(conv_stage=t1 - t0, he_stage=t2 - t1)

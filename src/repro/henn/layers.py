@@ -199,7 +199,23 @@ class HeLinear(HeLayer):
 
 
 class HePoly(HeLayer):
-    """Polynomial (SLAF) activation, per-channel or layer-wide coefficients."""
+    """Polynomial (SLAF) activation, per-channel or layer-wide coefficients.
+
+    Every feature-map position evaluates ``sum_k coeffs[k] x^k`` via the
+    backend's baby-step/giant-step evaluator (see ``docs/KERNELS.md``):
+    the whole position grid goes through :meth:`HeBackend.poly_eval_many`
+    in one call, so backends with a batched path (CKKS-RNS) share the
+    baby-step power basis — and its NTT/keyswitch sweeps — across all
+    ``C * H * W`` positions.  Consumes ``compile_poly_program(degree).depth
+    <= degree`` levels; ``self.depth`` stays the conservative ``degree``
+    bound used by the plan compiler's level budget.
+
+    Args (constructor):
+        coeffs: ``(degree + 1,)`` layer-wide or ``(C, degree + 1)``
+            per-channel coefficient rows, constant term first.
+        per_channel: when True, channel ``c`` (or flat feature ``f``)
+            uses ``coeffs[c]``; otherwise row 0 applies everywhere.
+    """
 
     def __init__(self, coeffs: np.ndarray, per_channel: bool = False):
         self.coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.float64))
@@ -211,20 +227,26 @@ class HePoly(HeLayer):
             return self.coeffs[channel]
         return self.coeffs[0]
 
-    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
-        out = np.empty(x.shape, dtype=object)
+    def _rows_for(self, x: np.ndarray) -> np.ndarray:
+        """Coefficient rows aligned with ``x.reshape(-1)``, one per position."""
         if x.ndim == 3:
-            for c in range(x.shape[0]):
-                row = self._row(c)
-                for i in range(x.shape[1]):
-                    for j in range(x.shape[2]):
-                        out[c, i, j] = backend.poly_eval(x[c, i, j], row)
-        elif x.ndim == 1:
-            for f in range(x.shape[0]):
-                out[f] = backend.poly_eval(x[f], self._row(f))
-        else:
-            raise ValueError(f"unsupported handle array rank {x.ndim}")
-        return out
+            if not self.per_channel:
+                return self.coeffs[:1]
+            reps = x.shape[1] * x.shape[2]
+            return np.repeat(self.coeffs[: x.shape[0]], reps, axis=0)
+        if x.ndim == 1:
+            if not self.per_channel:
+                return self.coeffs[:1]
+            return self.coeffs[: x.shape[0]]
+        raise ValueError(f"unsupported handle array rank {x.ndim}")
+
+    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
+        rows = self._rows_for(x)
+        flat = x.reshape(-1)
+        results = backend.poly_eval_many(list(flat), rows)
+        out = np.empty(len(results), dtype=object)
+        out[:] = results
+        return out.reshape(x.shape)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"HePoly(degree={self.depth}, per_channel={self.per_channel})"

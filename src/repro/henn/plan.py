@@ -41,10 +41,11 @@ from repro.henn.layers import (
     conv_tap_program,
 )
 from repro.nn.layers.conv import conv_output_shape
+from repro.nt.kernels import compile_poly_program
 from repro.obs.metrics import get_registry
 from repro.utils.cache import PlaintextCache
 
-__all__ = ["InferencePlan", "compile_plan", "plan_cache_key"]
+__all__ = ["InferencePlan", "PlannedPoly", "compile_plan", "plan_cache_key"]
 
 
 def _backend_sig(backend: HeBackend) -> tuple:
@@ -112,13 +113,20 @@ class PlannedConv2d(HeLayer):
         flat = x.reshape(-1)
         out = np.empty(self.out_shape, dtype=object)
         bias = self.src.bias
+        accs: list = []
+        slots: list[tuple[int, int, int]] = []
         for o, program in enumerate(self.programs):
             for i, j, idxs, etaps in program:
                 taps = [flat[t] for t in idxs]
-                acc = backend.rescale(backend.weighted_sum_encoded(taps, etaps))
-                if bias is not None:
-                    acc = backend.add_plain(acc, float(bias[o]))
-                out[o, i, j] = acc
+                accs.append(backend.weighted_sum_encoded(taps, etaps))
+                slots.append((o, i, j))
+        accs = backend.rescale_many(accs)
+        if bias is not None:
+            accs = backend.add_plain_each(
+                accs, np.array([bias[o] for o, _, _ in slots], dtype=np.float64)
+            )
+        for (o, i, j), acc in zip(slots, accs):
+            out[o, i, j] = acc
         return out
 
 
@@ -148,12 +156,16 @@ class PlannedLinear(HeLayer):
         handles = list(x)
         out = np.empty(len(self.rows), dtype=object)
         bias = self.src.bias
-        for o, (idxs, etaps) in enumerate(self.rows):
-            taps = handles if idxs is None else [handles[t] for t in idxs]
-            acc = backend.rescale(backend.weighted_sum_encoded(taps, etaps))
-            if bias is not None:
-                acc = backend.add_plain(acc, float(bias[o]))
-            out[o] = acc
+        accs = [
+            backend.weighted_sum_encoded(
+                handles if idxs is None else [handles[t] for t in idxs], etaps
+            )
+            for idxs, etaps in self.rows
+        ]
+        accs = backend.rescale_many(accs)
+        if bias is not None:
+            accs = backend.add_plain_each(accs, np.asarray(bias, dtype=np.float64))
+        out[:] = accs
         return out
 
 
@@ -172,14 +184,45 @@ class PlannedAvgPool(HeLayer):
         k, s = self.src.kernel_size, self.src.stride
         oh, ow = conv_output_shape(h, w, k, k, s, 0)
         out = np.empty((c, oh, ow), dtype=object)
-        for ci in range(c):
-            for i in range(oh):
-                for j in range(ow):
-                    taps = [x[ci, i * s + di, j * s + dj] for di in range(k) for dj in range(k)]
-                    out[ci, i, j] = backend.rescale(
-                        backend.weighted_sum_encoded(taps, self.etaps)
-                    )
+        accs = [
+            backend.weighted_sum_encoded(
+                [x[ci, i * s + di, j * s + dj] for di in range(k) for dj in range(k)],
+                self.etaps,
+            )
+            for ci in range(c)
+            for i in range(oh)
+            for j in range(ow)
+        ]
+        out.reshape(-1)[:] = backend.rescale_many(accs)
         return out
+
+
+class PlannedPoly(HeLayer):
+    """Replay of :class:`HePoly` with its BSGS program compiled once.
+
+    The coefficient-row table (one row per flat feature-map position, or
+    a single broadcast row for layer-wide coefficients) and the
+    :class:`~repro.nt.kernels.PolyProgram` are fixed by the layer and
+    the propagated shape, so both are materialized at plan-compile time;
+    runtime is a single :meth:`HeBackend.poly_eval_many` call that
+    shares the baby-step power basis across all positions.
+    """
+
+    def __init__(self, src: HePoly, shape: tuple[int, ...]):
+        self.src = src
+        self.depth = src.depth
+        self.shape = tuple(shape)
+        probe = np.empty(self.shape, dtype=object)
+        self.rows = src._rows_for(probe)
+        self.program = compile_poly_program(src.coeffs.shape[1] - 1)
+
+    def forward(self, backend: HeBackend, x: np.ndarray) -> np.ndarray:
+        if x.shape != self.shape:  # planned for a different shape: run unplanned
+            return self.src.forward(backend, x)
+        results = backend.poly_eval_many(list(x.reshape(-1)), self.rows, self.program)
+        out = np.empty(len(results), dtype=object)
+        out[:] = results
+        return out.reshape(x.shape)
 
 
 class InferencePlan:
@@ -268,8 +311,11 @@ def compile_plan(
             elif isinstance(layer, HeFlatten):
                 planned.append(layer)
                 shape = (int(np.prod(shape)),)
+            elif isinstance(layer, HePoly):
+                planned.append(PlannedPoly(layer, shape))
+                get_registry().counter("plan.poly.programs").inc()
             else:
-                # HePoly and anything unknown: data-dependent, run as-is.
+                # Anything unknown is data-dependent: run as-is.
                 planned.append(layer)
     reg = get_registry()
     reg.counter("plan.compiled").inc()

@@ -23,11 +23,26 @@ reduce to ``(a * b) % m`` in int64.
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
 import numpy as np
 
 from repro.nt.modarith import NARROW_MODULUS_BITS, mulmod
 
-__all__ = ["weighted_accumulate", "fused_weighted_sum", "scale_channels"]
+__all__ = [
+    "weighted_accumulate",
+    "fused_weighted_sum",
+    "scale_channels",
+    "scale_positions",
+    "PolyProgram",
+    "compile_poly_program",
+    "MAX_POLY_DEGREE",
+]
+
+#: Highest polynomial degree the BSGS evaluator compiles programs for.
+MAX_POLY_DEGREE = 8
 
 
 def _check_tap_budget(taps: int, m: int) -> None:
@@ -121,3 +136,137 @@ def scale_channels(stack: np.ndarray, residues: np.ndarray, moduli: list[int]) -
     for i in np.nonzero(~narrow)[0]:
         out[i] = mulmod(stack[i], np.int64(residues[i]), int(mods[i]))
     return out
+
+
+def scale_positions(stack: np.ndarray, residues: np.ndarray, moduli: list[int]) -> np.ndarray:
+    """Position-wise scalar multiply over a batched component stack.
+
+    The batched sibling of :func:`scale_channels`: position *b* of the
+    stack is multiplied by *its own* scalar's residues — the kernel the
+    BSGS activation path uses to apply per-channel SLAF coefficients to
+    every feature-map position in one sweep.
+
+    Parameters
+    ----------
+    stack:
+        ``(k, B, n)`` int64 component stack, channel *i* reduced mod
+        ``moduli[i]``.
+    residues:
+        ``(k, B)`` int64 scalar residues: column *b* holds the residues
+        of position *b*'s scalar across the chain.
+    moduli:
+        The ``k`` channel moduli.
+
+    Returns
+    -------
+    ``(k, B, n)`` int64 stack, bit-identical per position to
+    :func:`scale_channels` with that position's scalar.
+    """
+    k = stack.shape[0]
+    if residues.shape[:2] != stack.shape[:2] or len(moduli) != k:
+        raise ValueError("stack/residues/moduli shapes differ")
+    out = np.empty_like(stack)
+    mods = np.asarray(moduli, dtype=np.int64)
+    narrow = mods < (1 << NARROW_MODULUS_BITS)
+    if narrow.any():
+        mb = mods[narrow].reshape(-1, 1, 1)
+        rb = residues[narrow][:, :, None]
+        out[narrow] = np.multiply(stack[narrow], rb, dtype=np.int64) % mb
+    for i in np.nonzero(~narrow)[0]:
+        out[i] = mulmod(stack[i], residues[i][:, None], int(mods[i]))
+    return out
+
+
+# --------------------------------------------------------------------- BSGS programs
+
+
+@dataclass(frozen=True)
+class PolyProgram:
+    """Compiled baby-step/giant-step plan for one polynomial degree.
+
+    A degree-*d* polynomial splits into ``giants`` blocks of width
+    ``baby_m``: ``p(x) = sum_g B_g(x) * y^g`` with ``y = x^baby_m`` and
+    ``deg B_g < baby_m``.  Baby powers ``x^2 .. x^baby_top`` are built
+    once (ciphertext–ciphertext multiplications) and every block is then
+    a *plaintext*-weighted combination of them; the giant dimension
+    folds by Horner in ``y``.  Backends interpret the program via
+    ``HeBackend.poly_eval_bsgs`` — see ``docs/KERNELS.md`` for the
+    mult/depth accounting table.
+
+    Attributes
+    ----------
+    degree:
+        Polynomial degree *d* (coefficient count ``d + 1``).
+    baby_m:
+        Block width *m* (the giant step is ``y = x^m``).
+    giants:
+        Number of blocks *G*; 1 means plain power-basis evaluation.
+    baby_top:
+        Highest baby power actually built (``m`` when ``G > 1``, else *d*).
+    block_degrees:
+        Degree of each block, low block first; the top block may be
+        degree 0 (a constant), which costs no ciphertext multiply.
+    ct_mults:
+        Ciphertext–ciphertext multiplications consumed
+        (``baby_top - 1`` baby steps plus the non-trivial Horner folds).
+    depth:
+        Rescaling levels consumed (always ``<= degree``; equality holds
+        for ``degree <= 4``).
+    """
+
+    degree: int
+    baby_m: int
+    giants: int
+    baby_top: int
+    block_degrees: tuple[int, ...]
+    ct_mults: int
+    depth: int
+
+
+@lru_cache(maxsize=None)
+def compile_poly_program(degree: int) -> PolyProgram:
+    """Compile the BSGS evaluation plan for a polynomial degree.
+
+    Parameters
+    ----------
+    degree:
+        Polynomial degree, ``1 <= degree <= MAX_POLY_DEGREE``.
+
+    Returns
+    -------
+    The (cached, immutable) :class:`PolyProgram`.  Complexity of the
+    compiled plan: ``ct_mults ~ 2*sqrt(degree)`` ciphertext multiplies
+    and ``depth <= degree`` levels, versus ``degree - 1`` multiplies and
+    ``degree`` levels for power-basis/Horner evaluation.
+    """
+    if degree < 1 or degree > MAX_POLY_DEGREE:
+        raise ValueError(
+            f"poly programs support degrees 1..{MAX_POLY_DEGREE}, got {degree}"
+        )
+    m = math.isqrt(degree)
+    if m * m < degree + 1:
+        m += 1  # ceil(sqrt(degree + 1))
+    giants = -(-(degree + 1) // m)
+    if giants <= 1:
+        block_degrees = (degree,)
+        baby_top = max(degree, 1)
+        horner_mults = 0
+    else:
+        block_degrees = tuple(
+            min(m - 1, degree - g * m) for g in range(giants)
+        )
+        baby_top = m
+        # A constant-only top block folds into the first Horner step as a
+        # plaintext multiply, saving one ciphertext multiplication.
+        horner_mults = giants - 1 - (1 if block_degrees[-1] == 0 else 0)
+    ct_mults = (baby_top - 1) + horner_mults
+    depth = (baby_top - 1) + horner_mults + 1
+    return PolyProgram(
+        degree=degree,
+        baby_m=m,
+        giants=giants,
+        baby_top=baby_top,
+        block_degrees=block_degrees,
+        ct_mults=ct_mults,
+        depth=depth,
+    )

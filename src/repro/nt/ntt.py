@@ -212,7 +212,7 @@ def plan_registry_stats() -> dict[str, int]:
 class _ChannelGroup:
     """Channels of one width class batched through a shared stage loop."""
 
-    __slots__ = ("idx", "wide", "mi", "mu", "mf", "tw", "tw_inv", "n_inv")
+    __slots__ = ("idx", "wide", "mi", "mu", "mf", "tw", "tw_inv", "n_inv", "lazy")
 
     def __init__(self, idx: list[int], plans: list[NttPlan], moduli: tuple[int, ...]):
         self.idx = idx
@@ -224,6 +224,15 @@ class _ChannelGroup:
         self.tw = np.stack([plans[i]._tw for i in idx])
         self.tw_inv = np.stack([plans[i]._tw_inv for i in idx])
         self.n_inv = np.array([plans[i].n_inv for i in idx], dtype=np.int64)
+        # Lazy-reduction eligibility for the forward stage loop: deferring
+        # the butterfly reductions grows magnitudes by at most +m per
+        # stage, so the stage-s twiddle product is bounded by
+        # (s+2) * m^2.  Safe when that fits int64 for every channel.
+        n = plans[idx[0]].n
+        stages = n.bit_length() - 1
+        self.lazy = not self.wide and all(
+            (stages + 2) * int(mm) * int(mm) < 2**63 for mm in m.tolist()
+        )
 
     def mul(self, a: np.ndarray, b: np.ndarray, shape: tuple) -> np.ndarray:
         """Twiddle multiply with the per-channel modulus broadcast *shape*."""
@@ -313,11 +322,23 @@ class BatchedNttPlan:
                 right = view[:, :, :, t:]
                 w = grp.tw[:, m : 2 * m].reshape(g, 1, m, 1)
                 v = grp.mul(right, np.broadcast_to(w, right.shape), (g, 1, 1, 1))
-                s = left + v
-                d = left - v
-                view[:, :, :, :t] = np.where(s >= mvec, s - mvec, s)
-                view[:, :, :, t:] = np.where(d < 0, d + mvec, d)
+                if grp.lazy:
+                    # Deferred reduction: v < m is reduced, so (left + v)
+                    # and (left - v + m) stay non-negative and grow the
+                    # magnitude bound by +m per stage — within the int64
+                    # budget checked at plan build.  The right half is
+                    # written first so the in-place add still reads the
+                    # original left half.
+                    view[:, :, :, t:] = left - v + mvec
+                    left += v
+                else:
+                    s = left + v
+                    d = left - v
+                    view[:, :, :, :t] = np.where(s >= mvec, s - mvec, s)
+                    view[:, :, :, t:] = np.where(d < 0, d + mvec, d)
                 m *= 2
+            if grp.lazy:
+                a %= mvec.reshape(g, 1, 1)
             out[grp.idx] = a.reshape((g,) + shape[1:])
         return out
 
@@ -341,8 +362,15 @@ class BatchedNttPlan:
                 right = view[:, :, :, t:]
                 w = grp.tw_inv[:, m : 2 * m].reshape(g, 1, m, 1)
                 s = left + right
-                d = left - right
-                d = np.where(d < 0, d + mvec, d)
+                if grp.lazy:
+                    # d = left - right + m stays in [0, 2m); the twiddle
+                    # product then fits int64 (2m^2 is within the lazy
+                    # budget), and grp.mul reduces it — one unconditional
+                    # add instead of a compare-and-select sweep.
+                    d = left - right + mvec
+                else:
+                    d = left - right
+                    d = np.where(d < 0, d + mvec, d)
                 view[:, :, :, :t] = np.where(s >= mvec, s - mvec, s)
                 view[:, :, :, t:] = grp.mul(
                     d, np.broadcast_to(w, d.shape), (g, 1, 1, 1)

@@ -8,6 +8,12 @@ the channels are recombined by CRT after the convolutional stage.
 Functions here operate on whole NumPy tensors at once: the residue stack
 has shape ``(k, *x.shape)`` and stays in ``int64`` whenever the moduli
 allow it (they always do for the paper's <= 60-bit chains).
+
+Recomposition delegates to :meth:`repro.nt.crt.CrtBasis.compose`, whose
+Garner mixed-radix lift runs in O(k^2) word-sized vector operations
+with at most a handful of big-int multiply-adds per element — the
+derivation and the measured ~10x over the classical big-int CRT sum
+are in ``docs/KERNELS.md``.
 """
 
 from __future__ import annotations
@@ -54,7 +60,25 @@ def rns_decompose(x: np.ndarray, base: RnsBase) -> np.ndarray:
 def rns_recompose(channels: np.ndarray, base: RnsBase) -> np.ndarray:
     """CRT recomposition to canonical representatives in ``[0, Q)``.
 
-    Returns an ``object`` array when ``Q`` exceeds int64, else ``int64``.
+    Parameters
+    ----------
+    channels:
+        ``(k, ...)`` residue stack, channel *i* holding values mod
+        ``q_i`` (unreduced int64 inputs are accepted and reduced).
+    base:
+        The moduli chain the stack was decomposed against.
+
+    Returns
+    -------
+    Array of ``x mod Q`` per element — ``int64`` when ``Q`` fits 62
+    bits, else ``object`` (Python ints).
+
+    Notes
+    -----
+    Vectorised Garner lift (``docs/KERNELS.md``): O(k^2) int64 vector
+    ops for the mixed-radix digits plus one exact int64 Horner fold
+    over the leading digits; no final ``mod Q``.  Property-tested
+    against the big-int oracle in ``tests/nt/test_crt.py``.
     """
     _check(channels, base)
     out = base.compose([channels[i] for i in range(base.k)])
@@ -69,6 +93,25 @@ def rns_recompose_signed(channels: np.ndarray, base: RnsBase) -> np.ndarray:
 
     This is the variant the CNN-RNS pipeline uses after convolution,
     where outputs may be negative.
+
+    Parameters
+    ----------
+    channels:
+        ``(k, ...)`` residue stack, channel *i* holding values mod ``q_i``.
+    base:
+        The moduli chain the stack was decomposed against.
+
+    Returns
+    -------
+    Array of centered representatives — ``int64`` when ``Q`` fits 62
+    bits, else ``object``.
+
+    Notes
+    -----
+    Same Garner lift as :func:`rns_recompose`; the sign decision
+    (``x >= Q/2``) compares mixed-radix digit vectors against the
+    precomputed digits of ``Q // 2``, so it never leaves int64 either
+    (``docs/KERNELS.md``).
     """
     _check(channels, base)
     out = base.compose_centered([channels[i] for i in range(base.k)])

@@ -126,6 +126,21 @@ def test_cli_clean_and_missing_current(tmp_path):
     assert proc.returncode == 1 and "MISSING" in proc.stdout
 
 
+def test_cli_markdown_table(tmp_path):
+    """--markdown emits a PR-ready GitHub table alongside the report."""
+    baseline_dir = tmp_path / "baselines"
+    current_dir = tmp_path / "current"
+    write_record(make_record("fig2", HEADERS, ROWS), baseline_dir)
+    write_record(make_record("fig2", HEADERS, ROWS), current_dir)
+    proc = _run_cli(
+        "--baseline", str(baseline_dir), "--current", str(current_dir), "--markdown"
+    )
+    assert proc.returncode == 0
+    assert "| benchmark | key | baseline | current | ratio | status |" in proc.stdout
+    assert "| fig2 | recompose.ms |" in proc.stdout
+    assert "| 1.00x | ok |" in proc.stdout
+
+
 def test_committed_baselines_are_schema_valid():
     baselines = Path(__file__).resolve().parents[2] / "bench_artifacts" / "baselines"
     records = sorted(baselines.glob("BENCH_*.json"))

@@ -36,3 +36,11 @@ def test_architecture_and_observability_docs_linked_from_readme():
     assert "docs/OBSERVABILITY.md" in readme
     assert (REPO / "docs" / "ARCHITECTURE.md").exists()
     assert (REPO / "docs" / "OBSERVABILITY.md").exists()
+
+
+def test_kernels_doc_linked_from_key_pages():
+    """docs/KERNELS.md exists and is reachable from the entry points."""
+    assert (REPO / "docs" / "KERNELS.md").exists()
+    assert "docs/KERNELS.md" in (REPO / "README.md").read_text()
+    assert "KERNELS.md" in (REPO / "docs" / "ARCHITECTURE.md").read_text()
+    assert "KERNELS.md" in (REPO / "docs" / "PERFORMANCE.md").read_text()

@@ -108,7 +108,7 @@ def test_poly_eval_degree_bounds(mock, rng):
     with pytest.raises(ValueError):
         mock.poly_eval(h, np.array([1.0]))  # degree 0
     with pytest.raises(ValueError):
-        mock.poly_eval(h, np.ones(5))  # degree 4
+        mock.poly_eval(h, np.ones(10))  # degree 9 > MAX_POLY_DEGREE
 
 
 def test_poly_eval_consumes_degree_levels(mock, rng):

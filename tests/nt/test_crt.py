@@ -96,3 +96,94 @@ def test_ring_homomorphism_property(a, b):
     rb = basis.decompose(np.array([b], dtype=object))
     assert int(basis.compose_centered(basis.mul(ra, rb))[0]) == a * b
     assert int(basis.compose_centered(basis.add(ra, rb))[0]) == a + b
+
+
+# -- vectorised Garner lift vs the big-integer oracle --------------------------
+#
+# compose_bigint is the classical sum(r_i * e_i) mod Q formula in Python
+# big-int arithmetic — exact by construction.  The vectorised Garner
+# path (docs/KERNELS.md) must agree with it on every basis shape and on
+# the adversarial values its fast paths special-case: zero, +/-1,
+# values straddling Q//2, and values whose tail digits are maximal.
+
+# Pools of small primes per bit class used to build random bases.
+_PRIMES_BY_BITS = {
+    8: [193, 197, 199, 211, 223, 227, 229, 233],
+    13: [8191, 8209, 8219, 8221, 8231, 8233, 8237, 8243],
+    26: [67108859, 67108837, 67108819, 67108777, 67108763, 67108729],
+    31: [2147483647, 2147483629, 2147483587, 2147483579],
+    40: [1099511627689, 1099511627581, 1099511627539],
+}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_compose_matches_bigint_oracle_random_bases(data):
+    """Garner lift == big-int CRT on random bases of mixed widths."""
+    k = data.draw(st.integers(min_value=1, max_value=5))
+    moduli = []
+    for _ in range(k):
+        bits = data.draw(st.sampled_from(sorted(_PRIMES_BY_BITS)))
+        pool = [p for p in _PRIMES_BY_BITS[bits] if p not in moduli]
+        if not pool:
+            continue
+        moduli.append(data.draw(st.sampled_from(pool)))
+    basis = CrtBasis(moduli)
+    q = basis.modulus
+    xs = [
+        0,
+        1,
+        q - 1,
+        q // 2,
+        q // 2 - 1,
+        q // 2 + 1 if q > 2 else 0,
+        data.draw(st.integers(min_value=0, max_value=q - 1)),
+        data.draw(st.integers(min_value=0, max_value=q - 1)),
+    ]
+    arr = np.array(xs, dtype=object)
+    res = basis.decompose(arr)
+    want = basis.compose_bigint(res)
+    got = basis.compose(res)
+    assert all(int(a) == int(b) for a, b in zip(got, want))
+    got_c = basis.compose_centered(res)
+    # centered convention: values >= Q//2 wrap negative
+    want_c = [int(v) - q if int(v) >= q // 2 else int(v) for v in want]
+    assert all(int(a) == int(b) for a, b in zip(got_c, want_c))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=-(2**40), max_value=2**40), min_size=1, max_size=16
+    )
+)
+def test_signed_recompose_negative_and_small(values):
+    """Signed lift recovers negative / tiny values exactly (CNN-RNS range)."""
+    basis = CrtBasis([67108859, 67108837, 67108819])
+    arr = np.array(values, dtype=object)
+    back = basis.compose_centered(basis.decompose(arr))
+    assert all(int(a) == int(b) for a, b in zip(back, arr))
+
+
+def test_compose_near_modulus_and_zero_channels(rng):
+    """Per-channel extremes: zero residues, q_i - 1 residues, mixtures."""
+    basis = CrtBasis([8191, 8209, 8231, 67108859])
+    q = basis.modulus
+    specials = np.array(
+        [0, 1, q - 1, q // 2, q // 2 - 1, q // 2 + 1], dtype=object
+    )
+    randoms = rng.integers(0, 2**60, 64).astype(object) % q
+    arr = np.concatenate([specials, randoms])
+    res = basis.decompose(arr)
+    want = basis.compose_bigint(res)
+    got = basis.compose(res)
+    assert all(int(a) == int(b) for a, b in zip(got, want))
+
+
+def test_unreduced_residues_accepted(rng):
+    """digits() reduces unreduced / object residues on entry."""
+    basis = CrtBasis([97, 101, 103])
+    x = np.array([12345, 54321], dtype=object)
+    res = basis.decompose(x)
+    bumped = [r + m for r, m in zip(res, basis.moduli)]  # out of [0, q_i)
+    assert np.array_equal(basis.compose(bumped), basis.compose(res))

@@ -5,7 +5,7 @@ Usage::
 
     PYTHONPATH=src python tools/bench_compare.py \
         [--baseline bench_artifacts/baselines] [--current bench_artifacts] \
-        [--threshold 0.25] [--warn-only] [name ...]
+        [--threshold 0.25] [--warn-only] [--markdown] [name ...]
 
 For every ``BENCH_<name>.json`` in the baseline directory (or just the
 names given), the matching current record is loaded, both are validated
@@ -13,6 +13,11 @@ against the ``repro.bench/1`` schema, and their timing ``results`` are
 compared.  Any key that got more than ``threshold`` slower (default
 25%) is a regression; schema violations and baselines with no current
 counterpart are also failures.
+
+``--markdown`` additionally prints one GitHub-Markdown table row per
+compared key (``| name | key | baseline | current | ratio | status |``),
+ready to paste into a PR description or the hot-spot history table in
+``docs/PERFORMANCE.md``.
 
 Exit status: 0 clean, 1 regressions or invalid/missing records —
 unless ``--warn-only`` (the CI bench-smoke default, since shared
@@ -36,19 +41,39 @@ def _fmt_seconds(v: float) -> str:
     return f"{v:.6g}"
 
 
-def compare_pair(base_path: Path, cur_path: Path, threshold: float) -> tuple[bool, list[str]]:
-    """(ok, report lines) for one baseline/current record pair."""
+def markdown_rows(name: str, diff: dict) -> list[str]:
+    """One GitHub-Markdown table row per compared key (see module doc)."""
+    rows = []
+    for row in diff["rows"]:
+        status = "regression" if row["regression"] else "ok"
+        # Keys carry their own unit (".ms" / ".seconds"), so values are
+        # printed bare.
+        rows.append(
+            f"| {name} | {row['key']} | {_fmt_seconds(row['baseline'])} "
+            f"| {_fmt_seconds(row['current'])} | {row['ratio']:.2f}x | {status} |"
+        )
+    return rows
+
+
+def compare_pair(
+    base_path: Path, cur_path: Path, threshold: float
+) -> tuple[bool, list[str], dict | None]:
+    """(ok, report lines, diff) for one baseline/current record pair."""
     lines: list[str] = []
     try:
         baseline = load_record(base_path)
     except (ValueError, OSError) as exc:
-        return False, [f"  INVALID baseline: {exc}"]
+        return False, [f"  INVALID baseline: {exc}"], None
     if not cur_path.exists():
-        return False, [f"  MISSING current record {cur_path.name} (benchmark not run?)"]
+        return (
+            False,
+            [f"  MISSING current record {cur_path.name} (benchmark not run?)"],
+            None,
+        )
     try:
         current = load_record(cur_path)
     except (ValueError, OSError) as exc:
-        return False, [f"  INVALID current record: {exc}"]
+        return False, [f"  INVALID current record: {exc}"], None
 
     diff = compare_records(baseline, current, threshold=threshold)
     if not diff["env_match"]:
@@ -67,7 +92,7 @@ def compare_pair(base_path: Path, cur_path: Path, threshold: float) -> tuple[boo
     for key in diff["missing"]:
         lines.append(f"  {'MISSING':>10}  {key}: present in baseline only")
     ok = not diff["regressions"] and not diff["missing"]
-    return ok, lines
+    return ok, lines, diff
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -100,6 +125,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the full report but always exit 0",
     )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="also print a GitHub-Markdown comparison table (PR-ready)",
+    )
     args = parser.parse_args(argv)
 
     if args.names:
@@ -113,12 +143,21 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if args.warn_only else 1
 
     failures = 0
+    md_lines: list[str] = []
     for base_path, cur_path in pairs:
-        ok, lines = compare_pair(base_path, cur_path, args.threshold)
+        name = base_path.stem.removeprefix("BENCH_")
+        ok, lines, diff = compare_pair(base_path, cur_path, args.threshold)
         status = "OK" if ok else "FAIL"
-        print(f"{status}  {base_path.stem.removeprefix('BENCH_')}")
+        print(f"{status}  {name}")
         print("\n".join(lines))
         failures += 0 if ok else 1
+        if args.markdown and diff is not None:
+            md_lines.extend(markdown_rows(name, diff))
+
+    if args.markdown and md_lines:
+        print("\n| benchmark | key | baseline | current | ratio | status |")
+        print("|---|---|---|---|---|---|")
+        print("\n".join(md_lines))
 
     print(
         f"\n{len(pairs) - failures}/{len(pairs)} benchmark records within "
