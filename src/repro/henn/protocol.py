@@ -31,9 +31,11 @@ metrics on ``/metrics`` + ``/healthz`` scrape endpoints.
 from __future__ import annotations
 
 import itertools
+import math
+import random
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,16 +54,22 @@ from repro.resilience.errors import (
     ProtocolError,
 )
 from repro.serving.errors import (
+    ClusterUnavailableError,
+    DrainTimeoutError,
     RequestValidationError,
     SchedulerClosedError,
     ServiceOverloadedError,
+    ServiceShedError,
+    WorkerLostError,
 )
 from repro.serving.scheduler import BatchingScheduler
+from repro.serving.shedding import SHED_TIERS, ShedPolicy
 
 __all__ = [
     "Client",
     "CloudService",
     "BatchedCloudService",
+    "ClusteredCloudService",
     "ServiceError",
     "CloudResponse",
 ]
@@ -111,12 +119,28 @@ def _sanitize(exc: BaseException) -> ServiceError:
         )
     if isinstance(exc, (ExecutorExhaustedError, ItemTimeoutError)):
         return ServiceError(code, "compute", True, "evaluation resources exhausted")
+    if isinstance(exc, ServiceShedError):
+        return ServiceError(
+            code, "overload", False, "service saturated, route elsewhere"
+        )
     if isinstance(exc, ServiceOverloadedError):
         return ServiceError(
             code, "overload", True, "service at capacity, retry with backoff"
         )
     if isinstance(exc, RequestValidationError):
         return ServiceError(code, "state", False, "request rejected at admission")
+    if isinstance(exc, DrainTimeoutError):
+        return ServiceError(
+            code, "unavailable", True, "service drained out before evaluation"
+        )
+    if isinstance(exc, WorkerLostError):
+        return ServiceError(
+            code, "compute", True, "evaluation worker lost mid-batch"
+        )
+    if isinstance(exc, ClusterUnavailableError):
+        return ServiceError(
+            code, "unavailable", True, "worker pool unavailable"
+        )
     if isinstance(exc, SchedulerClosedError):
         return ServiceError(code, "unavailable", False, "service is shutting down")
     if isinstance(exc, ValueError):
@@ -151,6 +175,10 @@ class Client:
         images: np.ndarray,
         max_attempts: int = 3,
         backoff_seconds: float = 0.0,
+        *,
+        jitter: float = 1.0,
+        max_elapsed: float | None = None,
+        seed: int | None = None,
     ) -> np.ndarray:
         """Full round trip with bounded client-side retry.
 
@@ -161,19 +189,51 @@ class Client:
         :class:`~repro.resilience.errors.ProtocolError` carrying the
         sanitised error only.
 
-        ``backoff_seconds`` > 0 sleeps ``backoff_seconds * 2^(k-1)``
-        before retry *k* — the polite response to an ``overload``
-        rejection from a backpressured
-        :class:`BatchedCloudService` (its queue needs draining, not
-        hammering).
+        ``backoff_seconds`` > 0 backs off exponentially before retry
+        *k*, from the base delay ``backoff_seconds * 2^(k-2)`` — the
+        polite response to an ``overload`` rejection from a
+        backpressured :class:`BatchedCloudService` (its queue needs
+        draining, not hammering).  By default the delay is **fully
+        jittered** (uniform in ``[0, base]``, AWS-style): a fleet of
+        clients rejected together must not retry in lockstep, or every
+        backoff wave arrives as the same thundering herd that overloaded
+        the gateway in the first place.
+
+        Parameters
+        ----------
+        jitter:
+            Jittered fraction of each backoff delay, in ``[0, 1]``:
+            ``1.0`` (default) draws the whole delay uniformly from
+            ``[0, base]``; ``0.0`` restores the deterministic
+            exponential schedule.
+        max_elapsed:
+            Wall-clock cap in seconds across *all* attempts and
+            backoffs: once the budget cannot cover the next delay the
+            client gives up immediately with the last sanitised error
+            instead of sleeping past its own deadline.
+        seed:
+            Seeds the jitter RNG (reproducible tests); ``None`` draws
+            from the process RNG.
         """
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if max_elapsed is not None and max_elapsed <= 0:
+            raise ValueError("max_elapsed must be positive (or None)")
         images = np.asarray(images, dtype=np.float64)
+        rng = random.Random(seed)
+        started = time.monotonic()
         error: ServiceError | None = None
         for attempt in range(1, max_attempts + 1):
             if attempt > 1:
+                base = backoff_seconds * 2 ** (attempt - 2)
+                delay = base * (1.0 - jitter) + rng.uniform(0.0, base * jitter)
+                if max_elapsed is not None:
+                    remaining = max_elapsed - (time.monotonic() - started)
+                    if remaining <= delay:
+                        raise ProtocolError(error, attempts=attempt - 1)
                 get_registry().counter("resilience.protocol_retries").inc()
-                if backoff_seconds > 0:
-                    time.sleep(backoff_seconds * 2 ** (attempt - 2))
+                if delay > 0:
+                    time.sleep(delay)
             response = cloud.try_classify(self.encrypt_request(images))
             if response.ok:
                 return self.decrypt_response(response.scores, images.shape[0])
@@ -348,6 +408,13 @@ class BatchedCloudService(CloudService):
     request_timeout_s:
         Upper bound a blocking :meth:`try_classify` waits on its
         future before answering with a ``compute`` error.
+    shed_policy:
+        Optional :class:`~repro.serving.shedding.ShedPolicy` replacing
+        the single hard queue bound with the tiered
+        accept/defer/reject/shed ladder (see
+        :mod:`repro.serving.shedding`); saturation input comes from
+        :meth:`_pool_saturation` (0 here; the cluster gateway overrides
+        it with the worker pool's busy fraction).
     """
 
     def __init__(
@@ -360,6 +427,7 @@ class BatchedCloudService(CloudService):
         max_wait_ms: float = 5.0,
         max_queue_depth: int = 64,
         request_timeout_s: float = 120.0,
+        shed_policy: ShedPolicy | None = None,
     ):
         # Deferred: repro.serving.packing subclasses HeBackend, so a
         # module-level import would close an import cycle through the
@@ -376,8 +444,14 @@ class BatchedCloudService(CloudService):
             max_batch_slots=int(max_batch_slots or backend.max_batch),
             max_wait_ms=max_wait_ms,
             max_queue_depth=max_queue_depth,
+            shed_policy=shed_policy,
+            saturation_fn=self._pool_saturation,
             name="henn-serving",
         )
+
+    def _pool_saturation(self) -> float:
+        """Worker-pool busy fraction feeding the shed ladder (0 = none)."""
+        return 0.0
 
     # -- admission ----------------------------------------------------------------
 
@@ -536,9 +610,15 @@ class BatchedCloudService(CloudService):
 
     # -- lifecycle -----------------------------------------------------------------
 
-    def close(self, drain: bool = True) -> None:
-        """Drain (default) or abort the queue, then stop scrapes."""
-        self.scheduler.close(drain=drain)
+    def close(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Drain (default) or abort the queue, then stop scrapes.
+
+        The drain is bounded: past *timeout* seconds still-pending
+        futures fail with the retryable
+        :class:`~repro.serving.errors.DrainTimeoutError` (see
+        :meth:`BatchingScheduler.close`).
+        """
+        self.scheduler.close(drain=drain, timeout=timeout)
         self.stop_observability()
 
     def __enter__(self) -> "BatchedCloudService":
@@ -550,4 +630,244 @@ class BatchedCloudService(CloudService):
     def _health(self) -> dict:
         status = super()._health()
         status["serving"] = self.scheduler.stats()
+        return status
+
+
+class _ClusterEngineFactory:
+    """Rebuilds the gateway's engine inside a cluster worker child.
+
+    Fork inheritance carries the backend (same key material the clients
+    encrypted against); the plan is recompiled per worker — that compile
+    *is* the warm-up the pool's ``warming`` state covers — and with a
+    shared cache (rebuilt from shm refs by the pool) every tap encoding
+    is a cache hit onto a zero-copy view of the parent's arena, so the
+    whole pool shares one physical copy of the encoded model.
+    """
+
+    __slots__ = ("backend", "layers", "input_shape")
+
+    def __init__(
+        self, backend: HeBackend, layers: list[HeLayer], input_shape: tuple[int, int, int]
+    ):
+        self.backend = backend
+        self.layers = layers
+        self.input_shape = input_shape
+
+    def __call__(self, cache: object | None = None) -> HeInferenceEngine:
+        from repro.henn.plan import compile_plan
+
+        plan = compile_plan(self.backend, self.layers, self.input_shape, cache=cache)
+        return HeInferenceEngine(self.backend, self.layers, self.input_shape, plan=plan)
+
+
+class ClusteredCloudService(BatchedCloudService):
+    """Multi-worker serving gateway: the batching queue feeds a pool.
+
+    Same trust boundary, admission checks and sanitised error vocabulary
+    as :class:`BatchedCloudService`; the difference is what happens
+    after a batch fires.  Instead of evaluating on the scheduler thread,
+    :meth:`_run_batch` hands the batch to a
+    :class:`~repro.serving.cluster.Dispatcher` over a
+    :class:`~repro.serving.cluster.WorkerPool` of process-backed
+    engines and returns a future — the scheduler's pipelined mode — so
+    one gateway keeps all N workers busy at once.
+
+    Robustness contract (the point of the cluster):
+
+    * A worker killed mid-batch never drops a future: the dispatcher
+      requeues the orphaned batch onto a survivor within a bounded
+      retry budget, while the pool respawns and re-warms the dead
+      worker in the background.
+    * Whole-pool loss degrades to serial in-process evaluation on the
+      gateway's own engine (disable with ``serial_fallback=False`` to
+      get the retryable ``unavailable`` error instead).
+    * Overload is shed in tiers (:class:`ShedPolicy`, on by default
+      here) driven by queue depth *and* pool saturation.
+    * ``/healthz`` reports pool size, per-worker state
+      (warming/ready/dead/respawning), health and in-flight counts,
+      plus the current shed tier.
+
+    Parameters (beyond :class:`BatchedCloudService`)
+    ------------------------------------------------
+    workers:
+        Pool size (process-backed engine workers).
+    max_inflight:
+        Batches one worker may hold at once (>1 hides pipe latency
+        behind the current evaluation).
+    respawn:
+        Background-respawn dead workers (the whole-pool-loss tests
+        disable this).
+    serial_fallback:
+        Degrade to in-process serial evaluation when the pool is lost.
+    share_cache:
+        Pack the compiled plan's encoded taps into shared memory so
+        workers warm up against zero-copy views (falls back silently
+        when shm is unavailable).
+    fault_injector:
+        Seeded :class:`~repro.resilience.FaultInjector` armed with
+        ``kill_cluster_worker`` for failover tests.
+    failover_policy:
+        :class:`~repro.resilience.ResiliencePolicy` bounding the
+        per-batch failover budget (``max_retries``) and its backoff.
+    wait_ready:
+        Block construction until all workers report ready (bounded by
+        ``spawn_timeout_s``); with ``False`` traffic may arrive while
+        workers warm — the dispatcher simply waits for the first ready
+        worker.
+    """
+
+    def __init__(
+        self,
+        backend: HeBackend,
+        layers: list[HeLayer],
+        input_shape: tuple[int, int, int],
+        *,
+        workers: int = 3,
+        max_inflight: int = 1,
+        respawn: bool = True,
+        serial_fallback: bool = True,
+        share_cache: bool = True,
+        fault_injector: object | None = None,
+        failover_policy: object | None = None,
+        wait_ready: bool = True,
+        spawn_timeout_s: float = 120.0,
+        heartbeat_interval_s: float = 0.25,
+        shed_policy: ShedPolicy | None = None,
+        **batched_kwargs: object,
+    ):
+        # Deferred import: repro.serving.cluster pulls in multiprocessing
+        # machinery the serial protocol never needs.
+        from repro.serving.cluster import Dispatcher, WorkerPool, share_plan_cache
+
+        super().__init__(
+            backend,
+            layers,
+            input_shape,
+            shed_policy=shed_policy or ShedPolicy(),
+            **batched_kwargs,  # type: ignore[arg-type]
+        )
+        arena = refs = None
+        if share_cache and self.engine.plan is not None:
+            arena, refs = share_plan_cache(self.engine.plan.cache)
+        self._cache_arena = arena
+        self._serial_lock = threading.Lock()
+        self.pool = WorkerPool(
+            _ClusterEngineFactory(self.engine.backend, layers, input_shape),
+            workers,
+            max_inflight=max_inflight,
+            respawn=respawn,
+            fault_injector=fault_injector,
+            shared_cache_refs=refs,
+            spawn_timeout_s=spawn_timeout_s,
+            heartbeat_interval_s=heartbeat_interval_s,
+            name="henn-cluster",
+        ).start()
+        self.dispatcher = Dispatcher(
+            self.pool,
+            policy=failover_policy,
+            fallback=self._serial_fallback if serial_fallback else None,
+        )
+        if wait_ready:
+            self.pool.wait_ready(timeout=spawn_timeout_s)
+
+    def _pool_saturation(self) -> float:
+        # During __init__ the base class builds the scheduler before the
+        # pool exists; admission starts only after __init__ returns, but
+        # guard anyway.
+        pool = getattr(self, "pool", None)
+        return pool.saturation() if pool is not None else 0.0
+
+    def _serial_fallback(self, requests: list, slots: list[int]) -> list:
+        """Whole-pool-loss degradation: evaluate on the gateway's engine.
+
+        Serialised by a lock — failover threads may race here, and the
+        engine is not re-entrant.  Slow, but alive: exactly the PR 5
+        single-engine behaviour the cluster normally improves on.
+        """
+        with self._serial_lock:
+            assembled = self.engine.assemble_batch(requests, slots)
+            scores = self.engine.run_encrypted(assembled)
+            return self.engine.split_scores(scores, slots)
+
+    # -- request path --------------------------------------------------------------
+
+    def _run_batch(self, payloads: list, slots: list[int]) -> Future:
+        """Scheduler callback, pipelined: dispatch and return the future.
+
+        The scheduler registers a completion callback on the returned
+        future and immediately fires the next batch — this is what
+        spreads consecutive batches across the pool.
+        """
+        rids = [rid for rid, _, _ in payloads]
+        requests = [enc for _, enc, _ in payloads]
+        t0 = time.perf_counter()
+        out: Future = Future()
+        inner = self.dispatcher.dispatch(requests, slots)
+        inner.add_done_callback(
+            lambda fut: self._finish_cluster_batch(fut, rids, t0, out)
+        )
+        return out
+
+    def _finish_cluster_batch(
+        self, fut: Future, rids: list[int], t0: float, out: Future
+    ) -> None:
+        """Turn one dispatched batch's outcome into per-request responses."""
+        log = get_logger()
+        reg = get_registry()
+        seconds = time.perf_counter() - t0
+        error: ServiceError | None = None
+        if fut.cancelled():
+            error = _sanitize(SchedulerClosedError("dispatch cancelled during shutdown"))
+        elif fut.exception() is not None:
+            reg.counter("resilience.service_errors").inc()
+            error = _sanitize(fut.exception())
+        if error is not None:
+            for rid in rids:
+                reg.counter("henn.requests", {"outcome": "error"}).inc()
+                log.event(
+                    "henn.request.error",
+                    request=rid,
+                    seconds=seconds,
+                    code=error.code,
+                    category=error.category,
+                    retryable=error.retryable,
+                )
+            responses = [CloudResponse(ok=False, error=error)] * len(rids)
+        else:
+            responses = []
+            for rid, scores in zip(rids, fut.result()):
+                reg.counter("henn.requests", {"outcome": "ok"}).inc()
+                reg.histogram("henn.request.seconds").observe(seconds)
+                log.event(
+                    "henn.request.ok", request=rid, seconds=seconds, scores=int(len(scores))
+                )
+                responses.append(CloudResponse(ok=True, scores=scores))
+        with self._state_lock:
+            self._requests_served += len(rids)
+            if error is None:
+                self._last_latency = seconds
+        try:
+            out.set_result(responses)
+        except InvalidStateError:
+            pass  # the drain timeout already failed this batch's futures
+
+    # -- lifecycle / health ----------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Drain the queue through the pool, then tear the pool down."""
+        super().close(drain=drain, timeout=timeout)
+        self.pool.close()
+        if self._cache_arena is not None:
+            self._cache_arena.close()
+
+    def _health(self) -> dict:
+        status = super()._health()
+        tier_value = get_registry().gauge("serving.shed.tier").value
+        status["cluster"] = {
+            **self.pool.stats(),
+            "degraded_serial": self.dispatcher.degraded,
+            "shed_tier": (
+                "accept" if math.isnan(tier_value) else SHED_TIERS[int(tier_value)]
+            ),
+        }
         return status

@@ -19,6 +19,7 @@ __all__ = [
     "aggregate_spans",
     "layer_rows",
     "serving_rows",
+    "cluster_rows",
     "render_report",
     "format_table",
 ]
@@ -90,9 +91,23 @@ def serving_rows(metrics: MetricsRegistry) -> list[list]:
     the coalescing wait costs), gauges and counters their value.
     Empty when no batching gateway ran.
     """
+    return _prefixed_rows(metrics, "serving.")
+
+
+def cluster_rows(metrics: MetricsRegistry) -> list[list]:
+    """Worker-pool summary rows from the ``cluster.*`` metrics.
+
+    The failover story in numbers: dispatches vs. failovers vs. worker
+    deaths/respawns, per-worker health and in-flight gauges, batch and
+    warm-up timings.  Empty when no cluster gateway ran.
+    """
+    return _prefixed_rows(metrics, "cluster.")
+
+
+def _prefixed_rows(metrics: MetricsRegistry, prefix: str) -> list[list]:
     rows: list[list] = []
     for key, m in sorted(metrics.snapshot().items()):
-        if not key.startswith("serving."):
+        if not key.startswith(prefix):
             continue
         if m["type"] == "histogram":
             if m["count"]:
@@ -175,6 +190,16 @@ def render_report(
                 ["serving metric", "n", "value/mean", "p50", "p99"],
                 srows,
                 "serving gateway (batch coalescing)",
+            )
+        )
+
+    crows = cluster_rows(metrics) if metrics is not None else []
+    if crows:
+        sections.append(
+            format_table(
+                ["cluster metric", "n", "value/mean", "p50", "p99"],
+                crows,
+                "worker pool (dispatch / failover / respawn)",
             )
         )
 

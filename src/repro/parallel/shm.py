@@ -149,6 +149,16 @@ class ShmArena:
         except BufferError:  # pragma: no cover - live views keep it mapped
             pass
         if unlink:
+            # Fork-children share the parent's resource tracker, and
+            # _attach's deliberate unregister (lifecycle is parent-owned)
+            # drains this segment's registration from it; re-register so
+            # the unregister inside unlink() balances instead of making
+            # the tracker process print a KeyError at exit.
+            if resource_tracker is not None:
+                try:  # pragma: no cover - tracker is an implementation detail
+                    resource_tracker.register(shm._name, "shared_memory")  # type: ignore[attr-defined]
+                except Exception:
+                    pass
             try:
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone

@@ -102,6 +102,7 @@ class FaultInjector:
         self._worker_faults: list[dict] = []
         self._scale_faults: list[dict] = []
         self._ct_faults: list[dict] = []
+        self._cluster_faults: list[dict] = []
 
     # -- arming ------------------------------------------------------------
 
@@ -143,6 +144,26 @@ class FaultInjector:
     def corrupt_ciphertext(self, channel: int = 0, times: int = 1) -> "FaultInjector":
         """Flip limbs in residue channel *channel* of the next ciphertexts."""
         self._ct_faults.append({"channel": channel, "times": times})
+        return self
+
+    def kill_cluster_worker(
+        self, worker: int | None = None, on_batch: int = 1, times: int = 1
+    ) -> "FaultInjector":
+        """SIGKILL cluster worker *worker* as it starts its ``on_batch``-th batch.
+
+        ``worker=None`` matches any worker (the first one spawned claims
+        the kill).  Following the :meth:`wrap_worker` idiom, the budget
+        is consumed **parent-side** — the pool calls
+        :meth:`take_cluster_kills` at spawn time and ships the child an
+        explicit batch-number schedule — so a *respawned* worker comes
+        back clean instead of re-inheriting the armed fault and dying
+        forever.  ``times=2`` therefore means: the first spawn dies at
+        ``on_batch``, its respawn dies once more, the next respawn runs
+        clean.
+        """
+        self._cluster_faults.append(
+            {"worker": worker, "on_batch": int(on_batch), "times": int(times)}
+        )
         return self
 
     # -- hooks -------------------------------------------------------------
@@ -211,6 +232,26 @@ class FaultInjector:
             self._fire("scale.perturb", fault["factor"])
             return scale * fault["factor"]
         return scale
+
+    def take_cluster_kills(self, worker: int) -> list[int]:
+        """Spawn hook: consume armed kills for *worker*; returns batch numbers.
+
+        Called parent-side by the worker pool each time it (re)spawns
+        worker *worker*; every matching armed fault contributes one
+        count to the returned schedule.  The child then SIGKILLs itself
+        at the start of each scheduled batch (1-based, per process) —
+        deterministically, with nothing left armed in the child.
+        """
+        schedule: list[int] = []
+        for fault in self._cluster_faults:
+            if fault["times"] <= 0:
+                continue
+            if fault["worker"] is not None and fault["worker"] != worker:
+                continue
+            fault["times"] -= 1
+            self._fire("cluster.kill", (worker, fault["on_batch"]))
+            schedule.append(fault["on_batch"])
+        return schedule
 
     def apply_ciphertext_faults(self, ct: Any) -> Any:
         """Backend hook: corrupt one residue limb stack of a ciphertext."""

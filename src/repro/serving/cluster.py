@@ -1,0 +1,895 @@
+"""Multi-worker serving cluster: pool, health-weighted dispatch, failover.
+
+PR 5's gateway coalesces requests but still evaluates every batch on a
+single in-process engine — one stuck or crashed engine takes the whole
+service down.  This module puts a pool of **process-backed engine
+workers** behind the :class:`~repro.serving.scheduler.BatchingScheduler`:
+
+* :class:`WorkerPool` owns N engine workers.  Each worker is a forked
+  process that builds its engine on spawn (plan compile = warm-up,
+  optionally against a shared-memory plaintext cache packed once by the
+  parent via :mod:`repro.parallel.shm`), answers batches over a duplex
+  pipe, and reports liveness through heartbeat pings.  The pool watches
+  every worker two ways — a receiver thread per pipe (broken pipe /
+  EOF = death) and a heartbeat thread (``is_alive`` + idle pings) — and
+  respawns dead workers in the background.
+* :class:`Dispatcher` routes each coalesced batch to a worker chosen by
+  **health-weighted load balancing**: among workers with spare
+  in-flight capacity, the highest ``health / (1 + inflight)`` score
+  wins, where health decays with recent faults and recovers with
+  successful batches (exported as ``cluster.worker.health`` gauges).
+  Robustness is the contract: a worker killed mid-batch never drops a
+  future — the in-flight batch is requeued onto a survivor with a
+  bounded retry budget (:class:`~repro.resilience.ResiliencePolicy`
+  semantics: seeded backoff, bounded attempts), and if the *whole* pool
+  is lost the dispatcher degrades to serial in-process evaluation
+  through the owner's fallback callable.
+
+Everything observable lands in the process registry: ``cluster.*``
+counters (dispatches, failovers, respawns, worker deaths, serial
+degradations, heartbeat kills), per-worker gauges (state, health,
+inflight) and the ``cluster.batch.seconds`` histogram — all scraped
+through the existing Prometheus path and summarised on ``/healthz`` by
+:class:`~repro.henn.protocol.ClusteredCloudService`.
+
+Fault injection: arm a seeded
+:class:`~repro.resilience.FaultInjector` with
+:meth:`~repro.resilience.FaultInjector.kill_cluster_worker` and pass it
+to the pool — the chosen worker SIGKILLs itself at the start of its
+n-th batch, which is exactly the mid-batch death the failover tests and
+``tools/ci_cluster_smoke.py`` count-assert recovery from.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import signal
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Sequence
+
+try:  # pragma: no cover - platform guard
+    import multiprocessing as _mp
+except ImportError:  # pragma: no cover
+    _mp = None  # type: ignore[assignment]
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.resilience.policy import ResiliencePolicy
+from repro.serving.errors import (
+    ClusterUnavailableError,
+    SchedulerClosedError,
+    ServiceOverloadedError,
+    WorkerLostError,
+)
+
+__all__ = [
+    "WorkerPool",
+    "Dispatcher",
+    "ClusterWorker",
+    "share_plan_cache",
+    "WORKER_STATES",
+]
+
+#: Worker lifecycle states, in the order the failover machine walks them.
+WORKER_STATES = ("warming", "ready", "dead", "respawning")
+
+
+def _count(event: str, n: int = 1) -> None:
+    get_registry().counter(f"cluster.{event}").inc(n)
+
+
+# ------------------------------------------------------------------ shared cache
+
+
+def share_plan_cache(cache: Any) -> tuple[Any, dict | None]:
+    """Pack a plan's :class:`~repro.henn.backend.EncodedTaps` arrays into shm.
+
+    Walks *cache* (a :class:`~repro.utils.cache.PlaintextCache`) and
+    copies the NumPy payload of every encoded-taps entry — the float
+    weights and, on CKKS-RNS, the big ``(taps, k_top)`` residue tables —
+    into **one** :class:`~repro.parallel.shm.ShmArena` segment.  Returns
+    ``(arena, refs)`` where *refs* is a picklable description each
+    worker rebuilds into a warm cache of zero-copy views via
+    :func:`rebuild_plan_cache` — the whole pool then shares a single
+    physical copy of the encoded model instead of N.
+
+    Returns ``(None, None)`` when shared memory is unavailable or the
+    cache holds nothing shareable; workers then simply recompile their
+    own encodings (correct, just not shared).
+    """
+    from repro.henn.backend import EncodedTaps
+    from repro.parallel import shm as _shm
+
+    if cache is None or not _shm.shm_available():
+        return None, None
+    arrays: dict[str, np.ndarray] = {}
+    entries: list[tuple[Any, dict]] = []
+    with cache._lock:
+        items = list(cache._store.items())
+    for i, (key, value) in enumerate(items):
+        if not isinstance(value, EncodedTaps):
+            continue
+        meta: dict[str, Any] = {
+            "plain_scale": float(value.plain_scale),
+            "consts": list(value.consts),
+            "keep": list(value.keep),
+            "weights": f"w{i}",
+            "residues": None,
+        }
+        arrays[f"w{i}"] = np.asarray(value.weights)
+        if value.residues is not None:
+            meta["residues"] = f"r{i}"
+            arrays[f"r{i}"] = np.asarray(value.residues)
+        entries.append((key, meta))
+    if not entries:
+        return None, None
+    try:
+        arena = _shm.ShmArena(arrays)
+    except Exception:
+        return None, None
+    refs = {
+        "entries": [
+            (key, {**meta,
+                   "weights": arena.refs[meta["weights"]],
+                   "residues": arena.refs[meta["residues"]] if meta["residues"] else None})
+            for key, meta in entries
+        ]
+    }
+    _count("shared_cache.entries", len(entries))
+    _count("shared_cache.bytes", arena.nbytes)
+    return arena, refs
+
+
+def rebuild_plan_cache(refs: dict | None) -> Any:
+    """Worker side of :func:`share_plan_cache`: refs -> warm cache of views."""
+    from repro.henn.backend import EncodedTaps
+    from repro.parallel.shm import resolve
+    from repro.utils.cache import PlaintextCache
+
+    cache = PlaintextCache()
+    if not refs:
+        return cache
+    for key, meta in refs["entries"]:
+        enc = EncodedTaps(
+            plain_scale=meta["plain_scale"],
+            weights=resolve(meta["weights"]),
+            consts=list(meta["consts"]),
+            keep=list(meta["keep"]),
+            residues=resolve(meta["residues"]) if meta["residues"] else None,
+        )
+        cache.get_or_encode(key, lambda e=enc: e)
+    return cache
+
+
+# ------------------------------------------------------------------ worker child
+
+
+def _worker_main(index: int, conn: Any, engine_factory: Callable[[], Any],
+                 kill_batches: Sequence[int]) -> None:
+    """Child-process loop: build engine, answer batches until stopped.
+
+    First act: install a *fresh* metrics registry and RNG-free state so
+    a lock the parent held at fork time can never deadlock the child.
+    The engine build (plan compile against the shared cache) is the
+    per-worker warm-up; ``("ready", ...)`` is only sent once it is done,
+    so the pool's ``warming`` state covers the whole expensive part.
+    """
+    from repro.obs import metrics as _metrics
+
+    _metrics.set_registry(_metrics.MetricsRegistry())
+    try:
+        engine = engine_factory()
+    except BaseException as exc:  # noqa: BLE001 - reported, then exit
+        try:
+            conn.send(("spawn_error", None, RuntimeError(type(exc).__name__)))
+        except Exception:
+            pass
+        return
+    try:
+        conn.send(("ready", None, os.getpid()))
+    except Exception:
+        return
+    batches = 0
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind, job_id, payload = msg
+        if kind == "stop":
+            return
+        if kind == "ping":
+            try:
+                conn.send(("pong", job_id, None))
+            except Exception:
+                return
+            continue
+        batches += 1
+        if batches in kill_batches:
+            # Seeded mid-batch death: the job was received but will
+            # never be answered — exactly what failover must absorb.
+            os.kill(os.getpid(), signal.SIGKILL)
+        requests, slots = payload
+        t0 = time.perf_counter()
+        try:
+            assembled = engine.assemble_batch(requests, slots)
+            scores = engine.run_encrypted(assembled)
+            per_request = engine.split_scores(scores, slots)
+            reply = ("result", job_id, (per_request, time.perf_counter() - t0))
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            try:
+                reply = ("error", job_id, exc)
+                conn.send(reply)
+                continue
+            except Exception:
+                reply = ("error", job_id, RuntimeError(f"{type(exc).__name__} (unpicklable)"))
+        try:
+            conn.send(reply)
+        except Exception:
+            return
+
+
+class _Job:
+    """One dispatched batch: payload + the future the dispatcher returned."""
+
+    __slots__ = ("job_id", "requests", "slots", "future", "attempts", "created_at")
+
+    def __init__(self, job_id: int, requests: Sequence[Any], slots: Sequence[int]):
+        self.job_id = job_id
+        self.requests = requests
+        self.slots = list(slots)
+        self.future: Future = Future()
+        self.future.set_running_or_notify_cancel()
+        self.attempts = 0
+        self.created_at = time.monotonic()
+
+
+class ClusterWorker:
+    """Parent-side handle of one engine worker process."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.generation = 0
+        self.proc: Any = None
+        self.conn: Any = None
+        self.state = "warming"
+        self.pid: int | None = None
+        self.send_lock = threading.Lock()
+        self.inflight: dict[int, _Job] = {}
+        self.batches = 0
+        self.faults = 0.0  # decays on success, bumps on death/error
+        self.ewma_seconds = 0.0
+        self.spawned_at = 0.0
+        self.ready_at = 0.0
+        self.ping_sent: float | None = None
+        self.last_pong = 0.0
+
+    # -- health-weighted balancing -------------------------------------------------
+
+    def health(self) -> float:
+        """Dispatch weight in ``(0, 1]``: 1 = pristine, decays with faults."""
+        return 1.0 / (1.0 + self.faults)
+
+    def score(self) -> float:
+        """Selection score: health discounted by queued work."""
+        return self.health() / (1.0 + len(self.inflight))
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "state": self.state,
+            "pid": self.pid,
+            "generation": self.generation,
+            "inflight": len(self.inflight),
+            "batches": self.batches,
+            "health": round(self.health(), 4),
+            "ewma_batch_seconds": round(self.ewma_seconds, 6),
+        }
+
+
+class WorkerPool:
+    """N process-backed engine workers with spawn/respawn lifecycle.
+
+    Parameters
+    ----------
+    engine_factory:
+        Zero-argument callable building the worker's
+        :class:`~repro.henn.inference.HeInferenceEngine`; runs in the
+        child after fork (closures over the parent's backend are fine —
+        fork inheritance carries the key material).
+    size:
+        Worker count.
+    max_inflight:
+        Batches a single worker may hold (1 = strict one-at-a-time;
+        2 lets the pipe hide IPC latency behind the current evaluation).
+    respawn:
+        Respawn dead workers in the background (bounded attempts); with
+        ``False`` a dead worker stays dead — the whole-pool-loss
+        degradation tests rely on this.
+    heartbeat_interval_s / heartbeat_timeout_s:
+        Liveness cadence: every interval the monitor checks
+        ``Process.is_alive`` and pings *idle* workers; an idle worker
+        whose pong is overdue by the timeout is SIGKILLed and treated
+        as dead (a hung worker is as lost as a crashed one).
+    spawn_timeout_s:
+        Budget for one worker to report ready before spawn counts as
+        failed.
+    respawn_max_attempts:
+        Spawn attempts per death before that slot is abandoned; when
+        every slot is abandoned the pool reports itself lost.
+    fault_injector:
+        Optional seeded :class:`~repro.resilience.FaultInjector` (armed
+        via ``kill_cluster_worker``); consulted parent-side at every
+        (re)spawn, handing matching armed kills to the child as an
+        explicit SIGKILL schedule.
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable[[], Any],
+        size: int = 3,
+        *,
+        max_inflight: int = 1,
+        respawn: bool = True,
+        heartbeat_interval_s: float = 0.25,
+        heartbeat_timeout_s: float = 10.0,
+        spawn_timeout_s: float = 120.0,
+        respawn_max_attempts: int = 3,
+        fault_injector: Any | None = None,
+        shared_cache_refs: dict | None = None,
+        name: str = "cluster",
+    ):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.engine_factory = engine_factory
+        self.size = int(size)
+        self.max_inflight = int(max_inflight)
+        self.respawn = respawn
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self.spawn_timeout_s = float(spawn_timeout_s)
+        self.respawn_max_attempts = int(respawn_max_attempts)
+        self.fault_injector = fault_injector
+        self.shared_cache_refs = shared_cache_refs
+        self.name = name
+        self.cond = threading.Condition()
+        self.workers = [ClusterWorker(i) for i in range(self.size)]
+        self._closed = False
+        self._abandoned: set[int] = set()
+        self._respawns = 0
+        self._deaths = 0
+        #: Dispatcher callback for jobs orphaned by a worker death.
+        self.on_job_orphaned: Callable[[_Job], None] | None = None
+        self._ctx = None
+        if _mp is not None:
+            try:
+                self._ctx = _mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                self._ctx = _mp.get_context()
+        self._recv_threads: dict[int, threading.Thread] = {}
+        self._monitor = threading.Thread(
+            target=self._heartbeat_loop, name=f"{name}-heartbeat", daemon=True
+        )
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Spawn every worker and start the heartbeat monitor."""
+        for worker in self.workers:
+            self._spawn(worker)
+        self._monitor.start()
+        get_registry().gauge("cluster.pool.size").set(self.size)
+        return self
+
+    def _spawn(self, worker: ClusterWorker) -> None:
+        """Fork one worker (caller ensures the slot is free); may raise."""
+        if self._ctx is None:
+            raise ClusterUnavailableError("multiprocessing unavailable")
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        factory = self.engine_factory
+        if self.shared_cache_refs is not None:
+            factory = _SharedCacheFactory(factory, self.shared_cache_refs)
+        kill_batches: list[int] = []
+        if self.fault_injector is not None:
+            kill_batches = self.fault_injector.take_cluster_kills(worker.index)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker.index, child_conn, factory, kill_batches),
+            name=f"{self.name}-worker-{worker.index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent's copy must go or EOF never arrives
+        with self.cond:
+            worker.generation += 1
+            worker.proc = proc
+            worker.conn = parent_conn
+            worker.pid = proc.pid
+            worker.state = "warming"
+            worker.inflight = {}
+            worker.spawned_at = time.monotonic()
+            worker.ping_sent = None
+            self._publish(worker)
+        thread = threading.Thread(
+            target=self._recv_loop,
+            args=(worker, worker.generation),
+            name=f"{self.name}-recv-{worker.index}",
+            daemon=True,
+        )
+        self._recv_threads[worker.index] = thread
+        thread.start()
+
+    def wait_ready(self, timeout: float | None = None, count: int | None = None) -> bool:
+        """Block until *count* workers (default: all) report ready."""
+        want = self.size if count is None else count
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.cond:
+            while sum(1 for w in self.workers if w.state == "ready") < want:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                if self._closed:
+                    return False
+                self.cond.wait(timeout=remaining)
+            return True
+
+    def close(self) -> None:
+        """Stop every worker (idempotent): polite stop, then SIGKILL."""
+        with self.cond:
+            if self._closed:
+                return
+            self._closed = True
+            self.cond.notify_all()
+        for worker in self.workers:
+            conn, proc = worker.conn, worker.proc
+            if conn is not None:
+                try:
+                    with worker.send_lock:
+                        conn.send(("stop", None, None))
+                except Exception:
+                    pass
+            if proc is not None:
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=2.0)
+            if conn is not None:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            with self.cond:
+                worker.state = "dead"
+        for thread in self._recv_threads.values():
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- receive / death ------------------------------------------------------------
+
+    def _recv_loop(self, worker: ClusterWorker, generation: int) -> None:
+        conn = worker.conn
+        reg = get_registry()
+        while True:
+            try:
+                kind, job_id, payload = conn.recv()
+            except (EOFError, OSError):
+                self._handle_death(worker, generation)
+                return
+            if kind == "ready":
+                with self.cond:
+                    if worker.generation != generation:
+                        return
+                    worker.state = "ready"
+                    worker.ready_at = time.monotonic()
+                    self._publish(worker)
+                    self.cond.notify_all()
+                reg.histogram("cluster.worker.warmup_seconds").observe(
+                    worker.ready_at - worker.spawned_at
+                )
+                continue
+            if kind == "spawn_error":
+                # The child could not build its engine; it exits next,
+                # which lands in the EOF path -> death handling.
+                continue
+            if kind == "pong":
+                with self.cond:
+                    worker.last_pong = time.monotonic()
+                    worker.ping_sent = None
+                continue
+            # result / error for one job
+            with self.cond:
+                job = worker.inflight.pop(job_id, None)
+                if job is not None:
+                    worker.batches += 1
+                    worker.faults = max(0.0, worker.faults * 0.5 - 0.05)
+                    self._publish(worker)
+                    self.cond.notify_all()
+            if job is None:
+                continue  # job was already failed over elsewhere
+            if kind == "result":
+                per_request, seconds = payload
+                with self.cond:
+                    worker.ewma_seconds = (
+                        seconds if worker.ewma_seconds == 0.0
+                        else 0.8 * worker.ewma_seconds + 0.2 * seconds
+                    )
+                reg.histogram("cluster.batch.seconds").observe(seconds)
+                if not job.future.cancelled():
+                    job.future.set_result(per_request)
+            else:  # error: the evaluation itself failed — not a worker loss
+                with self.cond:
+                    worker.faults += 0.5
+                    self._publish(worker)
+                if not job.future.cancelled():
+                    job.future.set_exception(payload)
+
+    def _handle_death(self, worker: ClusterWorker, generation: int) -> None:
+        """Mark a worker dead, orphan its jobs, kick off the respawn."""
+        with self.cond:
+            if self._closed or worker.generation != generation:
+                return
+            if worker.state == "dead":
+                return
+            worker.state = "dead"
+            worker.faults += 1.0
+            orphans = list(worker.inflight.values())
+            worker.inflight = {}
+            self._deaths += 1
+            self._publish(worker)
+            self.cond.notify_all()
+        _count("worker.deaths")
+        get_registry().counter(
+            "cluster.worker.deaths_by", {"worker": worker.index}
+        ).inc()
+        for job in orphans:
+            if self.on_job_orphaned is not None:
+                self.on_job_orphaned(job)
+            else:
+                job.future.set_exception(
+                    WorkerLostError(f"worker {worker.index} died mid-batch")
+                )
+        if self.respawn:
+            threading.Thread(
+                target=self._respawn_loop,
+                args=(worker,),
+                name=f"{self.name}-respawn-{worker.index}",
+                daemon=True,
+            ).start()
+        else:
+            with self.cond:
+                self._abandoned.add(worker.index)
+                self.cond.notify_all()
+
+    def _respawn_loop(self, worker: ClusterWorker) -> None:
+        backoff = 0.05
+        for attempt in range(1, self.respawn_max_attempts + 1):
+            with self.cond:
+                if self._closed:
+                    return
+                worker.state = "respawning"
+                self._publish(worker)
+            try:
+                self._spawn(worker)
+            except Exception:
+                time.sleep(backoff)
+                backoff = min(1.0, backoff * 2)
+                continue
+            self._respawns += 1
+            _count("respawns")
+            if self._await_ready(worker, self.spawn_timeout_s):
+                return
+            # spawned but never became ready: kill and try again
+            with self.cond:
+                proc = worker.proc
+            if proc is not None and proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
+        with self.cond:
+            worker.state = "dead"
+            self._abandoned.add(worker.index)
+            self._publish(worker)
+            self.cond.notify_all()
+
+    def _await_ready(self, worker: ClusterWorker, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        with self.cond:
+            while worker.state == "warming":
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self.cond.wait(timeout=remaining)
+            return worker.state == "ready"
+
+    # -- heartbeat -------------------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        while True:
+            with self.cond:
+                if self._closed:
+                    return
+            time.sleep(self.heartbeat_interval_s)
+            now = time.monotonic()
+            for worker in self.workers:
+                with self.cond:
+                    state, proc, generation = worker.state, worker.proc, worker.generation
+                if state not in ("ready", "warming") or proc is None:
+                    continue
+                if not proc.is_alive():
+                    self._handle_death(worker, generation)
+                    continue
+                if state != "ready":
+                    continue
+                with self.cond:
+                    idle = not worker.inflight
+                    overdue = (
+                        worker.ping_sent is not None
+                        and now - worker.ping_sent > self.heartbeat_timeout_s
+                    )
+                if overdue and idle:
+                    # Idle but unresponsive: as lost as crashed.
+                    _count("heartbeat.kills")
+                    proc.kill()  # death lands in the receiver's EOF path
+                    continue
+                if idle and worker.ping_sent is None:
+                    try:
+                        with worker.send_lock:
+                            worker.conn.send(("ping", None, None))
+                        with self.cond:
+                            worker.ping_sent = now
+                    except Exception:
+                        self._handle_death(worker, generation)
+
+    # -- selection / introspection ----------------------------------------------------
+
+    def acquire(self, job: _Job) -> ClusterWorker | None:
+        """Assign *job* to the best available worker (caller holds no lock).
+
+        Health-weighted: among workers in ``ready`` state with spare
+        in-flight capacity, the highest ``health / (1 + inflight)``
+        score wins.  Returns ``None`` when nobody can take the job.
+        """
+        with self.cond:
+            candidates = [
+                w
+                for w in self.workers
+                if w.state == "ready" and len(w.inflight) < self.max_inflight
+            ]
+            if not candidates:
+                return None
+            worker = max(candidates, key=lambda w: (w.score(), -w.index))
+            worker.inflight[job.job_id] = job
+            self._publish(worker)
+            return worker
+
+    def release_without_send(self, worker: ClusterWorker, job: _Job) -> None:
+        """Undo :meth:`acquire` after a failed pipe send."""
+        with self.cond:
+            worker.inflight.pop(job.job_id, None)
+            self._publish(worker)
+            self.cond.notify_all()
+
+    def live_count(self) -> int:
+        with self.cond:
+            return sum(1 for w in self.workers if w.state in ("ready", "warming", "respawning"))
+
+    def is_lost(self) -> bool:
+        """True when no worker is alive and none will come back."""
+        with self.cond:
+            if any(w.state in ("ready", "warming", "respawning") for w in self.workers):
+                return False
+            return not self.respawn or len(self._abandoned) >= self.size
+
+    def saturation(self) -> float:
+        """Busy fraction in [0, 1]; 1.0 when nobody is ready (shed hard)."""
+        with self.cond:
+            ready = [w for w in self.workers if w.state == "ready"]
+            if not ready:
+                return 1.0
+            capacity = len(ready) * self.max_inflight
+            busy = sum(len(w.inflight) for w in ready)
+            value = busy / capacity
+        get_registry().gauge("cluster.saturation").set(value)
+        return value
+
+    def _publish(self, worker: ClusterWorker) -> None:
+        """Per-worker gauges (caller holds the lock)."""
+        reg = get_registry()
+        labels = {"worker": worker.index}
+        reg.gauge("cluster.worker.state", labels).set(WORKER_STATES.index(worker.state))
+        reg.gauge("cluster.worker.health", labels).set(worker.health())
+        reg.gauge("cluster.worker.inflight", labels).set(len(worker.inflight))
+        reg.gauge("cluster.workers.ready").set(
+            sum(1 for w in self.workers if w.state == "ready")
+        )
+
+    def stats(self) -> dict[str, Any]:
+        with self.cond:
+            return {
+                "size": self.size,
+                "ready": sum(1 for w in self.workers if w.state == "ready"),
+                "live": sum(
+                    1 for w in self.workers if w.state in ("ready", "warming", "respawning")
+                ),
+                "deaths": self._deaths,
+                "respawns": self._respawns,
+                "lost": not self.respawn
+                and all(w.state == "dead" for w in self.workers)
+                or len(self._abandoned) >= self.size,
+                "max_inflight": self.max_inflight,
+                "shared_cache": self.shared_cache_refs is not None,
+                "workers": [w.describe() for w in self.workers],
+            }
+
+    @property
+    def closed(self) -> bool:
+        with self.cond:
+            return self._closed
+
+
+class _SharedCacheFactory:
+    """Engine factory wrapper resolving the shm plan cache in the child."""
+
+    __slots__ = ("factory", "refs")
+
+    def __init__(self, factory: Callable[[], Any], refs: dict):
+        self.factory = factory
+        self.refs = refs
+
+    def __call__(self) -> Any:
+        cache = rebuild_plan_cache(self.refs)
+        return self.factory(cache)
+
+
+class Dispatcher:
+    """Routes batches to pool workers; absorbs worker death.
+
+    Parameters
+    ----------
+    pool:
+        The started :class:`WorkerPool`.
+    policy:
+        Failover budget: ``max_retries`` extra dispatch attempts per
+        batch after a worker loss, with the policy's seeded backoff
+        between attempts (reusing
+        :class:`~repro.resilience.ResiliencePolicy` exactly as the
+        channel-level executor does).
+    fallback:
+        ``(requests, slots) -> per_request_results`` evaluated
+        in-process when the whole pool is lost — the serial
+        degradation tier.  ``None`` fails such batches with the
+        retryable :class:`~repro.serving.errors.ClusterUnavailableError`.
+    dispatch_timeout_s:
+        Longest one batch may wait for a free worker before the
+        dispatcher answers with retryable overload backpressure.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        *,
+        policy: ResiliencePolicy | None = None,
+        fallback: Callable[[Sequence[Any], Sequence[int]], Sequence[Any]] | None = None,
+        dispatch_timeout_s: float = 60.0,
+    ):
+        self.pool = pool
+        self.policy = policy or ResiliencePolicy(max_retries=2)
+        self.fallback = fallback
+        self.dispatch_timeout_s = float(dispatch_timeout_s)
+        self._job_ids = itertools.count(1)
+        self._rng = random.Random(self.policy.seed)
+        self._degraded = False
+        pool.on_job_orphaned = self._on_orphaned
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def dispatch(self, requests: Sequence[Any], slots: Sequence[int]) -> Future:
+        """Hand one batch to the pool; returns the future of its results.
+
+        Blocks the caller (the scheduler's batcher thread) until the
+        batch is *assigned* — so under saturation, requests pile up in
+        the scheduler's queue where the shedding tiers can see them,
+        instead of in a hidden dispatcher backlog.
+        """
+        job = _Job(next(self._job_ids), list(requests), list(slots))
+        _count("dispatches")
+        self._assign(job, first=True)
+        return job.future
+
+    def _assign(self, job: _Job, first: bool) -> None:
+        """Place *job* on a worker / the fallback, or fail its future."""
+        deadline = time.monotonic() + self.dispatch_timeout_s
+        while True:
+            if self.pool.closed:
+                job.future.set_exception(SchedulerClosedError("cluster pool is closed"))
+                return
+            if self.pool.is_lost():
+                self._run_fallback(job)
+                return
+            worker = self.pool.acquire(job)
+            if worker is not None:
+                if self._send(worker, job):
+                    return
+                continue  # send broke the pipe: pick another worker
+            with self.pool.cond:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self.pool.cond.wait(timeout=min(remaining, 0.25))
+        if first:
+            job.future.set_exception(
+                ServiceOverloadedError("no worker accepted the batch in time")
+            )
+        else:
+            job.future.set_exception(
+                WorkerLostError("failover found no worker in time")
+            )
+
+    def _send(self, worker: ClusterWorker, job: _Job) -> bool:
+        try:
+            with worker.send_lock:
+                worker.conn.send(("batch", job.job_id, (job.requests, job.slots)))
+            return True
+        except Exception:
+            self.pool.release_without_send(worker, job)
+            self.pool._handle_death(worker, worker.generation)
+            return False
+
+    # -- failover -------------------------------------------------------------------
+
+    def _on_orphaned(self, job: _Job) -> None:
+        """Pool callback: a worker died holding *job*; requeue or fail it.
+
+        Runs on a receiver thread — the actual reassignment moves to a
+        short-lived daemon thread so pipe reads never block on pool
+        capacity.
+        """
+        job.attempts += 1
+        if job.attempts > self.policy.max_retries:
+            _count("failovers.exhausted")
+            job.future.set_exception(
+                WorkerLostError(
+                    f"batch lost {job.attempts} worker(s); retry budget spent"
+                )
+            )
+            return
+        _count("failovers")
+        threading.Thread(
+            target=self._redispatch, args=(job,), name="cluster-failover", daemon=True
+        ).start()
+
+    def _redispatch(self, job: _Job) -> None:
+        time.sleep(self.policy.backoff_delay(job.attempts, self._rng))
+        self._assign(job, first=False)
+
+    def _run_fallback(self, job: _Job) -> None:
+        """Whole-pool loss: evaluate in-process, or fail retryably."""
+        if self.fallback is None:
+            job.future.set_exception(
+                ClusterUnavailableError("worker pool lost and no serial fallback")
+            )
+            return
+        if not self._degraded:
+            self._degraded = True
+            get_registry().gauge("cluster.degraded").set(1)
+        _count("degraded_serial")
+        try:
+            job.future.set_result(self.fallback(job.requests, job.slots))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the future
+            job.future.set_exception(exc)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the dispatcher has served at least one batch serially."""
+        return self._degraded

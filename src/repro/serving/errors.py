@@ -11,8 +11,12 @@ from __future__ import annotations
 __all__ = [
     "ServingError",
     "ServiceOverloadedError",
+    "ServiceShedError",
     "SchedulerClosedError",
+    "DrainTimeoutError",
     "RequestValidationError",
+    "WorkerLostError",
+    "ClusterUnavailableError",
 ]
 
 
@@ -38,10 +42,51 @@ class SchedulerClosedError(ServingError):
     """
 
 
+class ServiceShedError(ServingError):
+    """The hard shedding tier rejected the request outright.
+
+    Unlike :class:`ServiceOverloadedError` this is the *load-shedding
+    endgame*: the queue and the worker pool are both saturated beyond
+    the retryable tier, so an immediate resubmit is guaranteed to be
+    wasted work.  Deliberately **not** retryable — clients should route
+    elsewhere or surface the failure, not pile on.
+    """
+
+
+class DrainTimeoutError(ServingError):
+    """Shutdown drain gave up before this request could be evaluated.
+
+    Raised into every future still pending when
+    :meth:`~repro.serving.scheduler.BatchingScheduler.close` exhausts
+    its drain ``timeout``.  Retryable by design: the request itself was
+    fine, the service instance simply went away — resubmitting against
+    a healthy replica succeeds.
+    """
+
+
 class RequestValidationError(ServingError):
     """A request was rejected at admission (shape / level / scale).
 
     Raised *before* the request joins a batch: a poisoned request must
     fail alone, never its batchmates.  Not retryable — resubmitting the
     same malformed ciphertexts cannot succeed.
+    """
+
+
+class WorkerLostError(ServingError):
+    """An engine worker died (or its pipe broke) while holding a batch.
+
+    The dispatcher raises this into a batch's future only after the
+    failover retry budget is spent — a single worker death is normally
+    absorbed by requeueing onto a survivor.  Retryable: the request
+    ciphertexts were never the problem.
+    """
+
+
+class ClusterUnavailableError(ServingError):
+    """No live worker remains and serial degradation is disabled.
+
+    The whole-pool-loss terminal state: every worker is dead, respawn
+    is not succeeding, and the dispatcher has no in-process fallback to
+    degrade to.  Retryable — a supervisor may yet restore the pool.
     """

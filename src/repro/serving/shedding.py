@@ -1,0 +1,92 @@
+"""Tiered overload shedding: accept -> defer -> reject -> shed.
+
+A single hard queue bound (PR 5's ``max_queue_depth``) answers every
+overload the same way; under a sustained spike that is either too eager
+(rejecting load a draining queue could still absorb) or too polite
+(accepting requests that will time out anyway while the pool is
+saturated).  :class:`ShedPolicy` grades the response into four tiers,
+driven by a single *load index* combining queue fill and worker-pool
+saturation:
+
+* ``accept`` — normal admission.
+* ``defer`` — admit, but stamp the request with a shedding deadline:
+  if no batch picks it up within ``defer_deadline_s`` the scheduler
+  fails it with the retryable overload error instead of evaluating a
+  request whose client has likely given up.
+* ``reject`` — retryable :class:`~repro.serving.errors.ServiceOverloadedError`
+  at admission (the PR 5 backpressure signal, now fired *before* the
+  queue is completely full).
+* ``shed`` — non-retryable :class:`~repro.serving.errors.ServiceShedError`:
+  queue and pool are saturated beyond recovery-by-retry, so clients
+  must route elsewhere rather than pile on.
+
+Telemetry: the ``serving.shed.tier`` gauge tracks the tier of the most
+recent admission decision (0–3), and ``serving.shed.deferred`` /
+``serving.shed.rejected`` / ``serving.shed.hard`` /
+``serving.shed.expired`` counters record every non-accept outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ShedPolicy", "SHED_TIERS"]
+
+#: Tier names in escalation order; index = the ``serving.shed.tier`` gauge value.
+SHED_TIERS = ("accept", "defer", "reject", "shed")
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Thresholds of the tiered shedding ladder.
+
+    The load index is ``queue_fill + saturation_weight * saturation``
+    where ``queue_fill`` is the admission queue's fill fraction and
+    ``saturation`` is the worker pool's busy fraction (0 when unknown).
+    A policy therefore starts shedding *earlier* when the pool is
+    already saturated — queue depth alone lags the actual overload.
+
+    Attributes
+    ----------
+    defer_fill:
+        Load index at which admissions are deferred-with-deadline.
+    reject_fill:
+        Load index at which admissions get the retryable overload error.
+    shed_fill:
+        Load index at which admissions are hard-shed (non-retryable).
+    saturation_weight:
+        How strongly pool saturation advances the ladder (0 disables).
+    defer_deadline_s:
+        Extra queueing a deferred request tolerates before the
+        scheduler expires it with the retryable overload error.
+    """
+
+    defer_fill: float = 0.5
+    reject_fill: float = 0.8
+    shed_fill: float = 1.0
+    saturation_weight: float = 0.5
+    defer_deadline_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.defer_fill <= self.reject_fill <= self.shed_fill:
+            raise ValueError("need 0 <= defer_fill <= reject_fill <= shed_fill")
+        if self.saturation_weight < 0:
+            raise ValueError("saturation_weight must be >= 0")
+        if self.defer_deadline_s <= 0:
+            raise ValueError("defer_deadline_s must be positive")
+
+    def load_index(self, queue_depth: int, max_depth: int, saturation: float) -> float:
+        """The scalar the tier thresholds are compared against."""
+        fill = queue_depth / max_depth if max_depth > 0 else 1.0
+        return fill + self.saturation_weight * max(0.0, min(1.0, saturation))
+
+    def tier(self, queue_depth: int, max_depth: int, saturation: float = 0.0) -> str:
+        """Tier name for one admission decision (see :data:`SHED_TIERS`)."""
+        load = self.load_index(queue_depth, max_depth, saturation)
+        if load >= self.shed_fill:
+            return "shed"
+        if load >= self.reject_fill:
+            return "reject"
+        if load >= self.defer_fill:
+            return "defer"
+        return "accept"

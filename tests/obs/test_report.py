@@ -4,7 +4,7 @@ import numpy as np
 
 from repro import obs
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.report import aggregate_spans, layer_rows, render_report
+from repro.obs.report import aggregate_spans, cluster_rows, layer_rows, render_report
 from repro.obs.tracer import Tracer
 
 
@@ -65,6 +65,23 @@ def test_render_report_contains_primitive_and_layer_sections():
 def test_render_report_empty_tracer_is_safe():
     text = render_report(Tracer())
     assert "per-primitive breakdown" in text
+
+
+def test_cluster_rows_summarise_pool_metrics():
+    reg = MetricsRegistry()
+    reg.counter("cluster.dispatches").inc(5)
+    reg.counter("cluster.failovers").inc()
+    reg.gauge("cluster.workers.ready").set(3)
+    reg.histogram("cluster.batch.seconds").observe(0.2)
+    reg.counter("serving.requests", {"outcome": "ok"}).inc()  # filtered out
+    rows = cluster_rows(reg)
+    names = [r[0] for r in rows]
+    assert "cluster.dispatches" in names
+    assert "cluster.workers.ready" in names
+    assert "cluster.batch.seconds" in names
+    assert all(n.startswith("cluster.") for n in names)
+    text = render_report(Tracer(), reg)
+    assert "worker pool (dispatch / failover / respawn)" in text
 
 
 def test_engine_trace_report_end_to_end():

@@ -1,0 +1,225 @@
+"""The serving cluster: pool lifecycle, failover, gateway integration.
+
+The robustness acceptance of PR 7 lives here: a worker SIGKILLed
+mid-batch must never drop a future — every submitted request resolves
+with correct scores or a retryable error, the dead worker respawns, and
+the survivors keep serving.  All assertions are count-based (deaths,
+respawns, resolved futures), never timing-based.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.henn.backend import MockBackend
+from repro.henn.layers import HeConv2d, HeFlatten, HeLinear, HePoly
+from repro.henn.protocol import Client, ClusteredCloudService, CloudService
+from repro.resilience import FaultInjector
+from repro.serving.cluster import WorkerPool, _Job
+from repro.serving.shedding import ShedPolicy
+
+SHAPE = (1, 6, 6)
+
+
+@pytest.fixture(scope="module")
+def layers():
+    rng = np.random.default_rng(0)
+    return [
+        HeConv2d(rng.normal(0, 0.4, (2, 1, 3, 3)), np.zeros(2), stride=2),
+        HePoly([0.1, 0.5, 0.25]),
+        HeFlatten(),
+        HeLinear(rng.normal(0, 0.3, (10, 8)), np.zeros(10)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.random.default_rng(1).uniform(0, 1, (8, 1, 6, 6))
+
+
+def _mock():
+    return MockBackend(batch=8, levels=6)
+
+
+def _wait(predicate, timeout=20.0, interval=0.05):
+    """Poll until *predicate* is truthy; the per-test watchdog still
+    bounds the whole test, this just keeps assertions count-based."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# -- gateway end to end ------------------------------------------------------
+
+
+def test_cluster_scores_bit_identical_to_serial(layers, images):
+    backend = _mock()
+    client = Client(backend, SHAPE)
+    serial = CloudService(backend, layers, SHAPE)
+    encs = [client.encrypt_request(images[i : i + 1]) for i in range(4)]
+    want = [client.decrypt_response(serial.classify_encrypted(e), batch=1) for e in encs]
+    with ClusteredCloudService(
+        backend, layers, SHAPE, workers=2, max_wait_ms=10.0
+    ) as gateway:
+        futures = [gateway.submit(e) for e in encs]
+        responses = [f.result(timeout=60) for f in futures]
+    for response, expected in zip(responses, want):
+        assert response.ok, response.error
+        got = client.decrypt_response(response.scores, batch=1)
+        assert np.array_equal(got, expected)
+
+
+def test_healthz_reports_pool_and_shed_tier(layers, images):
+    backend = _mock()
+    client = Client(backend, SHAPE)
+    with ClusteredCloudService(
+        backend, layers, SHAPE, workers=2, max_wait_ms=5.0
+    ) as gateway:
+        gateway.try_classify(client.encrypt_request(images[:1]))
+        status = gateway._health()
+        cluster = status["cluster"]
+        assert cluster["size"] == 2
+        assert cluster["ready"] == 2
+        assert cluster["shed_tier"] in ("accept", "defer", "reject", "shed")
+        assert cluster["degraded_serial"] is False
+        states = {w["state"] for w in cluster["workers"]}
+        assert states <= {"warming", "ready", "dead", "respawning"}
+        assert all("health" in w and "inflight" in w for w in cluster["workers"])
+        assert status["serving"]["shed_tiers"] is True  # ShedPolicy on by default
+
+
+@pytest.mark.faults
+def test_worker_killed_mid_batch_never_drops_a_future(layers, images):
+    """Acceptance: SIGKILL one of the workers as it starts a batch; every
+    submitted future still resolves (correct scores — the batch fails
+    over to a survivor), the death is counted, and the dead worker
+    respawns and reports ready again."""
+    backend = _mock()
+    client = Client(backend, SHAPE)
+    serial = CloudService(backend, layers, SHAPE)
+    injector = FaultInjector(seed=7).kill_cluster_worker(worker=0, on_batch=1)
+    with ClusteredCloudService(
+        backend,
+        layers,
+        SHAPE,
+        workers=2,
+        max_wait_ms=5.0,
+        fault_injector=injector,
+    ) as gateway:
+        resolved = 0
+        for i in range(6):
+            enc = client.encrypt_request(images[i : i + 1])
+            want = client.decrypt_response(serial.classify_encrypted(enc), batch=1)
+            response = gateway.submit(enc).result(timeout=60)
+            assert response.ok, response.error
+            got = client.decrypt_response(response.scores, batch=1)
+            assert np.array_equal(got, want)
+            resolved += 1
+        assert resolved == 6  # zero dropped futures
+        stats = gateway.pool.stats()
+        assert stats["deaths"] == 1
+        assert injector.summary().get("cluster.kill") == 1
+        # The dead worker comes back: both slots ready again.
+        assert _wait(lambda: gateway.pool.stats()["ready"] == 2)
+        assert gateway.pool.stats()["respawns"] == 1
+        assert gateway.dispatcher.degraded is False
+
+
+@pytest.mark.faults
+def test_respawned_worker_serves_again(layers, images):
+    """After the failover, the *respawned* worker must take traffic —
+    counted via its per-worker batch counter, not timing."""
+    backend = _mock()
+    client = Client(backend, SHAPE)
+    injector = FaultInjector(seed=3).kill_cluster_worker(worker=0, on_batch=1)
+    with ClusteredCloudService(
+        backend,
+        layers,
+        SHAPE,
+        workers=1,  # single worker: respawn is the only way forward
+        max_wait_ms=5.0,
+        fault_injector=injector,
+    ) as gateway:
+        enc = client.encrypt_request(images[:1])
+        response = gateway.submit(enc).result(timeout=60)
+        assert response.ok, response.error  # served by the respawned generation
+        worker = gateway.pool.stats()["workers"][0]
+        assert worker["generation"] == 2
+        assert worker["batches"] >= 1
+
+
+# -- pool / dispatcher units -------------------------------------------------
+
+
+def _trivial_engine_factory():
+    class _Engine:
+        def assemble_batch(self, requests, slots):
+            return requests
+
+        def run_encrypted(self, enc):
+            return [np.asarray(r) * 2 for r in enc]
+
+        def split_scores(self, scores, slots):
+            return scores
+
+    return _Engine()
+
+
+def test_pool_health_weighted_acquire_prefers_idle_and_healthy():
+    pool = WorkerPool(_trivial_engine_factory, size=3, max_inflight=2)
+    try:
+        pool.start()
+        assert pool.wait_ready(timeout=30.0)
+        # Load worker 0 and mark worker 1 faulty; worker 2 must win.
+        pool.workers[0].inflight = {99: object()}
+        pool.workers[1].faults = 2.0
+        job = _Job(1, [], [1])
+        chosen = pool.acquire(job)
+        assert chosen is pool.workers[2]
+        pool.release_without_send(chosen, job)
+    finally:
+        pool.close()
+
+
+def test_pool_saturation_tracks_busy_fraction():
+    pool = WorkerPool(_trivial_engine_factory, size=2, max_inflight=1)
+    try:
+        pool.start()
+        assert pool.wait_ready(timeout=30.0)
+        assert pool.saturation() == 0.0
+        pool.workers[0].inflight = {1: object()}
+        assert pool.saturation() == 0.5
+        pool.workers[0].inflight = {}
+    finally:
+        pool.close()
+
+
+def test_pool_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        WorkerPool(_trivial_engine_factory, size=0)
+    with pytest.raises(ValueError):
+        WorkerPool(_trivial_engine_factory, size=1, max_inflight=0)
+
+
+def test_shed_policy_reaches_cluster_gateway(layers, images):
+    """The cluster gateway's admission walks the tiered ladder: with a
+    zero-capacity-style policy every submit sheds hard."""
+    backend = _mock()
+    client = Client(backend, SHAPE)
+    with ClusteredCloudService(
+        backend,
+        layers,
+        SHAPE,
+        workers=1,
+        shed_policy=ShedPolicy(defer_fill=0.0, reject_fill=0.0, shed_fill=0.0),
+    ) as gateway:
+        response = gateway.try_classify(client.encrypt_request(images[:1]))
+        assert not response.ok
+        assert response.error.code == "ServiceShedError"
+        assert response.error.retryable is False

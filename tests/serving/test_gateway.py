@@ -331,12 +331,62 @@ def test_retry_backs_off_through_overload(images):
     cloud = _FlakyCloud(overloaded_calls=2, then=_ok_response(backend))
     t0 = time.perf_counter()
     logits = client.classify_with_retry(
-        cloud, images[:1], max_attempts=3, backoff_seconds=0.02
+        cloud, images[:1], max_attempts=3, backoff_seconds=0.02, jitter=0.0
     )
     elapsed = time.perf_counter() - t0
     assert logits.shape == (1, 10)
     assert cloud.calls == 3
-    assert elapsed >= 0.02 + 0.04  # exponential: 20 ms then 40 ms
+    assert elapsed >= 0.02 + 0.04  # jitter off: exponential 20 ms then 40 ms
+
+
+def test_retry_full_jitter_desynchronizes_clients(images):
+    """Full jitter draws each backoff uniformly from [0, base]: two
+    clients seeded differently must not sleep the same schedule (the
+    lockstep herd is the failure mode jitter exists to break)."""
+    backend = _mock()
+    client = Client(backend, SHAPE)
+
+    def sleeps(seed):
+        cloud = _FlakyCloud(overloaded_calls=2, then=_ok_response(backend))
+        recorded = []
+        original = time.sleep
+        try:
+            time.sleep = recorded.append
+            client.classify_with_retry(
+                cloud, images[:1], max_attempts=3, backoff_seconds=0.5, seed=seed
+            )
+        finally:
+            time.sleep = original
+        return recorded
+
+    a, b = sleeps(seed=1), sleeps(seed=2)
+    assert a == sleeps(seed=1)  # seeded: reproducible
+    assert a != b  # different seeds: desynchronized
+    for delays in (a, b):
+        for k, delay in enumerate(delays):
+            assert 0.0 <= delay <= 0.5 * 2**k  # full jitter stays under base
+
+
+def test_retry_max_elapsed_caps_total_backoff(images):
+    """The client must give up before sleeping past its own deadline,
+    surfacing the last sanitised error instead of hanging."""
+    backend = _mock()
+    client = Client(backend, SHAPE)
+    cloud = _FlakyCloud(overloaded_calls=99, then=_ok_response(backend))
+    t0 = time.perf_counter()
+    with pytest.raises(ProtocolError) as info:
+        client.classify_with_retry(
+            cloud,
+            images[:1],
+            max_attempts=50,
+            backoff_seconds=0.2,
+            jitter=0.0,
+            max_elapsed=0.25,
+        )
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 2.0  # nowhere near the 50-attempt schedule
+    assert cloud.calls < 50
+    assert info.value.error.category == "overload"
 
 
 def test_retry_gives_up_after_max_attempts_of_overload(images):

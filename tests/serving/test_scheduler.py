@@ -7,9 +7,12 @@ import time
 
 import pytest
 
+from concurrent.futures import Future
+
 from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.serving import (
     BatchingScheduler,
+    DrainTimeoutError,
     SchedulerClosedError,
     ServiceOverloadedError,
 )
@@ -227,3 +230,101 @@ def test_concurrent_submitters_never_drop_a_future():
     assert stats["requests_completed"] + stats["requests_rejected"] >= len(
         [o for o in outcomes if o[1] != "closed"]
     )
+
+
+# -- bounded drain: no future ever hangs past close(timeout=...) --------------
+
+
+def test_drain_timeout_fails_stranded_pipelined_batch_retryable():
+    """Regression (PR 7): a pipelined batch whose dispatcher future never
+    completes — a wedged worker pool — must not hang close(drain=True);
+    past the timeout every future fails with the retryable
+    DrainTimeoutError."""
+    stuck: list[Future] = []
+
+    def never_completes(payloads, slots):
+        fut: Future = Future()
+        stuck.append(fut)
+        return fut
+
+    sched = BatchingScheduler(never_completes, max_batch_slots=4, max_wait_ms=0.0)
+    futures = [sched.submit(i) for i in range(3)]
+    t0 = time.perf_counter()
+    sched.close(drain=True, timeout=0.3)
+    assert time.perf_counter() - t0 < 5.0  # bounded, not a hang
+    for future in futures:
+        with pytest.raises(DrainTimeoutError):
+            future.result(timeout=1.0)
+
+
+def test_drain_timeout_fails_stuck_sync_callback_futures():
+    """Same guarantee when the batch is stuck *inside* a synchronous
+    process_batch call rather than parked with a dispatcher."""
+    release = threading.Event()
+
+    def stuck_callback(payloads, slots):
+        release.wait(timeout=10.0)
+        return list(payloads)
+
+    sched = BatchingScheduler(stuck_callback, max_batch_slots=4, max_wait_ms=0.0)
+    future = sched.submit("wedged")
+    t0 = time.perf_counter()
+    sched.close(drain=True, timeout=0.3)
+    assert time.perf_counter() - t0 < 5.0
+    with pytest.raises(DrainTimeoutError):
+        future.result(timeout=1.0)
+    release.set()  # unblock the worker thread for teardown
+
+
+def test_drain_completes_within_timeout_resolves_normally():
+    """The timeout is a bound, not a delay: a healthy dispatcher that
+    answers promptly drains every future with its real result."""
+    def prompt_dispatch(payloads, slots):
+        fut: Future = Future()
+        threading.Timer(0.02, fut.set_result, args=([p * 2 for p in payloads],)).start()
+        return fut
+
+    sched = BatchingScheduler(prompt_dispatch, max_batch_slots=4, max_wait_ms=0.0)
+    futures = [sched.submit(i) for i in range(3)]
+    sched.close(drain=True, timeout=30.0)
+    assert [f.result(timeout=1.0) for f in futures] == [0, 2, 4]
+
+
+def test_abort_close_fails_inflight_pipelined_batches():
+    """drain=False must resolve batches already handed to a dispatcher,
+    not just the queued ones."""
+    def never_completes(payloads, slots):
+        return Future()
+
+    sched = BatchingScheduler(never_completes, max_batch_slots=4, max_wait_ms=0.0)
+    future = sched.submit("inflight")
+    # Wait until the batch is with the "dispatcher" (pipelined inflight).
+    deadline = time.monotonic() + 5.0
+    while sched.stats()["inflight_batches"] == 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert sched.stats()["inflight_batches"] == 1
+    sched.close(drain=False, timeout=1.0)
+    with pytest.raises(SchedulerClosedError):
+        future.result(timeout=1.0)
+
+
+def test_pipelined_batches_overlap_across_dispatch():
+    """Pipelined mode is what keeps N workers busy: with a dispatcher
+    that parks futures, multiple batches must be in flight at once."""
+    parked: list[tuple[Future, list]] = []
+
+    def park(payloads, slots):
+        fut: Future = Future()
+        parked.append((fut, payloads))
+        return fut
+
+    sched = BatchingScheduler(park, max_batch_slots=1, max_wait_ms=0.0)
+    futures = [sched.submit(i) for i in range(3)]
+    deadline = time.monotonic() + 5.0
+    while len(parked) < 3 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert len(parked) == 3  # fired without waiting for each other
+    for fut, payloads in parked:
+        fut.set_result([p * 10 for p in payloads])
+    assert sorted(f.result(timeout=5.0) for f in futures) == [0, 10, 20]
+    sched.close()
