@@ -27,6 +27,7 @@ import time
 from conftest import save_record
 
 from repro.bench.workloads import make_engine
+from repro.henn.inference import HeInferenceEngine
 from repro.henn.protocol import (
     BatchedCloudService,
     Client,
@@ -34,7 +35,7 @@ from repro.henn.protocol import (
     ClusteredCloudService,
 )
 from repro.obs.metrics import get_registry
-from repro.serving import ShedPolicy
+from repro.serving import MemberwiseBackend, ShedPolicy, SlotPackedBackend
 
 #: Requests each closed-loop client issues per measured run.
 REQUESTS_PER_CLIENT = 8
@@ -47,6 +48,9 @@ CLUSTER_CLIENTS = 64
 CLUSTER_REQUESTS_PER_CLIENT = 4
 CLUSTER_WORKERS = (1, 3)
 CLUSTER_BATCH_SLOTS = 16
+
+#: Lane-packed sweep (PR 8): batch sizes for the CKKS-RNS amortization run.
+PACKED_BATCHES = (1, 4, 16)
 
 
 def _latencies_to_row(mode, concurrency, latencies, elapsed, batch_mean):
@@ -151,6 +155,77 @@ def test_serving_throughput(benchmark, cnn1_models, preset):
         ["mode", "clients", "requests", "images/sec", "p50 ms", "p99 ms", "mean batch"],
         rows,
         f"SERVING — dynamic batching throughput, mock backend (preset={preset.name})",
+        results=results,
+    )
+
+
+def test_serving_packed_amortized(benchmark, cnn1_models, preset):
+    """Lane packing on the real CKKS-RNS scheme (PR 8): amortized
+    per-image latency vs. batch size.
+
+    The memberwise fallback fans every primitive out per member (and
+    loses the position-packed BSGS), so its per-image cost is flat in
+    B; :class:`SlotPackedBackend` stacks B requests along a lane axis
+    and issues one inner call per operation, so per-op Python/NumPy
+    overhead amortizes across the batch.  The arithmetic itself is
+    *exact* per lane and therefore linear in B — only overhead
+    amortizes — so the single-core floor asserted here is 1.05x; the
+    measured gain is ~1.2-1.6x (see docs/PERFORMANCE.md for why the >= 4x
+    SIMD win requires native slot concatenation, demonstrated on the
+    mock backend above, or multi-core residue executors).  Timings
+    cover the server side (assemble -> evaluate -> split), warm plan
+    caches.
+    """
+    backend = make_engine(cnn1_models, "ckks-rns").backend
+    layers = cnn1_models.he_layers
+    shape = cnn1_models.input_shape
+    image = cnn1_models.x_test[:1]
+    repeats = max(2, preset.latency_repeats)
+
+    memberwise = HeInferenceEngine(MemberwiseBackend(backend), layers, shape)
+    packed = HeInferenceEngine(SlotPackedBackend(backend), layers, shape)
+
+    def run_once(engine, b):
+        requests = [engine.encrypt_images(image) for _ in range(b)]
+        counts = [1] * b
+        t0 = time.perf_counter()
+        batch = engine.assemble_batch(requests, counts)
+        scores = engine.run_encrypted(batch)
+        engine.split_scores(scores, counts)
+        return time.perf_counter() - t0
+
+    rows, results = [], {}
+
+    def measure():
+        run_once(memberwise, 1)  # warm: compiles plans, memoizes encodes
+        run_once(packed, 1)
+
+        member_s = min(run_once(memberwise, 1) for _ in range(repeats))
+        rows.append(["memberwise", 1, member_s * 1e3, member_s * 1e3])
+        results["memberwise_b1_per_image_seconds"] = member_s
+
+        for b in PACKED_BATCHES:
+            total = min(run_once(packed, b) for _ in range(repeats))
+            amortized = total / b
+            rows.append(["packed", b, total * 1e3, amortized * 1e3])
+            results[f"packed_b{b}_per_image_seconds"] = amortized
+            if b == max(PACKED_BATCHES):
+                gain = member_s / amortized
+                rows.append([f"amortization at B={b} (vs memberwise)", "", "", gain])
+                assert gain >= 1.05, (
+                    f"packed B={b} amortized only {gain:.2f}x better than "
+                    "B=1 memberwise (single-core exact-packing floor: 1.05x; "
+                    "typical is ~1.5x, tracked by tools/bench_compare.py)"
+                )
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    get_registry().reset()  # serving counters from this bench stay local
+    save_record(
+        "serving_packed",
+        ["mode", "B", "batch ms", "per-image ms"],
+        rows,
+        "SERVING PACKED — lane-packed amortization, CKKS-RNS backend "
+        f"(preset={preset.name})",
         results=results,
     )
 

@@ -54,6 +54,13 @@ from repro.utils.rng import derive_rng
 
 __all__ = ["CkksRnsContext", "RnsPlaintext"]
 
+#: Batch-axis chunk budget for the digit key switch, in elements of the
+#: ``(k+1, k, B_chunk, ..., n)`` lifted-digit tensor (int64).  1 << 21
+#: elements = 16 MB keeps the decomposition temporaries cache-friendly;
+#: lane-packed serving batches otherwise scale super-linearly (measured
+#: ~2x worse than linear at 16 lanes unchunked).
+KEYSWITCH_CHUNK_ELEMS = 1 << 21
+
 
 class _NttChannel:
     """Picklable per-channel NTT worker for zero-copy dispatch.
@@ -631,22 +638,26 @@ class CkksRnsContext:
     def add_plain_many(self, a: RnsCiphertext, values: np.ndarray) -> RnsCiphertext:
         """Position-wise scalar addition over a batched ciphertext.
 
-        ``a`` holds ``B`` ciphertexts as ``(k, B, n)`` component stacks;
-        ``values[b]`` is broadcast over the slots of position *b*.  Each
-        *distinct* value is encoded once (through :attr:`plain_cache`
-        when installed) and the encoded rows are gathered per position —
-        the "encode coefficients once per layer" path of the SLAF
+        ``a`` holds ``B`` ciphertexts as ``(k, B, ..., n)`` component
+        stacks (extra trailing axes — e.g. a slot-packed lane axis —
+        broadcast position *b*'s value over every lane); ``values[b]``
+        is broadcast over the slots of position *b*.  Each *distinct*
+        value is encoded once (through :attr:`plain_cache` when
+        installed) and the encoded rows are gathered per position — the
+        "encode coefficients once per layer" path of the SLAF
         activations.  Bit-identical per position to :meth:`add_plain`.
         """
         vals = np.asarray(values, dtype=np.float64)
-        if a.c0.ndim != 3 or vals.shape != (a.c0.shape[1],):
-            raise ValueError("add_plain_many needs a (k, B, n) batch and B values")
+        if a.c0.ndim < 3 or vals.shape != (a.c0.shape[1],):
+            raise ValueError("add_plain_many needs a (k, B, ..., n) batch and B values")
         moduli = self.moduli[: a.k]
         uniq, inverse = np.unique(vals, return_inverse=True)
         pts = np.stack(
             [self._scalar_plain(float(v), a.scale, a.level).data for v in uniq]
         )  # (U, k, n)
         sel = np.ascontiguousarray(pts[inverse].transpose(1, 0, 2))  # (k, B, n)
+        if a.c0.ndim > 3:  # lane axes between position and coefficients
+            sel = sel.reshape(sel.shape[:2] + (1,) * (a.c0.ndim - 3) + sel.shape[-1:])
         c0 = np.stack([addmod(a.c0[i], sel[i], m) for i, m in enumerate(moduli)])
         return RnsCiphertext(c0, a.c1.copy(), a.level, a.scale)
 
@@ -669,17 +680,19 @@ class CkksRnsContext:
     ) -> RnsCiphertext:
         """Position-wise scalar multiply over a batched ciphertext.
 
-        ``a`` holds ``B`` ciphertexts as ``(k, B, n)`` component stacks;
-        position *b* is multiplied by ``scalars[b]`` quantized at
-        *plain_scale* — the kernel that applies per-channel SLAF
-        coefficients to a whole feature map in one sweep.  Quantization
+        ``a`` holds ``B`` ciphertexts as ``(k, B, ..., n)`` component
+        stacks (extra trailing axes — e.g. a slot-packed lane axis —
+        broadcast position *b*'s scalar over every lane); position *b*
+        is multiplied by ``scalars[b]`` quantized at *plain_scale* — the
+        kernel that applies per-channel SLAF coefficients to a whole
+        feature map in one sweep.  Quantization
         (``round(s * plain_scale)``) and residue reduction match
         :meth:`mul_plain_scalar` exactly, so each position's result is
         bit-identical to the one-at-a-time path.
         """
         plain_scale = float(plain_scale or self.params.scale)
-        if a.c0.ndim != 3:
-            raise ValueError("mul_plain_scalar_many needs a (k, B, n) batch")
+        if a.c0.ndim < 3:
+            raise ValueError("mul_plain_scalar_many needs a (k, B, ..., n) batch")
         consts = np.array(
             [int(round(float(s) * plain_scale)) for s in scalars], dtype=np.int64
         )
@@ -840,8 +853,30 @@ class CkksRnsContext:
         through the digit decomposition, lifts, transforms and inner
         products unchanged, so a batched switch is bit-identical to *B*
         independent ones (same per-element arithmetic, same order).
+
+        Large batches are processed in batch-axis chunks: the digit
+        tensor is ``(k+1) * k`` times the position size, so an unchunked
+        lane-packed batch would allocate hundreds of MB of temporaries
+        and fall out of cache (measured super-linear scaling in the lane
+        count).  Chunking only splits the batch axis — per-position
+        arithmetic and ordering are untouched, so results stay
+        bit-identical.
         """
         k = level + 1
+        if x_coeff.ndim >= 3:
+            inner = int(np.prod(x_coeff.shape[2:]))
+            per_b = (k + 1) * k * inner
+            chunk = max(1, KEYSWITCH_CHUNK_ELEMS // per_b) if per_b else x_coeff.shape[1]
+            b = x_coeff.shape[1]
+            if b > chunk:
+                parts = [
+                    self._keyswitch_coeff(x_coeff[:, s : s + chunk], kb, ka, level)
+                    for s in range(0, b, chunk)
+                ]
+                return (
+                    np.concatenate([p[0] for p in parts], axis=1),
+                    np.concatenate([p[1] for p in parts], axis=1),
+                )
         moduli = self.moduli[:k]
         ext = moduli + [self.p_special]
         # Digits D_j = [x * hat_j^{-1}]_{q_j} with centered lifts, stacked.

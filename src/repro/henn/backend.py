@@ -149,10 +149,13 @@ class HeBackend(ABC):
     #: Whether :meth:`concat_slots` packs requests into genuinely shared
     #: ciphertexts (SIMD slot stacking).  True only where packing is
     #: *exact*: the mock backend concatenates plaintext slot vectors
-    #: bit-identically, while the real schemes would need rotations
-    #: (keyswitch noise breaks bit-identity with the serial run), so
-    #: they serve batches through the structural
-    #: :class:`repro.serving.packing.MemberwiseBackend` instead.
+    #: bit-identically.  The raw CKKS schemes keep this False — moving a
+    #: payload to a different slot range would need a Galois rotation,
+    #: whose keyswitch noise breaks bit-identity with the serial run —
+    #: and are instead served through
+    #: :class:`repro.serving.packing.SlotPackedBackend`, which stacks
+    #: member ciphertexts along a lane axis (one backend call per op,
+    #: exact per lane) rather than into one slot range.
     native_slot_concat: bool = False
 
     @property
@@ -543,21 +546,25 @@ class MockBackend(HeBackend):
         gateway's tests assert.  Requests must agree on scale and level
         exactly (fresh encryptions do; a drifted ciphertext is the
         caller's admission-validation problem, reported here as
-        :class:`ValueError`).
+        :class:`ValueError`).  The tail is zero-padded to the
+        :class:`~repro.henn.packing.BatchLayout` alignment width, so the
+        physical slot cost matches the pad-waste the layout accounts.
         """
         if len(handles) != len(counts) or not handles:
             raise ValueError("bad concat_slots arguments")
+        from repro.henn.packing import BatchLayout  # deferred: packing imports us
+
         head = handles[0]
         for h, c in zip(handles, counts):
             if h.values.shape[0] != c:
                 raise ValueError(f"handle holds {h.values.shape[0]} slots, declared {c}")
             if h.level != head.level or h.scale != head.scale:
                 raise ValueError("concat_slots requires identical scales and levels")
-        total = int(sum(counts))
-        if total > self._batch:
-            raise ValueError(f"packed batch {total} exceeds backend capacity {self._batch}")
+        layout = BatchLayout(tuple(int(c) for c in counts), self._batch)
         return _MockHandle(
-            np.concatenate([h.values for h in handles]), head.scale, head.level
+            layout.pad_values(np.concatenate([h.values for h in handles])),
+            head.scale,
+            head.level,
         )
 
     def slice_slots(self, a: _MockHandle, start: int, count: int) -> _MockHandle:

@@ -27,8 +27,10 @@ import numpy as np
 from repro import obs
 from repro.henn.backend import HeBackend
 from repro.henn.layers import HeLayer
+from repro.henn.packing import BatchLayout
 from repro.henn.plan import InferencePlan, compile_plan
 from repro.obs import health as _health
+from repro.obs.metrics import get_registry
 from repro.obs.tracer import Span, Tracer
 from repro.utils.timing import LatencyStats
 
@@ -177,11 +179,21 @@ class HeInferenceEngine:
         for r in requests:
             if r.shape != self.input_shape:
                 raise ValueError(f"request shape {r.shape} != {self.input_shape}")
+        # One layout per assembly (not per pixel cell): the pad-waste
+        # counters below account each *batch* once, however many handle
+        # cells share the layout.
+        layout = BatchLayout(tuple(int(c) for c in counts), self.backend.max_batch)
         c, h, w = self.input_shape
         out = np.empty((c, h, w), dtype=object)
-        with obs.span("henn.stage.assemble", requests=len(requests), slots=int(sum(counts))):
+        with obs.span(
+            "henn.stage.assemble",
+            requests=len(requests),
+            slots=layout.total,
+            pad_slots=layout.pad_slots,
+        ):
             for idx in np.ndindex(c, h, w):
                 out[idx] = self.backend.concat_slots([r[idx] for r in requests], counts)
+        layout.record(get_registry())
         return out
 
     def split_scores(

@@ -19,11 +19,19 @@ models it as a slot roll.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.henn.backend import HeBackend
 
-__all__ = ["rotations_needed", "encrypt_features", "dense_single", "decrypt_scores"]
+__all__ = [
+    "BatchLayout",
+    "rotations_needed",
+    "encrypt_features",
+    "dense_single",
+    "decrypt_scores",
+]
 
 
 def _next_pow2(n: int) -> int:
@@ -31,6 +39,108 @@ def _next_pow2(n: int) -> int:
     while p < n:
         p *= 2
     return p
+
+
+@dataclass(frozen=True)
+class BatchLayout:
+    """Slot layout of a batch-packed ciphertext: image *b* -> lane *b*.
+
+    A packed batch concatenates its members' slot ranges back to back —
+    member *b* owns the half-open lane ``[offsets[b], offsets[b] +
+    counts[b])`` — and pads the tail up to the next power of two (capped
+    at the backend's slot capacity) so downstream fold trees and SIMD
+    kernels see an aligned width.  The pad lanes are *waste*: they carry
+    zeros, burn slots, and are reported through :meth:`record` as the
+    ``serving.pack.pad_slots`` counter so the overhead stays visible in
+    ``/healthz`` and ``obs.render_report``.
+
+    The layout is pure bookkeeping — backends consult it to stack, mask
+    and slice; it never touches ciphertext data itself.
+    """
+
+    counts: tuple[int, ...]
+    capacity: int
+    offsets: tuple[int, ...] = field(init=False)
+    total: int = field(init=False)
+    padded_total: int = field(init=False)
+
+    def __post_init__(self):
+        counts = tuple(int(c) for c in self.counts)
+        if not counts or any(c <= 0 for c in counts):
+            raise ValueError("batch layout needs at least one positive slot count")
+        offsets, at = [], 0
+        for c in counts:
+            offsets.append(at)
+            at += c
+        if at > self.capacity:
+            raise ValueError(
+                f"batch of {at} slots exceeds backend capacity {self.capacity}"
+            )
+        object.__setattr__(self, "counts", counts)
+        object.__setattr__(self, "offsets", tuple(offsets))
+        object.__setattr__(self, "total", at)
+        object.__setattr__(
+            self, "padded_total", min(_next_pow2(at), int(self.capacity))
+        )
+
+    @property
+    def lanes(self) -> int:
+        """Number of members packed into the ciphertext."""
+        return len(self.counts)
+
+    @property
+    def pad_slots(self) -> int:
+        """Slots wasted on tail padding (zero when the batch is aligned)."""
+        return self.padded_total - self.total
+
+    def lane_for_range(self, start: int, count: int) -> int:
+        """Member index owning exactly ``[start, start + count)``.
+
+        Raises ``ValueError`` when the range does not land on a member
+        boundary — slicing through the middle of a lane is a layout bug,
+        never a legitimate request.
+        """
+        for b, (off, c) in enumerate(zip(self.offsets, self.counts)):
+            if off == start and c == count:
+                return b
+        raise ValueError(
+            f"slice [{start}, {start + count}) does not match a packed member "
+            f"boundary of layout {self.counts}"
+        )
+
+    def lane_slice(self, lane: int) -> slice:
+        """Slot range of member *lane* (``IndexError`` out of range)."""
+        if not 0 <= lane < self.lanes:
+            raise IndexError(f"lane {lane} out of range for {self.lanes}-member layout")
+        return slice(self.offsets[lane], self.offsets[lane] + self.counts[lane])
+
+    def lane_mask(self, lane: int) -> np.ndarray:
+        """Boolean slot mask (length ``padded_total``) selecting one lane."""
+        mask = np.zeros(self.padded_total, dtype=bool)
+        mask[self.lane_slice(lane)] = True
+        return mask
+
+    def pad_values(self, values: np.ndarray) -> np.ndarray:
+        """Zero-pad a ``total``-length slot vector out to ``padded_total``."""
+        values = np.asarray(values)
+        if values.shape[0] == self.padded_total:
+            return values
+        padded = np.zeros((self.padded_total,) + values.shape[1:], dtype=values.dtype)
+        padded[: self.total] = values[: self.total]
+        return padded
+
+    def record(self, registry) -> None:
+        """Publish this layout's packing stats to a metrics registry.
+
+        Counters: ``serving.pack.batches`` / ``serving.pack.images`` /
+        ``serving.pack.slots`` / ``serving.pack.pad_slots`` — the last
+        one is the padding-waste satellite: cumulative slots burned on
+        alignment, visible in ``/healthz`` and ``obs.render_report``.
+        """
+        registry.counter("serving.pack.batches").inc()
+        registry.counter("serving.pack.images").inc(self.lanes)
+        registry.counter("serving.pack.slots").inc(self.total)
+        registry.counter("serving.pack.pad_slots").inc(self.pad_slots)
 
 
 def rotations_needed(n_features: int) -> tuple[int, ...]:

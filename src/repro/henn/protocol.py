@@ -386,9 +386,10 @@ class BatchedCloudService(CloudService):
       :class:`ServiceError`, which
       :meth:`Client.classify_with_retry` backs off on.
     * **Exactness** — packing is exact: native slot concatenation where
-      the backend supports it bit-identically (mock), structural
-      memberwise dispatch otherwise (both real schemes); see
-      :mod:`repro.serving.packing`.
+      the backend supports it bit-identically (mock), lane-stacked SIMD
+      packing on the real CKKS schemes (one evaluation per batch,
+      bit-identical per lane), structural memberwise dispatch as the
+      fallback for anything else; see :mod:`repro.serving.packing`.
     * **Telemetry** — ``serving.*`` gauges/histograms plus the same
       ``henn.request.*`` lifecycle events and counters as the serial
       service, all visible on ``/metrics`` and ``/healthz``.
@@ -630,6 +631,17 @@ class BatchedCloudService(CloudService):
     def _health(self) -> dict:
         status = super()._health()
         status["serving"] = self.scheduler.stats()
+        reg = get_registry()
+        # Padding-waste visibility: cumulative slot accounting of every
+        # batch this process assembled (see BatchLayout.record).
+        snap = reg.snapshot()
+        status["packing"] = {
+            "strategy": self.engine.backend.name,
+            "batches": int(snap.get("serving.pack.batches", {}).get("value", 0)),
+            "images": int(snap.get("serving.pack.images", {}).get("value", 0)),
+            "slots": int(snap.get("serving.pack.slots", {}).get("value", 0)),
+            "pad_slots": int(snap.get("serving.pack.pad_slots", {}).get("value", 0)),
+        }
         return status
 
 

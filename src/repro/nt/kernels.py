@@ -74,17 +74,19 @@ def fused_weighted_sum(stack: np.ndarray, w_res: np.ndarray, moduli: list[int]) 
     Parameters
     ----------
     stack:
-        ``(taps, k, n)`` int64 ciphertext-component residues, channel
-        ``i`` reduced mod ``moduli[i]``.
+        ``(taps, k, ..., n)`` int64 ciphertext-component residues,
+        channel ``i`` reduced mod ``moduli[i]``.  Extra axes between the
+        channel and coefficient axes (e.g. a slot-packed lane axis) ride
+        through untouched.
     w_res:
         ``(taps, k)`` int64 weight residues, column ``i`` reduced mod
-        ``moduli[i]``.
+        ``moduli[i]`` (broadcast over any trailing batch axes).
     moduli:
         The ``k`` channel moduli.
 
     Returns
     -------
-    ``(k, n)`` int64 stack of the accumulated channels.
+    ``(k, ..., n)`` int64 stack of the accumulated channels.
 
     Notes
     -----
@@ -93,24 +95,25 @@ def fused_weighted_sum(stack: np.ndarray, w_res: np.ndarray, moduli: list[int]) 
     back to the float-Barrett path one at a time.  Both produce the
     exact ints of :func:`weighted_accumulate` per channel.
     """
-    taps, k, n = stack.shape
+    taps, k = stack.shape[:2]
     if w_res.shape != (taps, k):
         raise ValueError(f"weight residues must be ({taps}, {k}), got {w_res.shape}")
     if len(moduli) != k:
         raise ValueError(f"expected {k} moduli, got {len(moduli)}")
-    out = np.empty((k, n), dtype=np.int64)
+    out = np.empty(stack.shape[1:], dtype=np.int64)
     mods = np.asarray(moduli, dtype=np.int64)
     narrow = mods < (1 << NARROW_MODULUS_BITS)
+    tail = (1,) * (stack.ndim - 2)  # broadcast over lane/coefficient axes
     if narrow.any():
         for m in mods[narrow]:
             _check_tap_budget(taps, int(m))
-        sub = stack[:, narrow, :]
-        w = w_res[:, narrow, None]
-        mb = mods[None, narrow, None]
+        sub = stack[:, narrow]
+        w = w_res[:, narrow].reshape(w_res[:, narrow].shape + tail)
+        mb = mods[narrow].reshape((1, -1) + tail)
         prod = np.multiply(sub, w, dtype=np.int64) % mb
         out[narrow] = prod.sum(axis=0) % mb[0]
     for i in np.nonzero(~narrow)[0]:
-        out[i] = weighted_accumulate(stack[:, i, :], w_res[:, i], int(mods[i]))
+        out[i] = weighted_accumulate(stack[:, i], w_res[:, i], int(mods[i]))
     return out
 
 
@@ -149,8 +152,10 @@ def scale_positions(stack: np.ndarray, residues: np.ndarray, moduli: list[int]) 
     Parameters
     ----------
     stack:
-        ``(k, B, n)`` int64 component stack, channel *i* reduced mod
-        ``moduli[i]``.
+        ``(k, B, ..., n)`` int64 component stack, channel *i* reduced
+        mod ``moduli[i]``.  Extra axes between the position and
+        coefficient axes (e.g. a slot-packed lane axis) broadcast the
+        position's scalar across every lane.
     residues:
         ``(k, B)`` int64 scalar residues: column *b* holds the residues
         of position *b*'s scalar across the chain.
@@ -159,7 +164,7 @@ def scale_positions(stack: np.ndarray, residues: np.ndarray, moduli: list[int]) 
 
     Returns
     -------
-    ``(k, B, n)`` int64 stack, bit-identical per position to
+    ``(k, B, ..., n)`` int64 stack, bit-identical per position to
     :func:`scale_channels` with that position's scalar.
     """
     k = stack.shape[0]
@@ -168,12 +173,13 @@ def scale_positions(stack: np.ndarray, residues: np.ndarray, moduli: list[int]) 
     out = np.empty_like(stack)
     mods = np.asarray(moduli, dtype=np.int64)
     narrow = mods < (1 << NARROW_MODULUS_BITS)
+    tail = (1,) * (stack.ndim - 2)  # broadcast over lane/coefficient axes
     if narrow.any():
-        mb = mods[narrow].reshape(-1, 1, 1)
-        rb = residues[narrow][:, :, None]
+        mb = mods[narrow].reshape((-1, 1) + tail)
+        rb = residues[narrow].reshape(residues[narrow].shape + tail)
         out[narrow] = np.multiply(stack[narrow], rb, dtype=np.int64) % mb
     for i in np.nonzero(~narrow)[0]:
-        out[i] = mulmod(stack[i], residues[i][:, None], int(mods[i]))
+        out[i] = mulmod(stack[i], residues[i].reshape((-1,) + tail), int(mods[i]))
     return out
 
 

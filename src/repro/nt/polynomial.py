@@ -23,7 +23,7 @@ __all__ = ["PolyRing"]
 
 def _as_object_array(coeffs: np.ndarray | list[int], n: int) -> np.ndarray:
     arr = np.asarray(coeffs, dtype=object)
-    if arr.shape != (n,):
+    if arr.ndim < 1 or arr.shape[-1] != n:
         raise ValueError(f"expected {n} coefficients, got shape {arr.shape}")
     return arr
 
@@ -31,9 +31,14 @@ def _as_object_array(coeffs: np.ndarray | list[int], n: int) -> np.ndarray:
 class PolyRing:
     """Arithmetic in ``Z_q[X]/(X^n + 1)`` with big-integer coefficients.
 
-    Polynomials are plain 1-D ``object`` ndarrays of length ``n`` with
-    entries canonically reduced to ``[0, q)``; the ring object carries
-    the parameters and the packed-multiplication plan.
+    Polynomials are ``object`` ndarrays whose trailing axis has length
+    ``n`` and whose entries are canonically reduced to ``[0, q)``; the
+    ring object carries the parameters and the packed-multiplication
+    plan.  The coefficientwise operations (add/sub/neg, scalar multiply,
+    centered lift, rounded division, modulus switch) accept stacks of
+    polynomials — leading axes, e.g. a slot-packed lane axis, broadcast
+    through — while Kronecker multiplication and automorphisms remain
+    single-polynomial.
     """
 
     def __init__(self, n: int, q: int):
@@ -57,7 +62,7 @@ class PolyRing:
     def from_coeffs(self, coeffs: np.ndarray | list[int]) -> np.ndarray:
         """Reduce arbitrary integer coefficients into canonical ``[0, q)``."""
         arr = np.asarray(coeffs, dtype=object)
-        if arr.shape != (self.n,):
+        if arr.ndim < 1 or arr.shape[-1] != self.n:
             raise ValueError(f"expected {self.n} coefficients, got shape {arr.shape}")
         return np.mod(arr, self.q)
 
@@ -99,6 +104,8 @@ class PolyRing:
         """
         a = _as_object_array(a, self.n)
         b = _as_object_array(b, self.n)
+        if a.ndim != 1 or b.ndim != 1:
+            raise ValueError("Kronecker multiplication is single-polynomial (1-D) only")
         sb = self._slot_bytes
         pa = self._pack(a, sb)
         pb = self._pack(b, sb)
@@ -145,10 +152,10 @@ class PolyRing:
             raise ValueError("divisor must be positive")
         c = self.to_centered(a)
         d = int(divisor)
-        rounded = np.array(
-            [(2 * int(x) + d) // (2 * d) if int(x) >= 0 else -((2 * -int(x) + d) // (2 * d)) for x in c],
-            dtype=object,
-        )
+        # Object-array floordiv keeps exact big-int semantics; the two
+        # branches are the same round-half-away-from-zero formula as the
+        # per-coefficient loop this replaced, evaluated lane-generically.
+        rounded = np.where(c >= 0, (2 * c + d) // (2 * d), -((-2 * c + d) // (2 * d)))
         return np.mod(rounded, int(new_q))
 
     def mod_switch(self, a: np.ndarray, new_q: int) -> np.ndarray:
@@ -165,6 +172,8 @@ class PolyRing:
         if g % 2 == 0:
             raise ValueError("Galois element must be odd")
         a = _as_object_array(a, self.n)
+        if a.ndim != 1:
+            raise ValueError("automorphism is single-polynomial (1-D) only")
         out = self.zero()
         for k in range(self.n):
             idx = (g * k) % (2 * self.n)

@@ -21,6 +21,9 @@ from repro.serving.cluster import ClusterWorker, Dispatcher, WorkerPool
 from repro.serving.errors import (
     ClusterUnavailableError,
     DrainTimeoutError,
+    LaneSliceError,
+    PackingError,
+    PackingNestingError,
     RequestValidationError,
     SchedulerClosedError,
     ServiceOverloadedError,
@@ -30,16 +33,27 @@ from repro.serving.errors import (
 )
 from repro.serving.scheduler import BatchingScheduler
 from repro.serving.shedding import SHED_TIERS, ShedPolicy
-from repro.serving.packing import MemberwiseBackend, PackedHandle, serving_backend_for
+from repro.serving.packing import (
+    LaneHandle,
+    MemberwiseBackend,
+    PackedHandle,
+    SlotPackedBackend,
+    serving_backend_for,
+)
 
 __all__ = [
     "BatchingScheduler",
     "ClusterWorker",
     "Dispatcher",
     "WorkerPool",
+    "LaneHandle",
     "MemberwiseBackend",
     "PackedHandle",
+    "SlotPackedBackend",
     "serving_backend_for",
+    "PackingError",
+    "PackingNestingError",
+    "LaneSliceError",
     "ShedPolicy",
     "SHED_TIERS",
     "ServingError",

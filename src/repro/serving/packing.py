@@ -1,6 +1,6 @@
 """Batch assembly for the serving gateway: exact slot packing.
 
-Two packing strategies sit behind one interface
+Three packing strategies sit behind one interface
 (:meth:`repro.henn.backend.HeBackend.concat_slots` /
 :meth:`~repro.henn.backend.HeBackend.slice_slots`):
 
@@ -10,18 +10,26 @@ Two packing strategies sit behind one interface
   whole batch.  The mock backend does this (its handles are plaintext
   slot vectors), which is where the near-``max_batch``× serving
   throughput gain comes from.
-* **Structural packing** — the real CKKS backends cannot concatenate
-  slots exactly (moving a fresh ciphertext's payload to a different
-  slot range needs a Galois rotation, whose key-switch noise breaks
-  bit-identity with the serial evaluation).  For them,
+* **Lane packing** — the real CKKS backends get the same
+  one-evaluation-per-batch behaviour from :class:`SlotPackedBackend`:
+  the members' ciphertext components are stacked along a new *lane*
+  axis (``(k, B, n)`` residues on CKKS-RNS, ``(B, n)`` big-int
+  coefficients on CKKS) described by a
+  :class:`~repro.henn.packing.BatchLayout`, and every primitive issues
+  **one** inner-backend call on the stacked components — the NTT plans,
+  key switch, rescale and fused weighted-sum kernels are all
+  shape-generic over the lane axis, so per-op cost is amortized across
+  the batch while each lane's arithmetic stays instruction-identical to
+  its serial evaluation (bit-identity by construction, asserted per
+  backend).  Rotation-based *slot-range* concatenation is deliberately
+  not used: a Galois rotation's key-switch noise would break
+  bit-identity with the serial run.
+* **Structural packing** — the fallback for unknown backends:
   :class:`MemberwiseBackend` wraps the backend so a "packed handle" is
   the tuple of member ciphertexts and every primitive fans out
-  memberwise.  Results are *exactly* the serial computation — same
-  ops, same order, same constants — so correctness is preserved while
-  the batch still shares one graph traversal, one compiled
-  :class:`~repro.henn.plan.InferencePlan` and one telemetry span tree.
-  True rotation-based packing (approximate, Triton-style) is a
-  documented future extension, not silently substituted.
+  memberwise (per-image cost flat in batch size, correctness
+  preserved).  It remains the baseline the packed-vs-memberwise
+  benchmarks compare against.
 
 :func:`serving_backend_for` picks the strategy; the gateway and the
 engine's :meth:`~repro.henn.inference.HeInferenceEngine.assemble_batch`
@@ -35,9 +43,24 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.henn.backend import EncodedTaps, HeBackend
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckksrns import RnsCiphertext
+from repro.henn.backend import (
+    CkksBackend,
+    CkksRnsBackend,
+    EncodedTaps,
+    HeBackend,
+)
+from repro.henn.packing import BatchLayout
+from repro.serving.errors import LaneSliceError, PackingError, PackingNestingError
 
-__all__ = ["PackedHandle", "MemberwiseBackend", "serving_backend_for"]
+__all__ = [
+    "PackedHandle",
+    "LaneHandle",
+    "MemberwiseBackend",
+    "SlotPackedBackend",
+    "serving_backend_for",
+]
 
 
 class PackedHandle:
@@ -98,8 +121,11 @@ class MemberwiseBackend(HeBackend):
     native_slot_concat = True  # packs structurally, still exact
 
     def __init__(self, inner: HeBackend):
-        if isinstance(inner, MemberwiseBackend):
-            raise TypeError("refusing to nest MemberwiseBackend")
+        if isinstance(inner, (MemberwiseBackend, SlotPackedBackend)):
+            raise PackingNestingError(
+                "refusing to nest packing wrappers: "
+                f"{inner.name} is already batch-packed"
+            )
         self.inner = inner
         self.name = f"packed+{inner.name}"
 
@@ -121,7 +147,7 @@ class MemberwiseBackend(HeBackend):
             if offset == start and c == count:
                 return member
             offset += c
-        raise ValueError(
+        raise LaneSliceError(
             f"slot range [{start}, {start + count}) does not match a member "
             f"boundary of counts {a.counts}"
         )
@@ -235,13 +261,366 @@ class MemberwiseBackend(HeBackend):
         )
 
 
+# --------------------------------------------------------------------- lane packing
+
+
+class LaneHandle:
+    """A lane-stacked batch ciphertext plus the layout describing it.
+
+    ``ct`` is a single inner-backend ciphertext whose components carry
+    an extra *lane* axis (one lane per packed request); ``layout`` is
+    the :class:`~repro.henn.packing.BatchLayout` mapping request *b* to
+    lane *b* with its slot count, so slot-range slices resolve back to
+    members without touching ciphertext data.
+    """
+
+    __slots__ = ("ct", "layout")
+
+    def __init__(self, ct: Any, layout: BatchLayout):
+        self.ct = ct
+        self.layout = layout
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LaneHandle(lanes={self.layout.lanes}, counts={self.layout.counts})"
+
+
+def _unwrap_lane(a: Any) -> LaneHandle:
+    if not isinstance(a, LaneHandle):
+        raise TypeError(
+            f"expected a LaneHandle, got {type(a).__name__} — slot-packed "
+            "backends only evaluate batches assembled via concat_slots"
+        )
+    return a
+
+
+class _RnsLanes:
+    """Lane adapter for CKKS-RNS: stack ``(k, n)`` components to ``(k, B, n)``.
+
+    The lane axis sits where the batched BSGS machinery already packs
+    positions (axis 1), so every context kernel — NTT plans, keyswitch,
+    rescale, fused weighted sums — rides over it unchanged, and
+    ciphertext–ciphertext multiplication is native on the stacked form.
+    """
+
+    native_ct_mul = True
+
+    @staticmethod
+    def stack(cts: Sequence[RnsCiphertext]) -> RnsCiphertext:
+        first = cts[0]
+        return RnsCiphertext(
+            np.stack([c.c0 for c in cts], axis=1),
+            np.stack([c.c1 for c in cts], axis=1),
+            first.level,
+            first.scale,
+        )
+
+    @staticmethod
+    def extract(ct: RnsCiphertext, lane: int) -> RnsCiphertext:
+        return RnsCiphertext(
+            np.ascontiguousarray(ct.c0[:, lane]),
+            np.ascontiguousarray(ct.c1[:, lane]),
+            ct.level,
+            ct.scale,
+        )
+
+
+class _CkksLanes:
+    """Lane adapter for multiprecision CKKS: stack ``(n,)`` rows to ``(B, n)``.
+
+    The big-int coefficientwise operations (add, plain multiply,
+    centered lift, rounded division, modulus switch) broadcast over the
+    leading lane axis; Kronecker multiplication is inherently 1-D, so
+    ciphertext–ciphertext products loop lanes (``native_ct_mul`` False).
+    """
+
+    native_ct_mul = False
+
+    @staticmethod
+    def stack(cts: Sequence[Ciphertext]) -> Ciphertext:
+        first = cts[0]
+        return Ciphertext(
+            np.stack([c.c0 for c in cts], axis=0),
+            np.stack([c.c1 for c in cts], axis=0),
+            first.level,
+            first.scale,
+            first.n,
+        )
+
+    @staticmethod
+    def extract(ct: Ciphertext, lane: int) -> Ciphertext:
+        return Ciphertext(
+            np.ascontiguousarray(ct.c0[lane]),
+            np.ascontiguousarray(ct.c1[lane]),
+            ct.level,
+            ct.scale,
+            ct.n,
+        )
+
+
+class SlotPackedBackend(HeBackend):
+    """True SIMD lane packing: B member ciphertexts in one stacked handle.
+
+    Wraps a real CKKS backend so a packed batch is a *single*
+    :class:`LaneHandle` whose ciphertext components carry a lane axis.
+    Every primitive issues **one** inner-backend call on the stacked
+    components (two lane loops excepted: big-int CKKS ct–ct multiply and
+    decryption), so conv / SLAF / dense evaluation cost per layer is
+    constant in the batch size — the amortized per-image win the
+    serving benchmarks record.
+
+    Exactness: all stacked arithmetic is elementwise or
+    coefficientwise-broadcast over the lane axis, so lane *b*'s residues
+    (or big-int coefficients) after any operation equal the serial
+    evaluation of member *b* bit for bit — the packing-equivalence tests
+    assert this against the serial engine on both real schemes.
+
+    Plaintext-side work is shared, not duplicated: :meth:`encode_taps`
+    delegates to the inner backend, encoded taps broadcast across lanes,
+    and :func:`repro.henn.plan._backend_sig` resolves through ``inner``
+    so packed and serial engines share one
+    :class:`~repro.utils.cache.PlaintextCache` (zero fresh encodes on
+    the warm path, count-asserted in CI).
+
+    Attribute access falls through to the inner backend (``ctx``,
+    ``keys``, …), so health telemetry and parameter introspection keep
+    working unchanged.
+    """
+
+    native_slot_concat = True  # lane-stacked, still exact
+
+    def __init__(self, inner: HeBackend):
+        if isinstance(inner, (MemberwiseBackend, SlotPackedBackend)):
+            raise PackingNestingError(
+                "refusing to nest packing wrappers: "
+                f"{inner.name} is already batch-packed"
+            )
+        if isinstance(inner, CkksRnsBackend):
+            self._lanes = _RnsLanes()
+        elif isinstance(inner, CkksBackend):
+            self._lanes = _CkksLanes()
+        else:
+            raise PackingError(
+                f"no lane adapter for backend {inner.name!r}: slot packing "
+                "needs lane-generic ciphertext components (CKKS or CKKS-RNS)"
+            )
+        self.inner = inner
+        self.name = f"slotpack+{inner.name}"
+
+    def __getattr__(self, item: str) -> Any:
+        if item in ("inner", "_lanes"):  # guard unpickling / partial construction
+            raise AttributeError(item)
+        return getattr(self.inner, item)
+
+    # -- packing -----------------------------------------------------------------
+
+    def concat_slots(self, handles: Sequence[Any], counts: Sequence[int]) -> LaneHandle:
+        """Stack member ciphertexts along the lane axis (exact, no rotation).
+
+        Members must agree on level and scale exactly — fresh
+        encryptions do; a drifted ciphertext is the gateway's
+        admission-validation problem, reported here as
+        :class:`~repro.serving.errors.PackingError` so it can never
+        silently corrupt lane-mates.
+        """
+        if len(handles) != len(counts) or not len(handles):
+            raise PackingError("bad concat_slots arguments")
+        layout = BatchLayout(tuple(counts), self.inner.max_batch)
+        head = handles[0]
+        for h in handles:
+            if self.inner.level_of(h) != self.inner.level_of(head) or float(
+                self.inner.scale_of(h)
+            ) != float(self.inner.scale_of(head)):
+                raise PackingError(
+                    "concat_slots requires identical scales and levels"
+                )
+        return LaneHandle(self._lanes.stack(list(handles)), layout)
+
+    def slice_slots(self, a: LaneHandle, start: int, count: int) -> Any:
+        """One member's ciphertext back out of the lane stack."""
+        a = _unwrap_lane(a)
+        try:
+            lane = a.layout.lane_for_range(start, count)
+        except ValueError as exc:
+            raise LaneSliceError(str(exc)) from None
+        return self._lanes.extract(a.ct, lane)
+
+    # -- scalars / capacity --------------------------------------------------------
+
+    @property
+    def scale(self) -> float:
+        return self.inner.scale
+
+    @property
+    def max_batch(self) -> int:
+        return self.inner.max_batch
+
+    def scale_of(self, a: Any) -> float:
+        return self.inner.scale_of(_unwrap_lane(a).ct)
+
+    def level_of(self, a: Any) -> int:
+        return self.inner.level_of(_unwrap_lane(a).ct)
+
+    # -- stacked primitives --------------------------------------------------------
+
+    def encrypt(self, values: np.ndarray) -> Any:
+        return self.inner.encrypt(values)
+
+    def decrypt(self, handle: Any, count: int | None = None) -> np.ndarray:
+        if not isinstance(handle, LaneHandle):
+            return self.inner.decrypt(handle, count)
+        layout = handle.layout
+        parts = [
+            np.asarray(
+                self.inner.decrypt(self._lanes.extract(handle.ct, b), count=c)
+            )
+            for b, c in enumerate(layout.counts)
+        ]
+        values = np.concatenate(parts)
+        return values[:count] if count is not None else values
+
+    def _rewrap(self, a: LaneHandle, ct: Any) -> LaneHandle:
+        return LaneHandle(ct, a.layout)
+
+    @staticmethod
+    def _common_layout(a: LaneHandle, b: LaneHandle) -> BatchLayout:
+        if a.layout.counts != b.layout.counts:
+            raise PackingError(
+                f"lane layouts differ: {a.layout.counts} vs {b.layout.counts}"
+            )
+        return a.layout
+
+    def add(self, a: Any, b: Any) -> LaneHandle:
+        a, b = _unwrap_lane(a), _unwrap_lane(b)
+        return LaneHandle(self.inner.add(a.ct, b.ct), self._common_layout(a, b))
+
+    def add_plain(self, a: Any, value: float) -> LaneHandle:
+        a = _unwrap_lane(a)
+        return self._rewrap(a, self.inner.add_plain(a.ct, value))
+
+    def mul_plain_scalar(
+        self, a: Any, scalar: float, plain_scale: float | None = None
+    ) -> LaneHandle:
+        a = _unwrap_lane(a)
+        return self._rewrap(a, self.inner.mul_plain_scalar(a.ct, scalar, plain_scale))
+
+    def mul(self, a: Any, b: Any) -> LaneHandle:
+        a, b = _unwrap_lane(a), _unwrap_lane(b)
+        layout = self._common_layout(a, b)
+        if self._lanes.native_ct_mul:
+            return LaneHandle(self.inner.mul(a.ct, b.ct), layout)
+        # Kronecker multiplication is single-polynomial: loop lanes.
+        return LaneHandle(
+            self._lanes.stack(
+                [
+                    self.inner.mul(
+                        self._lanes.extract(a.ct, i), self._lanes.extract(b.ct, i)
+                    )
+                    for i in range(layout.lanes)
+                ]
+            ),
+            layout,
+        )
+
+    def square(self, a: Any) -> LaneHandle:
+        a = _unwrap_lane(a)
+        if self._lanes.native_ct_mul:
+            return self._rewrap(a, self.inner.square(a.ct))
+        return self._rewrap(
+            a,
+            self._lanes.stack(
+                [
+                    self.inner.square(self._lanes.extract(a.ct, i))
+                    for i in range(a.layout.lanes)
+                ]
+            ),
+        )
+
+    def rescale(self, a: Any) -> LaneHandle:
+        a = _unwrap_lane(a)
+        return self._rewrap(a, self.inner.rescale(a.ct))
+
+    def rotate(self, a: Any, r: int) -> Any:
+        raise NotImplementedError(
+            "packed handles do not rotate: lanes belong to distinct requests"
+        )
+
+    # -- composite fast paths ------------------------------------------------------
+
+    def weighted_sum(
+        self, handles: Sequence[Any], weights: np.ndarray, plain_scale: float | None = None
+    ) -> LaneHandle:
+        packed = [_unwrap_lane(h) for h in handles]
+        layout = packed[0].layout
+        return LaneHandle(
+            self.inner.weighted_sum([p.ct for p in packed], weights, plain_scale),
+            layout,
+        )
+
+    def encode_taps(self, weights: np.ndarray, plain_scale: float | None = None) -> EncodedTaps:
+        return self.inner.encode_taps(weights, plain_scale)
+
+    def weighted_sum_encoded(self, handles: Sequence[Any], enc: EncodedTaps) -> LaneHandle:
+        packed = [_unwrap_lane(h) for h in handles]
+        layout = packed[0].layout
+        return LaneHandle(
+            self.inner.weighted_sum_encoded([p.ct for p in packed], enc), layout
+        )
+
+    def poly_eval_many(
+        self,
+        handles: Sequence[Any],
+        rows: np.ndarray,
+        program: Any = None,
+    ) -> list[Any]:
+        """All positions × all lanes through the inner batched BSGS path.
+
+        On CKKS-RNS the inner backend stacks positions on axis 1 of each
+        handle's ``(k, B, n)`` components, giving ``(k, P, B, n)`` packs
+        — one BSGS program run covers every feature-map position *and*
+        every lane.  On big-int CKKS the generic per-position loop runs,
+        with each primitive lane-stacked through this wrapper.
+        """
+        packed = [_unwrap_lane(h) for h in handles]
+        if not self._lanes.native_ct_mul:
+            return super().poly_eval_many(handles, rows, program)
+        layout = packed[0].layout
+        res = self.inner.poly_eval_many([p.ct for p in packed], rows, program)
+        return [LaneHandle(ct, layout) for ct in res]
+
+    def rescale_many(self, handles: Sequence[Any]) -> list[Any]:
+        packed = [_unwrap_lane(h) for h in handles]
+        if not self._lanes.native_ct_mul:
+            return super().rescale_many(handles)
+        res = self.inner.rescale_many([p.ct for p in packed])
+        return [LaneHandle(ct, p.layout) for ct, p in zip(res, packed)]
+
+    def add_plain_each(self, handles: Sequence[Any], values: np.ndarray) -> list[Any]:
+        packed = [_unwrap_lane(h) for h in handles]
+        if not self._lanes.native_ct_mul:
+            return super().add_plain_each(handles, values)
+        res = self.inner.add_plain_each([p.ct for p in packed], values)
+        return [LaneHandle(ct, p.layout) for ct, p in zip(res, packed)]
+
+
 def serving_backend_for(backend: HeBackend) -> HeBackend:
     """The backend a batching gateway should run its engine on.
 
-    Backends with exact native slot concatenation serve as-is; the rest
-    are wrapped in :class:`MemberwiseBackend`.  Idempotent for already
-    serving-capable backends.
+    * Already-wrapped backends are **rejected** with
+      :class:`~repro.serving.errors.PackingNestingError` — stacking
+      packing wrappers would double-pack lanes and corrupt slot
+      accounting.
+    * Backends with exact native slot concatenation serve as-is (mock).
+    * The real CKKS schemes get :class:`SlotPackedBackend` lane packing
+      — one evaluation per batch, amortized per-image cost.
+    * Anything else falls back to :class:`MemberwiseBackend` fan-out
+      (correct, but per-image cost flat in batch size).
     """
+    if isinstance(backend, (MemberwiseBackend, SlotPackedBackend)):
+        raise PackingNestingError(
+            f"{backend.name} is already a packing wrapper; wrap the raw backend"
+        )
     if backend.native_slot_concat:
         return backend
+    if isinstance(backend, (CkksBackend, CkksRnsBackend)):
+        return SlotPackedBackend(backend)
     return MemberwiseBackend(backend)

@@ -11,6 +11,12 @@ timing, so CI machine noise cannot flake it — that
 * the bookkeeping balances: completed == submitted, empty queue,
   and the ``serving.requests`` / batch-size counters agree.
 
+A second check targets the lane-packed CKKS-RNS path: a warm packed
+batch of B images must perform exactly the B=1 number of conv / SLAF /
+dense evaluations (one inner-backend call per layer operation, not B),
+zero fresh plaintext encodes (``plan.encode.fresh``), and advance the
+``serving.pack.pad_slots`` counter on ragged batches.
+
 Exits non-zero with the offending numbers.
 """
 
@@ -24,10 +30,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
-from repro.henn.backend import MockBackend
+from repro.ckksrns import CkksRnsParams
+from repro.henn.backend import CkksRnsBackend, MockBackend
+from repro.henn.inference import HeInferenceEngine
 from repro.henn.layers import HeConv2d, HeFlatten, HeLinear, HePoly
 from repro.henn.protocol import BatchedCloudService, Client, CloudService
 from repro.obs.metrics import get_registry
+from repro.serving import serving_backend_for
 
 CLIENTS = 8
 REQUESTS_PER_CLIENT = 6
@@ -42,6 +51,87 @@ def build_layers():
         HeFlatten(),
         HeLinear(rng.uniform(-0.3, 0.3, (10, 32)), rng.uniform(-0.1, 0.1, 10)),
     ]
+
+
+def packed_opcount_check() -> int:
+    """Lane packing on CKKS-RNS: per-layer op counts flat in batch size.
+
+    Counts actual inner-backend calls (``weighted_sum_encoded`` for
+    conv/dense taps, ``poly_eval_many`` for the SLAF) through a warm
+    packed engine and asserts a B=4 batch issues exactly as many as a
+    B=1 batch — the whole point of slot packing.  Also count-asserts
+    the warm path performs zero fresh plaintext encodes and that ragged
+    batches advance ``serving.pack.pad_slots``.
+    """
+    layers = build_layers()
+    backend = CkksRnsBackend(
+        CkksRnsParams(
+            n=128,
+            moduli_bits=(36, 26, 26, 26, 26, 26),
+            scale_bits=26,
+            special_bits=45,
+            hw=16,
+        ),
+        seed=0,
+    )
+    engine = HeInferenceEngine(serving_backend_for(backend), layers, SHAPE)
+    images = np.random.default_rng(2).uniform(0, 1, (4, 1, 6, 6))
+
+    calls = {"weighted_sum_encoded": 0, "poly_eval_many": 0}
+    for name in calls:
+        original = getattr(backend, name)
+
+        def counted(*args, _original=original, _name=name, **kwargs):
+            calls[_name] += 1
+            return _original(*args, **kwargs)
+
+        setattr(backend, name, counted)
+
+    reg = get_registry()
+
+    def run_batch(n_requests: int) -> dict[str, int]:
+        requests = [engine.encrypt_images(images[i : i + 1]) for i in range(n_requests)]
+        for name in calls:
+            calls[name] = 0
+        batch = engine.assemble_batch(requests, [1] * n_requests)
+        scores = engine.run_encrypted(batch)
+        engine.split_scores(scores, [1] * n_requests)
+        return dict(calls)
+
+    run_batch(1)  # warm-up: memoizes the runtime scalar encodes
+    fresh_before = reg.counter("plan.encode.fresh").value
+    pad_before = reg.counter("serving.pack.pad_slots").value
+    serial_ops = run_batch(1)
+    packed_ops = run_batch(4)
+    ragged_ops = run_batch(3)  # 3 slots pad to 4: ragged final batch
+    fresh_delta = reg.counter("plan.encode.fresh").value - fresh_before
+    pad_delta = reg.counter("serving.pack.pad_slots").value - pad_before
+
+    print(
+        f"packed opcounts: B=1 {serial_ops} B=4 {packed_ops} B=3 {ragged_ops} "
+        f"fresh_encodes={fresh_delta} pad_slots={pad_delta}"
+    )
+
+    ok = True
+    if any(v == 0 for v in serial_ops.values()):
+        print(f"FAIL: op counters never fired: {serial_ops}")
+        ok = False
+    if packed_ops != serial_ops or ragged_ops != serial_ops:
+        print(
+            f"FAIL: packed batch op counts scale with B — B=1 {serial_ops}, "
+            f"B=4 {packed_ops}, B=3 {ragged_ops}; lane packing must evaluate "
+            "each layer operation once per batch"
+        )
+        ok = False
+    if fresh_delta != 0:
+        print(f"FAIL: warm packed inference performed {fresh_delta} fresh encodes")
+        ok = False
+    if pad_delta != 1:
+        print(f"FAIL: serving.pack.pad_slots advanced by {pad_delta}, expected 1")
+        ok = False
+    if ok:
+        print("OK: packed op counts flat in B, zero warm encodes, pad waste metered")
+    return 0 if ok else 1
 
 
 def main() -> int:
@@ -129,7 +219,9 @@ def main() -> int:
         ok = False
     if ok:
         print("OK: all futures resolved, batching active, scores bit-identical to serial")
-    return 0 if ok else 1
+    if ok:
+        return packed_opcount_check()
+    return 1
 
 
 if __name__ == "__main__":
