@@ -26,6 +26,14 @@ emits ``henn.request.*`` lifecycle events through
 durations, handle counts and sanitised error codes, and
 :meth:`CloudService.start_observability` optionally exposes the process
 metrics on ``/metrics`` + ``/healthz`` scrape endpoints.
+
+Per-request distributed tracing (:mod:`repro.obs.rtrace`) is opt-in via
+``trace_policy``: the gateway mints a :class:`TraceContext` at
+admission, the scheduler and cluster dispatcher attribute the serving
+stages (gateway, queue wait, pack, compute, split, failover) to it,
+sampled batches bring worker-process spans home with the result, and
+retained traces appear on ``/debug/traces`` (see
+``tools/trace_critical_path.py`` for the breakdown CLI).
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from repro.henn.layers import HeLayer
 from repro.obs import health as _obs_health
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.rtrace import RequestTracer, SamplingPolicy, TraceContext, batch_stage
 from repro.obs.server import ObservabilityServer
 from repro.resilience.errors import (
     ChannelIntegrityError,
@@ -244,11 +253,28 @@ class Client:
 
 
 class CloudService:
-    """Untrusted evaluator: holds the model, never the secret key."""
+    """Untrusted evaluator: holds the model, never the secret key.
 
-    def __init__(self, backend: HeBackend, layers: list[HeLayer], input_shape: tuple[int, int, int]):
+    Request tracing is opt-in: pass a
+    :class:`~repro.obs.rtrace.SamplingPolicy` as *trace_policy* and the
+    service mints a per-request :class:`~repro.obs.rtrace.TraceContext`
+    at admission, attributes the serving stages to it, and retains
+    sampled / errored / slow-tail records in :attr:`rtrace`'s store
+    (exposed on ``/debug/traces`` by :meth:`start_observability`).
+    Without a policy the request path stays trace-free.
+    """
+
+    def __init__(
+        self,
+        backend: HeBackend,
+        layers: list[HeLayer],
+        input_shape: tuple[int, int, int],
+        *,
+        trace_policy: SamplingPolicy | None = None,
+    ):
         self.engine = HeInferenceEngine(backend, layers, input_shape)
         self._obs_server: ObservabilityServer | None = None
+        self.rtrace = RequestTracer(policy=trace_policy)
         # Request ids must stay unique under concurrent try_classify
         # calls: itertools.count.__next__ is atomic under the GIL, and
         # the served/latency bookkeeping shares one lock.
@@ -274,6 +300,7 @@ class CloudService:
         log = get_logger()
         reg = get_registry()
         rid = next(self._request_ids)
+        ctx = self.rtrace.mint(rid)
         handles = int(np.asarray(encrypted_images).size)
         log.event("henn.request.start", request=rid, handles=handles)
         t0 = time.perf_counter()
@@ -286,6 +313,9 @@ class CloudService:
             reg.counter("henn.requests", {"outcome": "error"}).inc()
             with self._state_lock:
                 self._requests_served += 1
+            if ctx is not None:
+                ctx.add_stage("compute", t0, t0 + seconds, outcome="error")
+            self.rtrace.finish(ctx, "error", error_code=error.code)
             log.event(
                 "henn.request.error",
                 request=rid,
@@ -298,6 +328,9 @@ class CloudService:
         seconds = time.perf_counter() - t0
         reg.counter("henn.requests", {"outcome": "ok"}).inc()
         reg.histogram("henn.request.seconds").observe(seconds)
+        if ctx is not None:
+            ctx.add_stage("compute", t0, t0 + seconds, outcome="ok")
+        self.rtrace.finish(ctx, "ok")
         # Snapshot per request under the lock: reading the engine's
         # mutable trace here would race concurrent classifications.
         with self._state_lock:
@@ -317,6 +350,8 @@ class CloudService:
 
         ``/healthz`` reports ready=true once at least one request has
         been served, along with request counts and the last latency.
+        When request tracing is enabled (``trace_policy``), the retained
+        per-request traces are also served on ``/debug/traces``.
         Returns the running :class:`ObservabilityServer`; read its
         ``port``/``url`` for the bound address (``port=0`` = ephemeral).
         Idempotent while running.
@@ -324,7 +359,10 @@ class CloudService:
         if self._obs_server is not None and self._obs_server.running:
             return self._obs_server
         self._obs_server = ObservabilityServer(
-            port=port, host=host, health_fn=self._health
+            port=port,
+            host=host,
+            health_fn=self._health,
+            trace_store=self.rtrace.store if self.rtrace.enabled else None,
         ).start()
         return self._obs_server
 
@@ -429,6 +467,7 @@ class BatchedCloudService(CloudService):
         max_queue_depth: int = 64,
         request_timeout_s: float = 120.0,
         shed_policy: ShedPolicy | None = None,
+        trace_policy: SamplingPolicy | None = None,
     ):
         # Deferred: repro.serving.packing subclasses HeBackend, so a
         # module-level import would close an import cycle through the
@@ -436,7 +475,9 @@ class BatchedCloudService(CloudService):
         from repro.serving.packing import serving_backend_for
 
         self.client_backend = backend
-        super().__init__(serving_backend_for(backend), layers, input_shape)
+        super().__init__(
+            serving_backend_for(backend), layers, input_shape, trace_policy=trace_policy
+        )
         self.request_timeout_s = float(request_timeout_s)
         self._expected_level = _obs_health._top_level(backend)
         self._expected_scale = float(backend.scale)
@@ -511,19 +552,37 @@ class BatchedCloudService(CloudService):
         Admission failures (validation, overload, shutdown) resolve the
         future immediately with the sanitised error response — callers
         never need to distinguish sync from async rejection.
+
+        When request tracing is on, a :class:`TraceContext` is minted
+        here (the ``gateway`` stage covers admission validation) and
+        rides the scheduler payload; the trace is finished from the
+        future's done-callback, after the scheduler has attributed the
+        queue-wait and compute stages.
         """
         log = get_logger()
         reg = get_registry()
         rid = next(self._request_ids)
+        ctx = self.rtrace.mint(rid)
+        t_adm = time.perf_counter()
         try:
             enc = np.asarray(encrypted_images, dtype=object)
             slots = self._request_slots(enc, count)
             log.event("henn.request.start", request=rid, handles=int(enc.size))
             validated = self._validate_request(enc, slots)
-            return self.scheduler.submit((rid, validated, time.perf_counter()), slots)
+            if ctx is not None:
+                ctx.add_stage("gateway", t_adm, time.perf_counter())
+            future = self.scheduler.submit(
+                (rid, validated, time.perf_counter(), ctx), slots, trace=ctx
+            )
+            if ctx is not None:
+                future.add_done_callback(
+                    lambda fut, c=ctx: self._finish_trace(c, fut)
+                )
+            return future
         except Exception as exc:
             error = _sanitize(exc)
             reg.counter("henn.requests", {"outcome": "rejected"}).inc()
+            self.rtrace.finish(ctx, "rejected", error_code=error.code)
             log.event(
                 "henn.request.rejected",
                 request=rid,
@@ -531,9 +590,35 @@ class BatchedCloudService(CloudService):
                 category=error.category,
                 retryable=error.retryable,
             )
-            future: Future = Future()
+            future = Future()
             future.set_result(CloudResponse(ok=False, error=error))
             return future
+
+    def _finish_trace(self, ctx: TraceContext, fut: Future) -> None:
+        """Close one request's trace from its future's final state.
+
+        Runs as a done-callback, i.e. *after* the scheduler recorded the
+        queue-wait and compute stages — the last writer on every path
+        (success, batch failure, drain timeout, shutdown).
+        """
+        try:
+            if fut.cancelled():
+                self.rtrace.finish(ctx, "error", error_code="CancelledError")
+                return
+            exc = fut.exception()
+            if exc is not None:
+                self.rtrace.finish(ctx, "error", error_code=_sanitize(exc).code)
+                return
+            response = fut.result()
+            if getattr(response, "ok", False):
+                self.rtrace.finish(ctx, "ok")
+            else:
+                error = getattr(response, "error", None)
+                self.rtrace.finish(
+                    ctx, "error", error_code=error.code if error else None
+                )
+        except Exception:  # telemetry must never fail a served request
+            get_registry().counter("rtrace.finish_errors").inc()
 
     # -- request path --------------------------------------------------------------
 
@@ -571,13 +656,16 @@ class BatchedCloudService(CloudService):
         """
         log = get_logger()
         reg = get_registry()
-        rids = [rid for rid, _, _ in payloads]
-        requests = [enc for _, enc, _ in payloads]
+        rids = [rid for rid, _, _, _ in payloads]
+        requests = [enc for _, enc, _, _ in payloads]
+        ctxs = [ctx for _, _, _, ctx in payloads]
         t0 = time.perf_counter()
         try:
-            assembled = self.engine.assemble_batch(requests, slots)
+            with batch_stage(ctxs, "pack"):
+                assembled = self.engine.assemble_batch(requests, slots)
             score_handles = self.engine.run_encrypted(assembled)
-            per_request = self.engine.split_scores(score_handles, slots)
+            with batch_stage(ctxs, "split"):
+                per_request = self.engine.split_scores(score_handles, slots)
         except Exception as exc:
             seconds = time.perf_counter() - t0
             reg.counter("resilience.service_errors").inc()
@@ -810,11 +898,12 @@ class ClusteredCloudService(BatchedCloudService):
         future and immediately fires the next batch — this is what
         spreads consecutive batches across the pool.
         """
-        rids = [rid for rid, _, _ in payloads]
-        requests = [enc for _, enc, _ in payloads]
+        rids = [rid for rid, _, _, _ in payloads]
+        requests = [enc for _, enc, _, _ in payloads]
+        ctxs = [ctx for _, _, _, ctx in payloads]
         t0 = time.perf_counter()
         out: Future = Future()
-        inner = self.dispatcher.dispatch(requests, slots)
+        inner = self.dispatcher.dispatch(requests, slots, traces=ctxs)
         inner.add_done_callback(
             lambda fut: self._finish_cluster_batch(fut, rids, t0, out)
         )

@@ -21,8 +21,13 @@ serving process exposes its health.  The pieces:
   benchmark harness writes next to each table.
 * :mod:`repro.obs.prometheus` / :mod:`repro.obs.server` /
   :mod:`repro.obs.logs` — the scrape surface: text-exposition
-  rendering, opt-in ``/metrics`` + ``/healthz`` endpoints, and
-  structured JSON request-lifecycle logs.
+  rendering, opt-in ``/metrics`` + ``/healthz`` + ``/debug/traces``
+  endpoints, and structured JSON request-lifecycle logs.
+* :mod:`repro.obs.rtrace` — request-scoped distributed tracing across
+  the serving path: per-request trace contexts minted at gateway
+  admission, stage spans (queue wait, pack, compute, split, failover),
+  cross-process worker span shipping, head+tail sampling and the
+  slowest-N trace store behind ``/debug/traces``.
 
 Quick use::
 
@@ -66,10 +71,17 @@ from repro.obs.export import (
     to_chrome_trace,
     trace_to_json,
 )
-from repro.obs.report import aggregate_spans, layer_rows, render_report
+from repro.obs.report import aggregate_spans, layer_rows, render_report, stage_rows
 from repro.obs.prometheus import render_prometheus
 from repro.obs.logs import JsonLogger, capture_logs, get_logger
 from repro.obs.server import ObservabilityServer
+from repro.obs.rtrace import (
+    RequestTrace,
+    RequestTracer,
+    SamplingPolicy,
+    TraceContext,
+    TraceStore,
+)
 
 __all__ = [
     "Span",
@@ -102,9 +114,15 @@ __all__ = [
     "aggregate_spans",
     "layer_rows",
     "render_report",
+    "stage_rows",
     "render_prometheus",
     "JsonLogger",
     "get_logger",
     "capture_logs",
     "ObservabilityServer",
+    "RequestTrace",
+    "RequestTracer",
+    "SamplingPolicy",
+    "TraceContext",
+    "TraceStore",
 ]

@@ -52,7 +52,10 @@ def to_chrome_trace(source: Tracer | Iterable[Span]) -> dict[str, Any]:
 
     Thread ids are compressed to small consecutive integers so the
     viewer's track names stay readable; timestamps are microseconds
-    relative to the earliest span.
+    relative to the earliest span.  A span carrying a ``pid`` tag (the
+    cross-process request traces of :mod:`repro.obs.rtrace`) lands in
+    that process's track group, so a merged gateway+worker trace renders
+    one lane per process; untagged spans keep pid 0.
     """
     spans = _spans_of(source)
     t0 = min((s.start for s in spans), default=0.0)
@@ -64,6 +67,10 @@ def to_chrome_trace(source: Tracer | Iterable[Span]) -> dict[str, Any]:
         args["span_id"] = s.span_id
         if s.parent_id is not None:
             args["parent_id"] = s.parent_id
+        try:
+            pid = int(s.tags.get("pid", 0))
+        except (TypeError, ValueError):
+            pid = 0
         events.append(
             {
                 "name": s.name,
@@ -71,7 +78,7 @@ def to_chrome_trace(source: Tracer | Iterable[Span]) -> dict[str, Any]:
                 "ph": "X",
                 "ts": (s.start - t0) * 1e6,
                 "dur": s.duration * 1e6,
-                "pid": 0,
+                "pid": pid,
                 "tid": tid,
                 "args": args,
             }

@@ -33,7 +33,9 @@ automatically for every traced ``map``.
 from __future__ import annotations
 
 import math
+import random
 import threading
+import zlib
 from typing import Any, Iterable, Mapping
 
 __all__ = [
@@ -170,86 +172,161 @@ class Gauge(_Metric):
 class Histogram(_Metric):
     """Accumulates float observations; exposes count/sum/min/max/mean.
 
-    Keeps the raw samples (traces here are short-lived profiling runs,
-    not unbounded production telemetry), so exact percentiles are
-    available via :meth:`percentile` and :meth:`summary`.
+    ``count``/``total``/``min``/``max``/``mean`` are exact for any
+    observation count.  The samples backing :meth:`percentile` and the
+    ``p50``/``p90``/``p95``/``p99`` summary live in a **bounded
+    reservoir** (Algorithm R, ``reservoir_size`` slots, default 4096):
+    below the cap every observation is kept and percentiles are exact;
+    past it each new observation replaces a uniformly chosen slot, so
+    the reservoir stays an unbiased sample of the full stream and the
+    quantiles are statistically faithful while memory stays constant —
+    what lets long-running serving processes keep latency histograms
+    without unbounded growth.  The replacement RNG is seeded from the
+    metric key, so runs are reproducible.
     """
 
-    __slots__ = ("_samples",)
+    __slots__ = ("_reservoir", "_cap", "_count", "_total", "_min", "_max", "_rng")
 
-    def __init__(self, name: str, labels: Mapping[str, Any] | None = None):
+    #: Default reservoir capacity; short profiling runs stay exact.
+    RESERVOIR_SIZE = 4096
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, Any] | None = None,
+        reservoir_size: int | None = None,
+    ):
         super().__init__(name, labels)
-        self._samples: list[float] = []
+        self._cap = int(reservoir_size or self.RESERVOIR_SIZE)
+        if self._cap < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self._reservoir: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._rng = random.Random(zlib.crc32(self.key.encode("utf-8")))
+
+    def _insert(self, x: float) -> None:
+        """One observation into scalars + reservoir (caller holds lock)."""
+        self._count += 1
+        self._total += x
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+        if len(self._reservoir) < self._cap:
+            self._reservoir.append(x)
+        else:
+            j = self._rng.randrange(self._count)
+            if j < self._cap:
+                self._reservoir[j] = x
 
     def observe(self, x: float) -> None:
         """Record one observation."""
+        x = float(x)
         with self._lock:
-            self._samples.append(float(x))
+            self._insert(x)
 
     def observe_many(self, xs: Iterable[float]) -> None:
         """Record a batch of observations (one lock acquisition)."""
         xs = [float(x) for x in xs]
         with self._lock:
-            self._samples.extend(xs)
+            for x in xs:
+                self._insert(x)
 
     def samples(self) -> list[float]:
-        """Copy of the raw observations (merge/serialisation hook)."""
+        """Copy of the retained reservoir (merge/serialisation hook)."""
         with self._lock:
-            return list(self._samples)
+            return list(self._reservoir)
+
+    def absorb_delta(
+        self,
+        samples: Iterable[float],
+        count: int | None = None,
+        total: float | None = None,
+        mn: float | None = None,
+        mx: float | None = None,
+    ) -> None:
+        """Fold a shipped delta in: reservoir samples + exact scalars.
+
+        *samples* feed the reservoir; *count*/*total*/*mn*/*mx* carry the
+        shipper's exact scalars (which may exceed what its reservoir
+        retained).  Omitted scalars are derived from *samples*, keeping
+        old-format deltas (bare sample lists) mergeable.
+        """
+        xs = [float(x) for x in samples]
+        n = len(xs) if count is None else int(count)
+        t = sum(xs) if total is None else float(total)
+        with self._lock:
+            for x in xs:
+                self._insert(x)
+            # _insert counted the reservoir samples; correct the scalars
+            # to the shipper's exact stream totals.
+            self._count += n - len(xs)
+            self._total += t - sum(xs)
+            for bound in (mn, mx):
+                if bound is not None:
+                    b = float(bound)
+                    self._min = min(self._min, b)
+                    self._max = max(self._max, b)
 
     @property
     def count(self) -> int:
         with self._lock:
-            return len(self._samples)
+            return self._count
 
     @property
     def total(self) -> float:
         with self._lock:
-            return sum(self._samples)
+            return self._total
 
     @property
     def min(self) -> float:
         with self._lock:
-            return min(self._samples) if self._samples else math.nan
+            return self._min if self._count else math.nan
 
     @property
     def max(self) -> float:
         with self._lock:
-            return max(self._samples) if self._samples else math.nan
+            return self._max if self._count else math.nan
 
     @property
     def mean(self) -> float:
         with self._lock:
-            return sum(self._samples) / len(self._samples) if self._samples else math.nan
+            return self._total / self._count if self._count else math.nan
 
     def percentile(self, q: float) -> float:
-        """Exact *q*-th percentile (0 <= q <= 100) by nearest-rank.
+        """*q*-th percentile (0 <= q <= 100) by nearest-rank.
 
-        Well-defined for every sample count: ``nan`` when empty, the
-        sample itself for a single observation (every ``q``), otherwise
-        the nearest-rank order statistic.
+        Exact while the stream fits the reservoir; an unbiased estimate
+        beyond it.  Well-defined for every sample count: ``nan`` when
+        empty, the sample itself for a single observation (every ``q``),
+        otherwise the nearest-rank order statistic of the reservoir.
         """
         if not 0 <= q <= 100:
             raise ValueError("percentile must be in [0, 100]")
         with self._lock:
-            if not self._samples:
+            if not self._reservoir:
                 return math.nan
-            ordered = sorted(self._samples)
+            ordered = sorted(self._reservoir)
         rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
         return ordered[rank]
 
     def summary(self) -> dict[str, Any]:
         """One consistent stats dict for any sample count.
 
-        ``count``/``total`` are always numbers; the order statistics
-        (``min``/``max``/``mean``/``p50``/``p90``/``p99``) are ``None``
-        for the empty histogram and all equal to the single sample when
-        only one observation has been made — no ``nan`` leaks into JSON
-        artifacts.
+        ``count``/``total`` are always (exact) numbers; the order
+        statistics (``min``/``max``/``mean``/``p50``/``p90``/``p95``/
+        ``p99``) are ``None`` for the empty histogram and all equal to
+        the single sample when only one observation has been made — no
+        ``nan`` leaks into JSON artifacts.
         """
         with self._lock:
-            s = sorted(self._samples)
-        if not s:
+            s = sorted(self._reservoir)
+            count, total = self._count, self._total
+            lo, hi = self._min, self._max
+        if not count:
             return {
                 "count": 0,
                 "total": 0.0,
@@ -258,6 +335,7 @@ class Histogram(_Metric):
                 "mean": None,
                 "p50": None,
                 "p90": None,
+                "p95": None,
                 "p99": None,
             }
 
@@ -265,13 +343,14 @@ class Histogram(_Metric):
             return s[max(0, math.ceil(q / 100 * len(s)) - 1)]
 
         return {
-            "count": len(s),
-            "total": sum(s),
-            "min": s[0],
-            "max": s[-1],
-            "mean": sum(s) / len(s),
+            "count": count,
+            "total": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count,
             "p50": rank(50),
             "p90": rank(90),
+            "p95": rank(95),
             "p99": rank(99),
         }
 
@@ -339,9 +418,11 @@ class MetricsRegistry:
     def to_delta(self) -> dict[str, dict[str, Any]]:
         """Serialise the registry as a mergeable delta.
 
-        Unlike :meth:`snapshot` this keeps histograms as their raw
-        sample lists, so a parent-side :meth:`merge_delta` reconstructs
-        exact percentiles rather than merging summaries.
+        Unlike :meth:`snapshot` this keeps histograms as their retained
+        reservoir samples *plus* the exact count/total/min/max scalars,
+        so a parent-side :meth:`merge_delta` reconstructs faithful
+        percentiles and exact stream totals rather than merging
+        summaries.
         """
         out: dict[str, dict[str, Any]] = {}
         for key, m in self._items():
@@ -354,7 +435,15 @@ class MetricsRegistry:
                 d = m.to_dict()
                 entry.update(type="gauge", value=d["value"], min=d["min"], max=d["max"])
             else:
-                entry.update(type="histogram", samples=m.samples())
+                count = m.count
+                entry.update(
+                    type="histogram",
+                    samples=m.samples(),
+                    count=count,
+                    total=m.total,
+                    min=m.min if count else None,
+                    max=m.max if count else None,
+                )
             out[key] = entry
         return out
 
@@ -386,7 +475,13 @@ class MetricsRegistry:
                                 g._min = min(g._min, float(bound))
                                 g._max = max(g._max, float(bound))
             elif kind == "histogram":
-                self.histogram(name, labels).observe_many(entry.get("samples", ()))
+                self.histogram(name, labels).absorb_delta(
+                    entry.get("samples", ()),
+                    count=entry.get("count"),
+                    total=entry.get("total"),
+                    mn=entry.get("min"),
+                    mx=entry.get("max"),
+                )
         if worker is not None:
             self._note_worker(worker, delta)
 
@@ -408,8 +503,8 @@ class MetricsRegistry:
                     samples = entry.get("samples", ())
                     if prev is None:
                         prev = ledger[key] = {"type": "histogram", "count": 0, "total": 0.0}
-                    prev["count"] += len(samples)
-                    prev["total"] += float(sum(samples))
+                    prev["count"] += int(entry.get("count", len(samples)))
+                    prev["total"] += float(entry.get("total", sum(samples)))
 
     def per_worker(self) -> dict[str, dict[str, dict[str, Any]]]:
         """Per-worker metric ledgers accumulated by :meth:`merge_delta`."""

@@ -29,8 +29,9 @@ CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
-#: Exact quantiles exposed for each histogram (raw samples make them exact).
-_QUANTILES = (0.5, 0.9, 0.99)
+#: Quantiles exposed for each histogram (exact while the stream fits the
+#: reservoir; unbiased estimates beyond it).
+_QUANTILES = (0.5, 0.9, 0.95, 0.99)
 
 
 def prometheus_name(name: str, prefix: str = "repro") -> str:

@@ -20,6 +20,7 @@ __all__ = [
     "layer_rows",
     "serving_rows",
     "cluster_rows",
+    "stage_rows",
     "render_report",
     "format_table",
 ]
@@ -104,6 +105,18 @@ def cluster_rows(metrics: MetricsRegistry) -> list[list]:
     return _prefixed_rows(metrics, "cluster.")
 
 
+def stage_rows(metrics: MetricsRegistry) -> list[list]:
+    """Serving-stage summary rows from the ``rtrace.*`` request tracing.
+
+    Where a request's latency goes, stage by stage: one histogram row
+    per ``rtrace.stage.<name>.seconds`` series (gateway admission,
+    queue wait, pack, compute, split, failover retries) plus the
+    end-to-end ``rtrace.request.seconds`` and the sampling counters.
+    Empty when request tracing never ran.
+    """
+    return _prefixed_rows(metrics, "rtrace.")
+
+
 def _prefixed_rows(metrics: MetricsRegistry, prefix: str) -> list[list]:
     rows: list[list] = []
     for key, m in sorted(metrics.snapshot().items()):
@@ -112,15 +125,24 @@ def _prefixed_rows(metrics: MetricsRegistry, prefix: str) -> list[list]:
         if m["type"] == "histogram":
             if m["count"]:
                 rows.append(
-                    [key, m["count"], f"{m['mean']:.6g}", f"{m['p50']:.6g}", f"{m['p99']:.6g}"]
+                    [
+                        key,
+                        m["count"],
+                        f"{m['mean']:.6g}",
+                        f"{m['p50']:.6g}",
+                        f"{m['p95']:.6g}",
+                        f"{m['p99']:.6g}",
+                    ]
                 )
             else:
-                rows.append([key, 0, "-", "-", "-"])
+                rows.append([key, 0, "-", "-", "-", "-"])
         elif m["type"] == "gauge":
             v = m["value"]
-            rows.append([key, m.get("samples", ""), f"{v:.6g}" if v is not None else "-", "", ""])
+            rows.append(
+                [key, m.get("samples", ""), f"{v:.6g}" if v is not None else "-", "", "", ""]
+            )
         else:
-            rows.append([key, "", str(m["value"]), "", ""])
+            rows.append([key, "", str(m["value"]), "", "", ""])
     return rows
 
 
@@ -187,7 +209,7 @@ def render_report(
     if srows:
         sections.append(
             format_table(
-                ["serving metric", "n", "value/mean", "p50", "p99"],
+                ["serving metric", "n", "value/mean", "p50", "p95", "p99"],
                 srows,
                 "serving gateway (batch coalescing)",
             )
@@ -197,9 +219,19 @@ def render_report(
     if crows:
         sections.append(
             format_table(
-                ["cluster metric", "n", "value/mean", "p50", "p99"],
+                ["cluster metric", "n", "value/mean", "p50", "p95", "p99"],
                 crows,
                 "worker pool (dispatch / failover / respawn)",
+            )
+        )
+
+    trows = stage_rows(metrics) if metrics is not None else []
+    if trows:
+        sections.append(
+            format_table(
+                ["serving stage", "n", "value/mean", "p50", "p95", "p99"],
+                trows,
+                "request tracing (per-stage latency, rtrace.*)",
             )
         )
 

@@ -8,7 +8,13 @@ path — a scraper pulls whenever it wants:
 * ``GET /metrics`` — the process registry rendered by
   :func:`repro.obs.prometheus.render_prometheus`;
 * ``GET /healthz`` — a small JSON document from the owner's health
-  callback (HTTP 200 when ``"ok": true``, 503 otherwise).
+  callback (HTTP 200 when ``"ok": true``, 503 otherwise);
+* ``GET /debug/traces`` — when the owner attached a
+  :class:`~repro.obs.rtrace.TraceStore`: the per-request trace index
+  (slowest-N exemplars with stage breakdowns plus the recent ring),
+  ``GET /debug/traces/<trace_id>`` for one full record, and
+  ``?format=chrome`` on the latter for a Chrome/Perfetto ``traceEvents``
+  document spanning the gateway and worker processes.
 
 Nothing is served unless the owner explicitly starts the server
 (``port=0`` picks an ephemeral port, handy for tests), and the handler
@@ -21,6 +27,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
+from urllib.parse import parse_qs
 
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
@@ -32,7 +39,7 @@ class _Handler(BaseHTTPRequestHandler):
     server: "_ObsHTTPServer"
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
         if path == "/metrics":
             body = render_prometheus(self.server.registry).encode("utf-8")
             self._reply(200, CONTENT_TYPE, body)
@@ -44,8 +51,36 @@ class _Handler(BaseHTTPRequestHandler):
             code = 200 if status.get("ok", False) else 503
             body = json.dumps(status, separators=(",", ":")).encode("utf-8")
             self._reply(code, "application/json", body)
+        elif path == "/debug/traces" or path.startswith("/debug/traces/"):
+            self._traces(path, query)
         else:
             self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _traces(self, path: str, query: str) -> None:
+        """Serve the request-trace store (index, one record, chrome export)."""
+        store = self.server.trace_store
+        if store is None:
+            self._reply(
+                404, "text/plain; charset=utf-8", b"request tracing not enabled\n"
+            )
+            return
+        trace_id = path[len("/debug/traces/"):] if path != "/debug/traces" else ""
+        if not trace_id:
+            body = json.dumps(store.snapshot(), indent=1).encode("utf-8")
+            self._reply(200, "application/json", body)
+            return
+        trace = store.get(trace_id)
+        if trace is None:
+            self._reply(404, "text/plain; charset=utf-8", b"unknown trace id\n")
+            return
+        fmt = parse_qs(query).get("format", [""])[0]
+        if fmt == "chrome":
+            from repro.obs.export import to_chrome_trace
+
+            doc = to_chrome_trace(trace.spans)
+        else:
+            doc = trace.to_dict()
+        self._reply(200, "application/json", json.dumps(doc, indent=1).encode("utf-8"))
 
     def _reply(self, code: int, ctype: str, body: bytes) -> None:
         self.send_response(code)
@@ -62,6 +97,7 @@ class _ObsHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     registry: MetricsRegistry
     health_fn: Callable[[], dict[str, Any]]
+    trace_store: Any | None
 
 
 class ObservabilityServer:
@@ -79,6 +115,9 @@ class ObservabilityServer:
         Zero-argument callable returning the ``/healthz`` JSON dict;
         the endpoint answers 200 when its ``"ok"`` key is true, 503
         otherwise.  Defaults to a static ``{"ok": True}``.
+    trace_store:
+        Optional :class:`~repro.obs.rtrace.TraceStore` backing the
+        ``/debug/traces`` endpoints; without one those answer 404.
     """
 
     def __init__(
@@ -87,11 +126,13 @@ class ObservabilityServer:
         host: str = "127.0.0.1",
         registry: MetricsRegistry | None = None,
         health_fn: Callable[[], dict[str, Any]] | None = None,
+        trace_store: Any | None = None,
     ):
         self.host = host
         self._requested_port = port
         self.registry = registry if registry is not None else get_registry()
         self.health_fn = health_fn or (lambda: {"ok": True})
+        self.trace_store = trace_store
         self._httpd: _ObsHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
@@ -118,6 +159,7 @@ class ObservabilityServer:
         httpd = _ObsHTTPServer((self.host, self._requested_port), _Handler)
         httpd.registry = self.registry
         httpd.health_fn = self.health_fn
+        httpd.trace_store = self.trace_store
         thread = threading.Thread(
             target=httpd.serve_forever, name="repro-obs-server", daemon=True
         )

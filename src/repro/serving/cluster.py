@@ -30,7 +30,15 @@ counters (dispatches, failovers, respawns, worker deaths, serial
 degradations, heartbeat kills), per-worker gauges (state, health,
 inflight) and the ``cluster.batch.seconds`` histogram — all scraped
 through the existing Prometheus path and summarised on ``/healthz`` by
-:class:`~repro.henn.protocol.ClusteredCloudService`.
+:class:`~repro.henn.protocol.ClusteredCloudService`.  Worker-side
+telemetry ships home too: every batch reply carries the child's
+:meth:`~repro.obs.metrics.MetricsRegistry.to_delta` document, which the
+receiver :meth:`~repro.obs.metrics.MetricsRegistry.merge_delta`-folds
+into the gateway registry under a stable ``worker-<index>`` ledger id —
+so ``/metrics`` reflects worker-side NTT/keyswitch/plan-cache counters —
+and a batch holding sampled request traces additionally ships the
+worker's finished spans for the gateway to merge into the per-request
+cross-process traces (:mod:`repro.obs.rtrace`).
 
 Fault injection: arm a seeded
 :class:`~repro.resilience.FaultInjector` with
@@ -178,8 +186,19 @@ def _worker_main(index: int, conn: Any, engine_factory: Callable[[], Any],
     The engine build (plan compile against the shared cache) is the
     per-worker warm-up; ``("ready", ...)`` is only sent once it is done,
     so the pool's ``warming`` state covers the whole expensive part.
+
+    Every batch reply carries the worker's metric delta for that batch
+    (the registry is swapped fresh after each send, so deltas stay small
+    and merge cleanly parent-side; the first one also carries the
+    warm-up metrics).  When the batch message flags sampled request
+    traces, the worker additionally activates a fresh
+    :class:`~repro.obs.tracer.Tracer` around the evaluation — the
+    engine's internal ``henn.*``/``ckksrns.*`` spans land under
+    ``rtrace.worker.*`` phase spans — and ships the finished spans back
+    with the result for the gateway to merge into the request traces.
     """
     from repro.obs import metrics as _metrics
+    from repro.obs import tracer as _tracer
 
     _metrics.set_registry(_metrics.MetricsRegistry())
     try:
@@ -194,6 +213,12 @@ def _worker_main(index: int, conn: Any, engine_factory: Callable[[], Any],
         conn.send(("ready", None, os.getpid()))
     except Exception:
         return
+
+    def take_delta() -> dict:
+        delta = _metrics.get_registry().to_delta()
+        _metrics.set_registry(_metrics.MetricsRegistry())
+        return delta
+
     batches = 0
     while True:
         try:
@@ -214,20 +239,45 @@ def _worker_main(index: int, conn: Any, engine_factory: Callable[[], Any],
             # Seeded mid-batch death: the job was received but will
             # never be answered — exactly what failover must absorb.
             os.kill(os.getpid(), signal.SIGKILL)
-        requests, slots = payload
+        requests, slots, sampled = payload
+        tracer: Any = None
+        prev_tracer: Any = None
+        if sampled:
+            tracer = _tracer.Tracer()
+            prev_tracer = _tracer.set_tracer(tracer)
         t0 = time.perf_counter()
         try:
-            assembled = engine.assemble_batch(requests, slots)
-            scores = engine.run_encrypted(assembled)
-            per_request = engine.split_scores(scores, slots)
-            reply = ("result", job_id, (per_request, time.perf_counter() - t0))
+            if tracer is not None:
+                with tracer.span("rtrace.worker.pack", batch=len(requests)):
+                    assembled = engine.assemble_batch(requests, slots)
+                with tracer.span("rtrace.worker.evaluate"):
+                    scores = engine.run_encrypted(assembled)
+                with tracer.span("rtrace.worker.split"):
+                    per_request = engine.split_scores(scores, slots)
+            else:
+                assembled = engine.assemble_batch(requests, slots)
+                scores = engine.run_encrypted(assembled)
+                per_request = engine.split_scores(scores, slots)
+            seconds = time.perf_counter() - t0
+            span_dicts = (
+                [s.to_dict() for s in tracer.finished()] if tracer is not None else []
+            )
+            reply = ("result", job_id, (per_request, seconds, take_delta(), span_dicts))
         except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            delta = take_delta()
             try:
-                reply = ("error", job_id, exc)
+                reply = ("error", job_id, (exc, delta))
                 conn.send(reply)
                 continue
             except Exception:
-                reply = ("error", job_id, RuntimeError(f"{type(exc).__name__} (unpicklable)"))
+                reply = (
+                    "error",
+                    job_id,
+                    (RuntimeError(f"{type(exc).__name__} (unpicklable)"), delta),
+                )
+        finally:
+            if tracer is not None:
+                _tracer.set_tracer(prev_tracer)
         try:
             conn.send(reply)
         except Exception:
@@ -237,16 +287,39 @@ def _worker_main(index: int, conn: Any, engine_factory: Callable[[], Any],
 class _Job:
     """One dispatched batch: payload + the future the dispatcher returned."""
 
-    __slots__ = ("job_id", "requests", "slots", "future", "attempts", "created_at")
+    __slots__ = (
+        "job_id",
+        "requests",
+        "slots",
+        "traces",
+        "future",
+        "attempts",
+        "created_at",
+    )
 
-    def __init__(self, job_id: int, requests: Sequence[Any], slots: Sequence[int]):
+    def __init__(
+        self,
+        job_id: int,
+        requests: Sequence[Any],
+        slots: Sequence[int],
+        traces: Sequence[Any] | None = None,
+    ):
         self.job_id = job_id
         self.requests = requests
         self.slots = list(slots)
+        #: Per-request trace contexts (same order as *requests*; members
+        #: may be ``None``).  Sampled members receive the worker's
+        #: shipped spans when the result arrives.
+        self.traces: list[Any] = list(traces) if traces is not None else []
         self.future: Future = Future()
         self.future.set_running_or_notify_cancel()
         self.attempts = 0
         self.created_at = time.monotonic()
+
+    @property
+    def sampled(self) -> bool:
+        """Whether any member wants worker-side spans shipped back."""
+        return any(getattr(ctx, "sampled", False) for ctx in self.traces if ctx is not None)
 
 
 class ClusterWorker:
@@ -519,7 +592,10 @@ class WorkerPool:
             if job is None:
                 continue  # job was already failed over elsewhere
             if kind == "result":
-                per_request, seconds = payload
+                per_request, seconds, delta, span_dicts = payload
+                self._merge_worker_delta(worker, delta)
+                if span_dicts:
+                    self._absorb_worker_spans(worker, job, span_dicts)
                 with self.cond:
                     worker.ewma_seconds = (
                         seconds if worker.ewma_seconds == 0.0
@@ -529,11 +605,53 @@ class WorkerPool:
                 if not job.future.cancelled():
                     job.future.set_result(per_request)
             else:  # error: the evaluation itself failed — not a worker loss
+                exc, delta = payload
+                self._merge_worker_delta(worker, delta)
                 with self.cond:
                     worker.faults += 0.5
                     self._publish(worker)
                 if not job.future.cancelled():
-                    job.future.set_exception(payload)
+                    job.future.set_exception(exc)
+
+    def _merge_worker_delta(self, worker: ClusterWorker, delta: dict | None) -> None:
+        """Fold one batch's worker-side metrics into the gateway registry.
+
+        Keyed by the worker *slot* index (stable across respawns, unlike
+        the pid), so ``/metrics`` reflects worker-side NTT / keyswitch /
+        plan-cache counters and the per-worker ledgers stay coherent
+        through failover.
+        """
+        if not delta:
+            return
+        try:
+            get_registry().merge_delta(delta, worker=f"worker-{worker.index}")
+        except Exception:
+            _count("delta.merge_errors")
+
+    def _absorb_worker_spans(
+        self, worker: ClusterWorker, job: _Job, span_dicts: list
+    ) -> None:
+        """Hand shipped spans to every sampled request trace of *job*.
+
+        A coalesced batch evaluates once for all members, so each
+        sampled member's trace receives the batch's worker spans (its
+        own copy, re-idded by the context's two-pass remap).  The
+        receive-time clock aligns the worker's ``perf_counter`` domain
+        onto the gateway's.
+        """
+        align_end = time.perf_counter()
+        for ctx in job.traces:
+            if ctx is None or not getattr(ctx, "sampled", False):
+                continue
+            try:
+                ctx.absorb_worker_spans(
+                    span_dicts,
+                    worker=f"worker-{worker.index}",
+                    pid=worker.pid,
+                    align_end=align_end,
+                )
+            except Exception:
+                _count("span.merge_errors")
 
     def _handle_death(self, worker: ClusterWorker, generation: int) -> None:
         """Mark a worker dead, orphan its jobs, kick off the respawn."""
@@ -794,15 +912,26 @@ class Dispatcher:
 
     # -- dispatch -------------------------------------------------------------------
 
-    def dispatch(self, requests: Sequence[Any], slots: Sequence[int]) -> Future:
+    def dispatch(
+        self,
+        requests: Sequence[Any],
+        slots: Sequence[int],
+        traces: Sequence[Any] | None = None,
+    ) -> Future:
         """Hand one batch to the pool; returns the future of its results.
 
         Blocks the caller (the scheduler's batcher thread) until the
         batch is *assigned* — so under saturation, requests pile up in
         the scheduler's queue where the shedding tiers can see them,
         instead of in a hidden dispatcher backlog.
+
+        *traces* optionally carries one request-trace context per
+        request (``None`` members allowed).  Sampled members make the
+        worker activate a tracer for this batch and ship its spans back;
+        failover retries are recorded as ``failover_retry`` stages on
+        every present context.
         """
-        job = _Job(next(self._job_ids), list(requests), list(slots))
+        job = _Job(next(self._job_ids), list(requests), list(slots), traces)
         _count("dispatches")
         self._assign(job, first=True)
         return job.future
@@ -839,7 +968,9 @@ class Dispatcher:
     def _send(self, worker: ClusterWorker, job: _Job) -> bool:
         try:
             with worker.send_lock:
-                worker.conn.send(("batch", job.job_id, (job.requests, job.slots)))
+                worker.conn.send(
+                    ("batch", job.job_id, (job.requests, job.slots, job.sampled))
+                )
             return True
         except Exception:
             self.pool.release_without_send(worker, job)
@@ -870,8 +1001,16 @@ class Dispatcher:
         ).start()
 
     def _redispatch(self, job: _Job) -> None:
+        t0 = time.perf_counter()
         time.sleep(self.policy.backoff_delay(job.attempts, self._rng))
         self._assign(job, first=False)
+        # The failover stage covers backoff + reassignment — the extra
+        # latency the worker loss added before evaluation restarted.
+        t1 = time.perf_counter()
+        for ctx in job.traces:
+            if ctx is not None:
+                ctx.note_retry()
+                ctx.add_stage("failover_retry", t0, t1, attempt=job.attempts)
 
     def _run_fallback(self, job: _Job) -> None:
         """Whole-pool loss: evaluate in-process, or fail retryably."""

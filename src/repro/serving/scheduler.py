@@ -34,10 +34,13 @@ generic half of that bargain, with no knowledge of HE:
 Telemetry (:mod:`repro.obs.metrics`): ``serving.queue.depth``,
 ``serving.slot_utilization`` and ``serving.shed.tier`` gauges,
 ``serving.batch.size`` / ``serving.batch.slots`` /
-``serving.batch.wait_seconds`` / ``serving.batch.compute_seconds``
-histograms, the ``serving.requests`` outcome-labelled counter and the
-``serving.shed.*`` shedding counters, all exported through the existing
-Prometheus path.
+``serving.batch.wait_seconds`` histograms, the outcome-labelled
+``serving.batch.compute_seconds`` histogram (failed-batch latency in
+its own series), the ``serving.requests`` outcome-labelled counter and
+the ``serving.shed.*`` shedding counters, all exported through the
+existing Prometheus path.  Per-request attribution (queue wait and
+compute stages of one particular request) flows through the optional
+``trace`` context accepted by :meth:`BatchingScheduler.submit`.
 """
 
 from __future__ import annotations
@@ -71,6 +74,12 @@ class _Pending:
     enqueued_at: float
     #: Shedding deadline of a tier-``defer`` admission (None = firm).
     shed_deadline: float | None = None
+    #: Optional request-trace context (duck-typed: anything with
+    #: ``add_stage(name, start, end, **tags)``); the scheduler records
+    #: per-request ``queue_wait`` and ``compute`` stages into it.
+    trace: Any | None = None
+    #: ``perf_counter`` at admission, clocking the queue-wait stage.
+    enqueued_pc: float = 0.0
 
 
 def _resolve(future: Future, result: Any = None, error: BaseException | None = None) -> None:
@@ -192,8 +201,14 @@ class BatchingScheduler:
             return "shed"
         return self.shed_policy.tier(depth, self.max_queue_depth, self._saturation())
 
-    def submit(self, payload: Any, slots: int = 1) -> Future:
+    def submit(self, payload: Any, slots: int = 1, trace: Any | None = None) -> Future:
         """Enqueue one request claiming *slots*; returns its future.
+
+        *trace* optionally attaches a request-trace context (an object
+        with ``add_stage(name, start, end, **tags)``, e.g. a
+        :class:`~repro.obs.rtrace.TraceContext`): the scheduler then
+        attributes this request's queue wait and batch compute time to
+        it.  ``None`` (the default) keeps the hot path trace-free.
 
         Raises
         ------
@@ -236,7 +251,17 @@ class BatchingScheduler:
                 deadline = now + self.shed_policy.defer_deadline_s
                 reg.counter("serving.shed.deferred").inc()
             future: Future = Future()
-            self._queue.append(_Pending(payload, slots, future, now, deadline))
+            self._queue.append(
+                _Pending(
+                    payload,
+                    slots,
+                    future,
+                    now,
+                    deadline,
+                    trace=trace,
+                    enqueued_pc=time.perf_counter() if trace is not None else 0.0,
+                )
+            )
             reg.gauge("serving.queue.depth").set(len(self._queue))
             self._cond.notify_all()
             return future
@@ -337,6 +362,9 @@ class BatchingScheduler:
         )
         reg.gauge("serving.slot_utilization").set(utilization)
         t0 = time.perf_counter()
+        for p in batch:
+            if p.trace is not None:
+                p.trace.add_stage("queue_wait", p.enqueued_pc, t0)
         error: BaseException | None = None
         results: Any = None
         with self._cond:
@@ -361,16 +389,32 @@ class BatchingScheduler:
                 lambda fut, b=batch, t=t0: self._on_dispatched(fut, b, t)
             )
             return
-        reg.histogram("serving.batch.compute_seconds").observe(time.perf_counter() - t0)
+        self._observe_compute(batch, t0, error)
         self._distribute(batch, results, error, utilization)
+
+    def _observe_compute(
+        self, batch: list[_Pending], t0: float, error: BaseException | None
+    ) -> None:
+        """Batch compute time: outcome-labelled histogram + trace stages.
+
+        The ``outcome`` label keeps failed-batch latency out of the
+        success compute series (a fast-failing pool would otherwise
+        drag the apparent compute p50 down).
+        """
+        t1 = time.perf_counter()
+        outcome = "ok" if error is None else "error"
+        get_registry().histogram(
+            "serving.batch.compute_seconds", {"outcome": outcome}
+        ).observe(t1 - t0)
+        for p in batch:
+            if p.trace is not None:
+                p.trace.add_stage("compute", t0, t1, outcome=outcome)
 
     def _on_dispatched(self, fut: Future, batch: list[_Pending], t0: float) -> None:
         """Completion callback of a pipelined batch (dispatcher thread)."""
         with self._cond:
             if self._inflight.pop(fut, None) is None:
                 return  # shutdown already failed this batch
-        reg = get_registry()
-        reg.histogram("serving.batch.compute_seconds").observe(time.perf_counter() - t0)
         error: BaseException | None = None
         results: Sequence[Any] | None = None
         if fut.cancelled():
@@ -379,6 +423,7 @@ class BatchingScheduler:
             error = fut.exception()
         else:
             results = fut.result()
+        self._observe_compute(batch, t0, error)
         self._distribute(batch, results, error, self._last_utilization)
 
     def _distribute(

@@ -92,3 +92,43 @@ def test_server_start_stop_idempotent(registry):
     srv.stop()
     srv.stop()
     assert not srv.running
+
+
+def test_server_debug_traces_endpoints(registry):
+    from repro.obs.rtrace import RequestTracer, SamplingPolicy, TraceStore
+
+    tracer = RequestTracer(
+        SamplingPolicy(rate=1.0), TraceStore(), registry=MetricsRegistry()
+    )
+    ctx = tracer.mint(1)
+    ctx.add_stage("compute", 0.0, 0.5)
+    record = tracer.finish(ctx, "ok")
+    with ObservabilityServer(
+        port=0, registry=registry, trace_store=tracer.store
+    ) as srv:
+        status, _, body = _get(srv.url + "/debug/traces")
+        index = json.loads(body)
+        assert status == 200 and index["stored"] == 1
+        assert index["recent"][0]["trace_id"] == record.trace_id
+
+        status, _, body = _get(srv.url + f"/debug/traces/{record.trace_id}")
+        full = json.loads(body)
+        assert status == 200 and full["stages"]["compute"] == 0.5
+        assert [s["name"] for s in full["spans"]].count("rtrace.request") == 1
+
+        status, _, body = _get(
+            srv.url + f"/debug/traces/{record.trace_id}?format=chrome"
+        )
+        chrome = json.loads(body)
+        assert status == 200 and chrome["traceEvents"]
+
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(srv.url + "/debug/traces/no-such-id")
+        assert err.value.code == 404
+
+
+def test_server_debug_traces_404_without_store(registry):
+    with ObservabilityServer(port=0, registry=registry) as srv:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(srv.url + "/debug/traces")
+        assert err.value.code == 404

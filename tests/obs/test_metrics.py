@@ -189,3 +189,44 @@ def test_snapshot_consistent_under_concurrent_merges():
             assert s["h"]["count"] % 3 == 0
     # odd indices merge, and odd i mod 4 is 1 or 3
     assert set(parent.per_worker()) == {"worker-1", "worker-3"}
+
+
+def test_histogram_reservoir_bounded_with_exact_scalars():
+    h = Histogram("big")
+    n = Histogram.RESERVOIR_SIZE + 3000
+    h.observe_many(float(i) for i in range(n))
+    # Sample storage is bounded; count/total/min/max stay exact.
+    assert len(h.samples()) == Histogram.RESERVOIR_SIZE
+    assert h.count == n
+    assert h.total == sum(range(n))
+    assert h.min == 0.0 and h.max == float(n - 1)
+    assert h.mean == pytest.approx((n - 1) / 2)
+    # Reservoir percentiles track the true distribution (coarse bound).
+    assert h.percentile(50) == pytest.approx((n - 1) / 2, rel=0.15)
+
+
+def test_histogram_reservoir_is_deterministic_per_key():
+    def fill(name):
+        h = Histogram(name)
+        h.observe_many(float(i) for i in range(Histogram.RESERVOIR_SIZE + 500))
+        return h.samples()
+
+    assert fill("same") == fill("same")  # seeded by key: reproducible
+
+
+def test_histogram_absorb_delta_corrects_scalars():
+    h = Histogram("merge", reservoir_size=8)
+    h.observe(1.0)
+    # A worker saw 100 observations but ships only 2 exemplars.
+    h.absorb_delta([5.0, 7.0], count=100, total=600.0, mn=0.5, mx=9.0)
+    assert h.count == 101
+    assert h.total == pytest.approx(601.0)
+    assert h.min == 0.5 and h.max == 9.0
+
+
+def test_histogram_summary_has_p95():
+    h = Histogram("s")
+    h.observe_many(float(i) for i in range(1, 101))
+    s = h.summary()
+    assert s["p95"] == pytest.approx(95.0, rel=0.02)
+    assert Histogram("empty").summary()["p95"] is None

@@ -1,0 +1,173 @@
+"""Request tracing through the serving path: scheduler, gateway, cluster.
+
+The distributed-tracing acceptance lives here: one sampled request
+through the clustered gateway must yield a **single merged trace** with
+stage attribution from the gateway process and spans from the worker
+process that evaluated its batch — and with tracing off, the identical
+traffic must record nothing at all.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.henn.backend import MockBackend
+from repro.henn.layers import HeConv2d, HeFlatten, HeLinear, HePoly
+from repro.henn.protocol import BatchedCloudService, Client, ClusteredCloudService
+from repro.obs.rtrace import SamplingPolicy, TraceContext
+from repro.serving.scheduler import BatchingScheduler
+
+SHAPE = (1, 6, 6)
+
+
+@pytest.fixture(scope="module")
+def layers():
+    rng = np.random.default_rng(0)
+    return [
+        HeConv2d(rng.normal(0, 0.4, (2, 1, 3, 3)), np.zeros(2), stride=2),
+        HePoly([0.1, 0.5, 0.25]),
+        HeFlatten(),
+        HeLinear(rng.normal(0, 0.3, (10, 8)), np.zeros(10)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.random.default_rng(1).uniform(0, 1, (4, 1, 6, 6))
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+# -- scheduler stage attribution ---------------------------------------------
+
+
+def test_scheduler_records_queue_wait_and_compute_stages():
+    def echo(payloads, slots):
+        return list(payloads)
+
+    ctx = TraceContext("t-1", 1, sampled=True)
+    with BatchingScheduler(echo, max_batch_slots=4, max_wait_ms=1.0) as sched:
+        fut = sched.submit("payload", trace=ctx)
+        assert fut.result(timeout=10) == "payload"
+    stages = ctx.stages()
+    assert "queue_wait" in stages and "compute" in stages
+    by_name = {s.name: s for s in ctx.spans()}
+    assert by_name["rtrace.compute"].tags["outcome"] == "ok"
+
+
+def test_scheduler_labels_failed_batch_compute_stage():
+    def boom(payloads, slots):
+        raise RuntimeError("pool on fire")
+
+    ctx = TraceContext("t-2", 2, sampled=True)
+    with BatchingScheduler(boom, max_batch_slots=4, max_wait_ms=1.0) as sched:
+        fut = sched.submit("payload", trace=ctx)
+        with pytest.raises(RuntimeError):
+            fut.result(timeout=10)
+    by_name = {s.name: s for s in ctx.spans()}
+    assert by_name["rtrace.compute"].tags["outcome"] == "error"
+
+
+def test_scheduler_untraced_submit_records_nothing():
+    def echo(payloads, slots):
+        return list(payloads)
+
+    with BatchingScheduler(echo, max_batch_slots=4, max_wait_ms=1.0) as sched:
+        assert sched.submit("payload").result(timeout=10) == "payload"
+
+
+# -- batched (single-process) gateway ----------------------------------------
+
+
+def test_batched_gateway_traces_full_stage_breakdown(layers, images):
+    backend = MockBackend(batch=8, levels=6)
+    client = Client(backend, SHAPE)
+    with BatchedCloudService(
+        backend, layers, SHAPE, trace_policy=SamplingPolicy(rate=1.0, seed=3)
+    ) as svc:
+        enc = client.encrypt_request(images[:1])
+        assert svc.try_classify(enc, count=1).ok
+        assert _wait_for(lambda: len(svc.rtrace.store) == 1)
+        record = svc.rtrace.store.recent()[0]
+    assert record.outcome == "ok" and record.kept == "head"
+    for stage in ("gateway", "queue_wait", "pack", "compute", "split"):
+        assert stage in record.stages, stage
+    # Single process: every span carries the gateway pid.
+    assert len(record.pids) == 1
+
+
+def test_rejected_request_is_tail_kept(layers, images):
+    backend = MockBackend(batch=8, levels=6)
+    with BatchedCloudService(
+        backend, layers, SHAPE, trace_policy=SamplingPolicy(rate=1.0, seed=3)
+    ) as svc:
+        bad = np.asarray(images[:1])  # plaintext floats: fails validation
+        response = svc.try_classify(bad, count=1)
+        assert not response.ok
+        record = svc.rtrace.store.recent()[0]
+    assert record.outcome == "rejected"
+    assert record.error_code == "RequestValidationError"
+
+
+def test_disabled_tracing_stores_nothing(layers, images):
+    backend = MockBackend(batch=8, levels=6)
+    client = Client(backend, SHAPE)
+    with BatchedCloudService(backend, layers, SHAPE) as svc:
+        enc = client.encrypt_request(images[:1])
+        assert svc.try_classify(enc, count=1).ok
+        assert len(svc.rtrace.store) == 0
+
+
+# -- clustered gateway: the cross-process merge -------------------------------
+
+
+def test_sampled_cluster_request_yields_single_merged_trace(layers, images):
+    backend = MockBackend(batch=8, levels=6)
+    client = Client(backend, SHAPE)
+    svc = ClusteredCloudService(
+        backend,
+        layers,
+        SHAPE,
+        workers=2,
+        trace_policy=SamplingPolicy(rate=1.0, seed=3),
+    )
+    try:
+        enc = client.encrypt_request(images[:1])
+        assert svc.try_classify(enc, count=1).ok
+        assert _wait_for(lambda: len(svc.rtrace.store) == 1)
+        record = svc.rtrace.store.recent()[0]
+    finally:
+        svc.close()
+    # One trace, stages from the gateway, spans from both processes.
+    assert record.outcome == "ok"
+    assert {"gateway", "queue_wait", "compute"} <= set(record.stages)
+    assert len(record.pids) >= 2
+    names = {s.name for s in record.spans}
+    assert {"rtrace.worker.pack", "rtrace.worker.evaluate", "rtrace.worker.split"} <= names
+    # The engine's own spans came home with the batch.
+    assert any(n.startswith("henn.") for n in names)
+    # Every parent link resolves inside the merged trace (two-pass remap).
+    ids = {s.span_id for s in record.spans}
+    assert all(s.parent_id is None or s.parent_id in ids for s in record.spans)
+
+
+def test_unsampled_cluster_request_ships_no_spans(layers, images):
+    backend = MockBackend(batch=8, levels=6)
+    client = Client(backend, SHAPE)
+    svc = ClusteredCloudService(backend, layers, SHAPE, workers=2)
+    try:
+        enc = client.encrypt_request(images[:1])
+        assert svc.try_classify(enc, count=1).ok
+        assert len(svc.rtrace.store) == 0
+    finally:
+        svc.close()

@@ -170,7 +170,12 @@ def test_telemetry_and_stats(fresh_registry):
         assert stats["last_slot_utilization"] == 1.0
         assert fresh_registry.histogram("serving.batch.size").count == 1
         assert fresh_registry.histogram("serving.batch.wait_seconds").count == 4
-        assert fresh_registry.histogram("serving.batch.compute_seconds").count == 1
+        assert (
+            fresh_registry.histogram(
+                "serving.batch.compute_seconds", {"outcome": "ok"}
+            ).count
+            == 1
+        )
         assert fresh_registry.gauge("serving.slot_utilization").value == 1.0
 
 

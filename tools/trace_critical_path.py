@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Critical-path analyzer for per-request serving traces.
+
+Answers the latency question a merged cross-process trace exists for:
+*which stage of the serving path did this request actually wait on?*
+Reads any of:
+
+* one ``RequestTrace`` record (``/debug/traces/<id>`` JSON),
+* a ``{"traces": [...]}`` bundle of such records,
+* a ``repro.obs/1`` span dump (``dump_json``), grouped by each span's
+  ``trace_id`` tag,
+
+and prints, per trace: the stage-latency table (share of end-to-end
+seconds), then the **critical path** — the chain from the request root
+span down through, at every level, the child that finished last.  The
+deepest name on that chain is where the request's tail latency lives;
+everything off the chain overlapped with it and was free.
+
+Usage::
+
+    python tools/trace_critical_path.py trace.json [--trace-id ID] [--top N]
+
+``-`` reads stdin, handy straight off the debug endpoint::
+
+    curl -s localhost:9100/debug/traces/<id> | python tools/trace_critical_path.py -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.report import format_table
+from repro.obs.rtrace import STAGES, RequestTrace
+from repro.obs.tracer import Span
+
+
+def load_traces(doc: dict) -> list[RequestTrace]:
+    """Normalise any supported input document to RequestTrace records."""
+    if "traces" in doc:
+        return [RequestTrace.from_dict(d) for d in doc["traces"]]
+    if doc.get("format") == "repro.obs/1":
+        return _from_span_dump(doc)
+    if "trace_id" in doc:
+        return [RequestTrace.from_dict(doc)]
+    raise ValueError(
+        "unrecognised input: expected a trace record, a {'traces': [...]} "
+        "bundle, or a repro.obs/1 span dump"
+    )
+
+
+def _from_span_dump(doc: dict) -> list[RequestTrace]:
+    """Group a flat span dump into one pseudo-record per trace_id tag."""
+    groups: dict[str, list[Span]] = {}
+    for d in doc.get("spans", []):
+        span = Span.from_dict(d)
+        groups.setdefault(str(span.tags.get("trace_id", "?")), []).append(span)
+    records = []
+    for trace_id, spans in groups.items():
+        seconds = max(s.end for s in spans) - min(s.start for s in spans)
+        stages = {
+            s.name[len("rtrace."):]: s.duration
+            for s in spans
+            if s.name.startswith("rtrace.") and s.name[len("rtrace."):] in STAGES
+        }
+        records.append(
+            RequestTrace(
+                trace_id=trace_id,
+                request_id=0,
+                sampled=True,
+                outcome="?",
+                seconds=seconds,
+                kept="dump",
+                stages=stages,
+                spans=spans,
+            )
+        )
+    return records
+
+
+def critical_path(spans: list[Span]) -> list[tuple[Span, float]]:
+    """The root-to-leaf chain through the latest-finishing child.
+
+    Returns ``(span, self_seconds)`` pairs where *self_seconds* is the
+    span's duration not covered by its own latest-finishing child — the
+    wall-clock that stage itself was the bottleneck for.
+    """
+    if not spans:
+        return []
+    by_id = {s.span_id: s for s in spans}
+    children: dict[int | None, list[Span]] = {}
+    for s in spans:
+        parent = s.parent_id if s.parent_id in by_id else None
+        children.setdefault(parent, []).append(s)
+    roots = children.get(None, [])
+    node = max(roots, key=lambda s: s.duration, default=None)
+    if node is None:
+        return []
+    path = []
+    while node is not None:
+        kids = children.get(node.span_id, [])
+        nxt = max(kids, key=lambda s: s.end, default=None)
+        path.append((node, node.duration - (nxt.duration if nxt else 0.0)))
+        node = nxt
+    return path
+
+
+def render(trace: RequestTrace) -> str:
+    out = [
+        f"trace {trace.trace_id}  outcome={trace.outcome} kept={trace.kept} "
+        f"seconds={trace.seconds:.6f} retries={trace.retries} "
+        f"pids={','.join(map(str, trace.pids)) or '-'}"
+    ]
+    total = trace.seconds or sum(trace.stages.values()) or 1.0
+    rows = [
+        [name, f"{trace.stages[name]:.6f}", f"{100.0 * trace.stages[name] / total:.1f}%"]
+        for name in (*STAGES, *sorted(set(trace.stages) - set(STAGES)))
+        if name in trace.stages
+    ]
+    if rows:
+        out.append(format_table(["stage", "seconds", "share"], rows, "stage latency"))
+    path = critical_path(trace.spans)
+    if path:
+        out.append("critical path (latest-finishing child at each level):")
+        for depth, (span, self_s) in enumerate(path):
+            pid = span.tags.get("pid", "?")
+            out.append(
+                f"  {'  ' * depth}{span.name}  dur={span.duration:.6f}s "
+                f"self={self_s:.6f}s pid={pid}"
+            )
+    elif not trace.sampled:
+        out.append("(tail-kept record: stage timings only, no spans)")
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="trace JSON file, or - for stdin")
+    parser.add_argument("--trace-id", help="analyze only this trace id")
+    parser.add_argument(
+        "--top", type=int, default=5, help="slowest traces to show (default 5)"
+    )
+    args = parser.parse_args(argv)
+    raw = sys.stdin.read() if args.path == "-" else Path(args.path).read_text()
+    traces = load_traces(json.loads(raw))
+    if args.trace_id is not None:
+        traces = [t for t in traces if t.trace_id == args.trace_id]
+        if not traces:
+            print(f"trace id {args.trace_id} not found", file=sys.stderr)
+            return 1
+    traces.sort(key=lambda t: t.seconds, reverse=True)
+    for trace in traces[: args.top]:
+        print(render(trace))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
