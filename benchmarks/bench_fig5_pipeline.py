@@ -13,6 +13,11 @@ from conftest import save_record, save_trace_artifact
 from repro.bench.workloads import make_engine
 from repro.henn.hybrid import HybridRnsEngine
 
+#: Warm rounds per record; the kept trace is the fastest round's, the
+#: same min-of-N convention as ``bench_plan_cache.py`` (single-shot
+#: warm numbers swing ±20% on shared runners).
+WARM_ROUNDS = 3
+
 
 def test_fig5_stage_trace(benchmark, cnn1_models, preset):
     backend = make_engine(cnn1_models, "ckks-rns").backend
@@ -32,15 +37,35 @@ def test_fig5_stage_trace(benchmark, cnn1_models, preset):
     # regression gate tracks both regimes (docs/PERFORMANCE.md).
     classify()
     cold_total = engine.stages.total
+    best = None
+    for _ in range(WARM_ROUNDS - 1):
+        classify()
+        snap = (
+            engine.stages.total,
+            engine.stages.conv_stage,
+            engine.stages.he_stage,
+            engine.tail.trace.as_rows(),
+        )
+        if best is None or snap[0] < best[0]:
+            best = snap
     benchmark.pedantic(classify, rounds=1, iterations=1)
+    snap = (
+        engine.stages.total,
+        engine.stages.conv_stage,
+        engine.stages.he_stage,
+        engine.tail.trace.as_rows(),
+    )
+    if snap[0] < best[0]:
+        best = snap
+    total, conv_stage, he_stage, tail_rows = best
     rows = [
-        ["RNS conv stage (decompose + k parallel convs + CRT)", engine.stages.conv_stage],
-        ["encrypted tail (SLAF activations + dense layers)", engine.stages.he_stage],
-        ["total", engine.stages.total],
+        ["RNS conv stage (decompose + k parallel convs + CRT)", conv_stage],
+        ["encrypted tail (SLAF activations + dense layers)", he_stage],
+        ["total", total],
         ["cold first-image total (cache fills included)", cold_total],
     ]
-    # the engine's per-layer trace of the tail
-    for name, secs in engine.tail.trace.as_rows():
+    # the engine's per-layer trace of the tail (fastest warm round)
+    for name, secs in tail_rows:
         rows.append([f"  tail layer {name}", secs])
     save_record(
         "fig5",

@@ -1,0 +1,143 @@
+"""Keyswitch strategies on the SLAF tail: eager vs lazy vs hoisted.
+
+One ``poly_eval`` per SLAF degree 2..8 on both real schemes, three
+relinearisation strategies:
+
+* **eager** — every ciphertext product keyswitches immediately
+  (``program.ct_mults ~ 2*sqrt(d)`` sweeps);
+* **lazy** — products stay in degree-2/3 extended space and each block
+  sum relinearises once, post-rescale (``program.relins ~ sqrt(d)``
+  sweeps), with the hoisted-digit cache disabled;
+* **lazy+hoist** (CKKS-RNS only) — lazy plus the level-keyed hoisted
+  digit-decomposition cache (``keyswitch.hoist.*``); hoisting is an RNS
+  digit-domain concept so the multiprecision scheme has no such mode.
+
+Counters (``relin.count``, ``keyswitch.hoist.{hit,miss}``) are metered
+per evaluation and recorded alongside the timings, so the sweep-count
+claim (lazy = ``program.relins``) is checked structurally, not by
+wall-clock.  See ``docs/KERNELS.md`` for the per-degree relin table.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import save_record
+
+from repro.ckks import CkksParams
+from repro.ckksrns import CkksRnsParams
+from repro.henn.backend import CkksBackend, CkksRnsBackend
+from repro.nt.kernels import compile_poly_program
+from repro.obs.metrics import get_registry
+
+RNS_N = 512
+CKKS_N = 256
+DEPTH = 8  # levels; degree-8 BSGS consumes program.depth = 5
+DEGREES = range(2, 9)
+ROUNDS = 3
+
+
+def _coeffs(degree: int) -> np.ndarray:
+    return np.random.default_rng(degree).uniform(-0.5, 0.5, degree + 1)
+
+
+@pytest.fixture(scope="module")
+def rns_backend():
+    return CkksRnsBackend(
+        CkksRnsParams(n=RNS_N, moduli_bits=(40,) + (26,) * DEPTH, special_bits=49),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def ckks_backend():
+    return CkksBackend(
+        CkksParams(n=CKKS_N, scale_bits=26, q0_bits=40, levels=DEPTH), seed=0
+    )
+
+
+def _meter_eval(backend, ct, coeffs):
+    """(seconds, relins, hoist hits, hoist misses) for one poly_eval."""
+    reg = get_registry()
+    relin0 = reg.counter("relin.count").value
+    hit0 = reg.counter("keyswitch.hoist.hit").value
+    miss0 = reg.counter("keyswitch.hoist.miss").value
+    t0 = time.perf_counter()
+    backend.poly_eval(ct, coeffs)
+    secs = time.perf_counter() - t0
+    return (
+        secs,
+        reg.counter("relin.count").value - relin0,
+        reg.counter("keyswitch.hoist.hit").value - hit0,
+        reg.counter("keyswitch.hoist.miss").value - miss0,
+    )
+
+
+def _run_modes(backend, modes):
+    """Benchmark every (mode, degree) cell on one backend.
+
+    Each cell keeps the best-of-ROUNDS wall time and the (identical
+    across rounds) counter deltas of the last round.
+    """
+    ctx = getattr(backend, "ctx", None)
+    default_hoist = getattr(ctx, "hoist_cache_bytes", 0)
+    rows = []
+    rng = np.random.default_rng(7)
+    for mode, relin_mode, hoisted in modes:
+        backend.relin_mode = relin_mode
+        if ctx is not None and hasattr(ctx, "hoist_cache_bytes"):
+            ctx.hoist_cache_bytes = default_hoist if hoisted else 0
+            ctx.clear_hoist_cache()
+        for degree in DEGREES:
+            coeffs = _coeffs(degree)
+            ct = backend.encrypt(rng.uniform(-1, 1, min(backend.max_batch, 64)))
+            best, relins, hits, misses = _meter_eval(backend, ct, coeffs)
+            for _ in range(ROUNDS - 1):
+                secs, relins, hits, misses = _meter_eval(backend, ct, coeffs)
+                best = min(best, secs)
+            prog = compile_poly_program(degree)
+            expected = prog.relins if relin_mode == "lazy" else prog.ct_mults
+            assert relins == expected, (
+                f"{backend.name}/{mode} degree {degree}: {relins} relins, "
+                f"expected {expected}"
+            )
+            rows.append([backend.name, mode, degree, best, relins, hits, misses])
+    backend.relin_mode = "lazy"
+    if ctx is not None and hasattr(ctx, "hoist_cache_bytes"):
+        ctx.hoist_cache_bytes = default_hoist
+        ctx.clear_hoist_cache()
+    return rows
+
+
+def test_keyswitch_strategies(benchmark, rns_backend, ckks_backend):
+    rows = _run_modes(
+        rns_backend,
+        [
+            ("eager", "eager", False),
+            ("lazy", "lazy", False),
+            ("lazy+hoist", "lazy", True),
+        ],
+    )
+    rows += _run_modes(
+        ckks_backend, [("eager", "eager", False), ("lazy", "lazy", False)]
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    results = {
+        f"{scheme}.{mode}.d{degree}.seconds": secs
+        for scheme, mode, degree, secs, *_ in rows
+    }
+    save_record(
+        "keyswitch",
+        ["scheme", "mode", "degree", "seconds", "relins", "hoist hits", "hoist misses"],
+        rows,
+        f"KEYSWITCH — eager vs lazy vs hoisted SLAF evaluation "
+        f"(RNS n={RNS_N}, CKKS n={CKKS_N}, depth={DEPTH}, best of {ROUNDS})",
+        results=results,
+    )
+
+    # The headline: lazy must never sweep more than eager.
+    by_cell = {(r[0], r[1], r[2]): r[4] for r in rows}
+    for degree in DEGREES:
+        for scheme in ("ckks-rns", "ckks"):
+            assert by_cell[(scheme, "lazy", degree)] <= by_cell[(scheme, "eager", degree)]

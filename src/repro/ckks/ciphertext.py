@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Ciphertext"]
+__all__ = ["Ciphertext", "CiphertextExt"]
 
 
 @dataclass
@@ -29,3 +29,38 @@ class Ciphertext:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Ciphertext(n={self.n}, level={self.level}, scale=2^{np.log2(self.scale):.1f})"
+
+
+@dataclass
+class CiphertextExt:
+    """Extended (degree ≥ 2) ciphertext awaiting relinearisation.
+
+    ``(c0, c1, c2[, c3])`` decrypts under ``(1, s, s², s³)``.  Produced
+    by raw tensor products; ``deferred`` is True once a rescale has run
+    while extended (the relinearisation then happens at the lower level).
+    """
+
+    c0: np.ndarray
+    c1: np.ndarray
+    c2: np.ndarray
+    level: int
+    scale: float
+    n: int
+    c3: np.ndarray | None = None
+    deferred: bool = False
+
+    @property
+    def degree(self) -> int:
+        return 2 if self.c3 is None else 3
+
+    def components(self) -> list[np.ndarray]:
+        out = [self.c0, self.c1, self.c2]
+        if self.c3 is not None:
+            out.append(self.c3)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CiphertextExt(n={self.n}, degree={self.degree}, level={self.level}, "
+            f"scale=2^{np.log2(self.scale):.1f}, deferred={self.deferred})"
+        )

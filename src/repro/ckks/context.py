@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.ciphertext import Ciphertext, CiphertextExt
 from repro.ckks.encoder import CkksEncoder
 from repro.ckks.keys import GaloisKey, KeyPair, PublicKey, RelinKey, SecretKey
 from repro.ckks.sampling import DEFAULT_SIGMA, sample_gaussian, sample_hwt, sample_zo
@@ -129,7 +129,17 @@ class CkksContext:
             big.scalar_mul(s2_big, self.p_special),
         )
         relin = RelinKey(b=b2, a=a2, p_special=self.p_special)
-        kp = KeyPair(sk=SecretKey(s=s), pk=PublicKey(b=b, a=a), relin=relin)
+        # ek3 over P * q_L encoding P * s^3 — consumed when a degree-3
+        # extended ciphertext (lazy BSGS fold) is relinearised.
+        s3_big = big.mul(s2_big, s_big)
+        a3 = big.random_uniform(rng)
+        e3 = sample_gaussian(self.n, rng, self.params.sigma).astype(object)
+        b3 = big.add(
+            big.sub(big.from_coeffs(e3), big.mul(a3, s_big)),
+            big.scalar_mul(s3_big, self.p_special),
+        )
+        relin3 = RelinKey(b=b3, a=a3, p_special=self.p_special)
+        kp = KeyPair(sk=SecretKey(s=s), pk=PublicKey(b=b, a=a), relin=relin, relin3=relin3)
         for r in rotations:
             self.add_galois_key(kp, r, rng)
         return kp
@@ -288,26 +298,177 @@ class CkksContext:
     @traced("ckks.mul")
     def mul(self, a: Ciphertext, b: Ciphertext, relin: RelinKey) -> Ciphertext:
         """``Mult(c1, c2, ek)`` with immediate relinearisation."""
+        return self.relinearize(self.mul_raw(a, b), relin)
+
+    @traced("ckks.square")
+    def square(self, a: Ciphertext, relin: RelinKey) -> Ciphertext:
+        """Homomorphic squaring (saves one ring product vs. :meth:`mul`)."""
+        return self.relinearize(self.square_raw(a), relin)
+
+    # -- extended (degree >= 2) arithmetic: deferred relinearisation ------------------
+
+    @traced("ckks.mul_raw")
+    def mul_raw(self, a: Ciphertext, b: "Ciphertext | CiphertextExt") -> CiphertextExt:
+        """Raw tensor product without relinearisation.
+
+        ``ct × ct`` yields degree 2; ``ct × ext2`` (a BSGS giant-step
+        fold against a raw giant power) yields degree 3.
+        """
+        if isinstance(b, CiphertextExt):
+            return self._mul_ct_ext(a, b)
         a, b = self._align(a, b)
         ring = self.ring(a.level)
         d0 = ring.mul(a.c0, b.c0)
         d1 = ring.add(ring.mul(a.c0, b.c1), ring.mul(a.c1, b.c0))
         d2 = ring.mul(a.c1, b.c1)
-        r0, r1 = self._keyswitch(d2, relin.b, relin.a, a.level)
-        return Ciphertext(
-            ring.add(d0, r0), ring.add(d1, r1), a.level, a.scale * b.scale, self.n
-        )
+        return CiphertextExt(d0, d1, d2, a.level, a.scale * b.scale, self.n)
 
-    @traced("ckks.square")
-    def square(self, a: Ciphertext, relin: RelinKey) -> Ciphertext:
-        """Homomorphic squaring (saves one ring product vs. :meth:`mul`)."""
+    @traced("ckks.square_raw")
+    def square_raw(self, a: Ciphertext) -> CiphertextExt:
+        """Raw squaring without relinearisation (degree-2 result)."""
         ring = self.ring(a.level)
         d0 = ring.mul(a.c0, a.c0)
         c0c1 = ring.mul(a.c0, a.c1)
         d1 = ring.add(c0c1, c0c1)
         d2 = ring.mul(a.c1, a.c1)
-        r0, r1 = self._keyswitch(d2, relin.b, relin.a, a.level)
-        return Ciphertext(ring.add(d0, r0), ring.add(d1, r1), a.level, a.scale**2, self.n)
+        return CiphertextExt(d0, d1, d2, a.level, a.scale**2, self.n)
+
+    def _mul_ct_ext(self, a: Ciphertext, x: CiphertextExt) -> CiphertextExt:
+        """Degree-1 × degree-2 product: six ring products, degree-3 result."""
+        if x.degree != 2:
+            raise ValueError("ct × ext products require a degree-2 extended operand")
+        if a.level > x.level:
+            a = self.mod_switch_to(a, x.level)
+        elif x.level > a.level:
+            x = self.mod_switch_ext(x, a.level)
+        ring = self.ring(a.level)
+        e0 = ring.mul(a.c0, x.c0)
+        e1 = ring.add(ring.mul(a.c0, x.c1), ring.mul(a.c1, x.c0))
+        e2 = ring.add(ring.mul(a.c0, x.c2), ring.mul(a.c1, x.c1))
+        e3 = ring.mul(a.c1, x.c2)
+        return CiphertextExt(
+            e0, e1, e2, a.level, a.scale * x.scale, self.n, c3=e3, deferred=x.deferred
+        )
+
+    @traced("ckks.add_ext")
+    def add_ext(
+        self, x: "Ciphertext | CiphertextExt", y: "Ciphertext | CiphertextExt"
+    ) -> "Ciphertext | CiphertextExt":
+        """Add ciphertexts of possibly different degrees (levels aligned)."""
+        level = min(x.level, y.level)
+        x = self._any_mod_switch(x, level)
+        y = self._any_mod_switch(y, level)
+        if not np.isclose(x.scale, y.scale, rtol=1e-9):
+            raise ValueError(f"scale mismatch in add_ext: {x.scale} vs {y.scale}")
+        ring = self.ring(level)
+        xs = x.components() if isinstance(x, CiphertextExt) else [x.c0, x.c1]
+        ys = y.components() if isinstance(y, CiphertextExt) else [y.c0, y.c1]
+        out = []
+        for idx in range(max(len(xs), len(ys))):
+            if idx < len(xs) and idx < len(ys):
+                out.append(ring.add(xs[idx], ys[idx]))
+            else:
+                out.append((xs[idx] if idx < len(xs) else ys[idx]).copy())
+        if len(out) == 2:
+            return Ciphertext(out[0], out[1], level, x.scale, self.n)
+        deferred = getattr(x, "deferred", False) or getattr(y, "deferred", False)
+        return CiphertextExt(
+            out[0], out[1], out[2], level, x.scale, self.n,
+            c3=out[3] if len(out) > 3 else None, deferred=deferred,
+        )
+
+    def _any_mod_switch(self, c, level: int):
+        if isinstance(c, CiphertextExt):
+            return self.mod_switch_ext(c, level)
+        return self.mod_switch_to(c, level)
+
+    def mod_switch_ext(self, x: CiphertextExt, level: int) -> CiphertextExt:
+        """Drop an extended ciphertext to a lower level (scale kept)."""
+        if level > x.level:
+            raise ValueError("cannot mod-switch upwards")
+        if level == x.level:
+            return x
+        ring = self.ring(x.level)
+        new_q = self.moduli[level]
+        comps = [ring.mod_switch(c, new_q) for c in x.components()]
+        return CiphertextExt(
+            comps[0], comps[1], comps[2], level, x.scale, self.n,
+            c3=comps[3] if len(comps) > 3 else None, deferred=x.deferred,
+        )
+
+    @traced("ckks.rescale_ext")
+    def rescale_ext(self, x: CiphertextExt) -> CiphertextExt:
+        """Rescale an extended ciphertext component-wise (marks deferred)."""
+        if x.level == 0:
+            raise ValueError("cannot rescale below level 0")
+        ring = self.ring(x.level)
+        delta = 1 << self.params.scale_bits
+        new_q = self.moduli[x.level - 1]
+        comps = [ring.round_div(c, delta, new_q) for c in x.components()]
+        return CiphertextExt(
+            comps[0], comps[1], comps[2], x.level - 1, x.scale / delta, self.n,
+            c3=comps[3] if len(comps) > 3 else None, deferred=True,
+        )
+
+    @traced("ckks.mul_plain_scalar_ext")
+    def mul_plain_scalar_ext(
+        self, x: CiphertextExt, scalar: float, plain_scale: float | None = None
+    ) -> CiphertextExt:
+        """Scalar multiply of an extended ciphertext (every component)."""
+        ring = self.ring(x.level)
+        plain_scale = float(plain_scale or self.params.scale)
+        c = int(round(float(scalar) * plain_scale))
+        comps = [ring.scalar_mul(comp, c) for comp in x.components()]
+        return CiphertextExt(
+            comps[0], comps[1], comps[2], x.level, x.scale * plain_scale, self.n,
+            c3=comps[3] if len(comps) > 3 else None, deferred=x.deferred,
+        )
+
+    def add_plain_ext(self, x: CiphertextExt, values: np.ndarray | float) -> CiphertextExt:
+        """Plaintext addition on an extended ciphertext (only ``c0`` moves)."""
+        base = self.add_plain(Ciphertext(x.c0, x.c1, x.level, x.scale, self.n), values)
+        comps = [base.c0, base.c1] + [c.copy() for c in x.components()[2:]]
+        return CiphertextExt(
+            comps[0], comps[1], comps[2], x.level, x.scale, self.n,
+            c3=comps[3] if len(comps) > 3 else None, deferred=x.deferred,
+        )
+
+    @traced("ckks.relinearize")
+    def relinearize(
+        self, x: CiphertextExt, relin: RelinKey, relin3: RelinKey | None = None
+    ) -> Ciphertext:
+        """Switch the high components back to degree 1.
+
+        Degree 3 runs a *merged* switch: the ``s²`` and ``s³`` terms
+        share one lifted accumulator so the exact rounded P-division is
+        paid once per output component instead of once per key.
+        """
+        reg = get_registry()
+        reg.counter("relin.count").inc()
+        if x.deferred:
+            reg.counter("relin.deferred").inc()
+        ring = self.ring(x.level)
+        big = self.ring_big(x.level)
+        q_big = big.q
+        lift_q = self.q_top * self.p_special
+        x2_big = np.mod(ring.to_centered(x.c2), q_big)
+        kb_l = np.mod(self._center(relin.b, lift_q), q_big)
+        ka_l = np.mod(self._center(relin.a, lift_q), q_big)
+        t0 = big.mul(x2_big, kb_l)
+        t1 = big.mul(x2_big, ka_l)
+        if x.c3 is not None:
+            if relin3 is None:
+                raise ValueError("degree-3 relinearisation requires the s^3 key (relin3)")
+            x3_big = np.mod(ring.to_centered(x.c3), q_big)
+            kb3_l = np.mod(self._center(relin3.b, lift_q), q_big)
+            ka3_l = np.mod(self._center(relin3.a, lift_q), q_big)
+            t0 = big.add(t0, big.mul(x3_big, kb3_l))
+            t1 = big.add(t1, big.mul(x3_big, ka3_l))
+        r0 = big.round_div(t0, self.p_special, ring.q)
+        r1 = big.round_div(t1, self.p_special, ring.q)
+        return Ciphertext(
+            ring.add(x.c0, r0), ring.add(x.c1, r1), x.level, x.scale, self.n
+        )
 
     @traced("ckks.keyswitch")
     def _keyswitch(

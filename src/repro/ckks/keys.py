@@ -45,13 +45,25 @@ class GaloisKey:
 
 @dataclass
 class KeyPair:
-    """Everything a party or evaluator may hold."""
+    """Everything a party or evaluator may hold.
+
+    ``relin3`` encodes ``P s³`` — the evaluation key consumed when a
+    degree-3 extended ciphertext (lazy BSGS giant-step fold) is
+    relinearised in one merged pass.
+    """
 
     sk: SecretKey
     pk: PublicKey
     relin: RelinKey
     galois: dict[int, GaloisKey] = field(default_factory=dict)
+    relin3: RelinKey | None = None
 
     def public_part(self) -> "KeyPair":
         """Evaluator view: same keys without the secret."""
-        return KeyPair(sk=None, pk=self.pk, relin=self.relin, galois=self.galois)  # type: ignore[arg-type]
+        return KeyPair(
+            sk=None,  # type: ignore[arg-type]
+            pk=self.pk,
+            relin=self.relin,
+            galois=self.galois,
+            relin3=self.relin3,
+        )

@@ -22,11 +22,14 @@ is the parallelism Tables IV/VI sweep.
 
 from __future__ import annotations
 
+import hashlib
+import os
+
 import numpy as np
 
 from repro.ckks.encoder import CkksEncoder
 from repro.ckks.sampling import DEFAULT_SIGMA, sample_gaussian, sample_hwt, sample_zo
-from repro.ckksrns.ciphertext import RnsCiphertext
+from repro.ckksrns.ciphertext import RnsCiphertext, RnsCiphertextExt
 from repro.ckksrns.keys import (
     RnsGaloisKey,
     RnsKeyPair,
@@ -58,8 +61,23 @@ __all__ = ["CkksRnsContext", "RnsPlaintext"]
 #: ``(k+1, k, B_chunk, ..., n)`` lifted-digit tensor (int64).  1 << 21
 #: elements = 16 MB keeps the decomposition temporaries cache-friendly;
 #: lane-packed serving batches otherwise scale super-linearly (measured
-#: ~2x worse than linear at 16 lanes unchunked).
+#: ~2x worse than linear at 16 lanes unchunked).  Default only — override
+#: per context via the ``keyswitch_chunk_elems`` kwarg or the
+#: ``REPRO_KEYSWITCH_CHUNK_ELEMS`` environment variable.
 KEYSWITCH_CHUNK_ELEMS = 1 << 21
+
+#: Default byte budget for the hoisted digit-decomposition cache
+#: (``keyswitch.hoist.*``).  Override via the ``hoist_cache_bytes``
+#: kwarg or ``REPRO_HOIST_CACHE_BYTES``; 0 disables hoisting.
+HOIST_CACHE_BYTES = 64 << 20
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "")
+    try:
+        return int(raw) if raw else default
+    except ValueError:
+        return default
 
 
 class _NttChannel:
@@ -122,10 +140,12 @@ class _KeySwitchChannel:
         centered = arrays["centered"]
         lifted_eval = NttPlan.get(self.n, m).forward(np.mod(centered, np.int64(m)))
         key_idx = i if i < k else self.k_top  # special prime is last in key
-        # Key rows broadcast over any batch axes between digit and coeff.
-        kshape = (k,) + (1,) * (centered.ndim - 2) + (centered.shape[-1],)
-        p0 = mulmod(lifted_eval, arrays["kb"][:k, key_idx].reshape(kshape), m)
-        p1 = mulmod(lifted_eval, arrays["ka"][:k, key_idx].reshape(kshape), m)
+        # Key rows (pre-sliced to the active digit rows — possibly p*k of
+        # them for a merged multi-key switch) broadcast over any batch
+        # axes between digit and coeff.
+        kshape = (centered.shape[0],) + (1,) * (centered.ndim - 2) + (centered.shape[-1],)
+        p0 = mulmod(lifted_eval, arrays["kb"][:, key_idx].reshape(kshape), m)
+        p1 = mulmod(lifted_eval, arrays["ka"][:, key_idx].reshape(kshape), m)
         return p0.sum(axis=0) % m, p1.sum(axis=0) % m
 
 
@@ -163,15 +183,46 @@ class CkksRnsContext:
         executors realise the paper's per-residue parallelism.  A kind
         string (``"thread"`` …) builds an executor the context owns and
         releases in :meth:`close` (the context is a context manager).
+    keyswitch_chunk_elems:
+        Batch-axis chunk budget for digit key switching (elements of the
+        lifted-digit tensor).  Defaults to ``REPRO_KEYSWITCH_CHUNK_ELEMS``
+        or :data:`KEYSWITCH_CHUNK_ELEMS`.
+    hoist_cache_bytes:
+        Byte budget for the hoisted digit-decomposition cache (0
+        disables).  Defaults to ``REPRO_HOIST_CACHE_BYTES`` or
+        :data:`HOIST_CACHE_BYTES`.
     """
 
-    def __init__(self, params: CkksRnsParams, executor: Executor | str | None = None):
+    def __init__(
+        self,
+        params: CkksRnsParams,
+        executor: Executor | str | None = None,
+        keyswitch_chunk_elems: int | None = None,
+        hoist_cache_bytes: int | None = None,
+    ):
         self.params = params
         self.n = params.n
         self._owned_executor: Executor | None = None
         if isinstance(executor, str):
             executor = self._owned_executor = make_executor(executor)
         self.executor = executor or SerialExecutor()
+        self.keyswitch_chunk_elems = (
+            int(keyswitch_chunk_elems)
+            if keyswitch_chunk_elems is not None
+            else _env_int("REPRO_KEYSWITCH_CHUNK_ELEMS", KEYSWITCH_CHUNK_ELEMS)
+        )
+        self.hoist_cache_bytes = (
+            int(hoist_cache_bytes)
+            if hoist_cache_bytes is not None
+            else _env_int("REPRO_HOIST_CACHE_BYTES", HOIST_CACHE_BYTES)
+        )
+        #: Content-addressed lifted-digit cache: (level, shape, digest) ->
+        #: NTT'd digit tensor.  Rescale or a level drop changes both the
+        #: content digest and the level key, so stale entries can never
+        #: hit; they age out of the byte budget FIFO-style (see
+        #: :meth:`clear_hoist_cache` for explicit invalidation).
+        self._hoist_cache: dict[tuple, np.ndarray] = {}
+        self._hoist_bytes = 0
         self.encoder = CkksEncoder(params.n)
         # Ciphertext moduli then the special prime, all distinct NTT primes.
         all_bits = list(params.moduli_bits) + [params.special_bits]
@@ -207,6 +258,12 @@ class CkksRnsContext:
         ex, self._owned_executor = self._owned_executor, None
         if ex is not None:
             ex.close()
+        self.clear_hoist_cache()
+
+    def clear_hoist_cache(self) -> None:
+        """Drop every hoisted digit decomposition (frees the byte budget)."""
+        self._hoist_cache.clear()
+        self._hoist_bytes = 0
 
     def __enter__(self) -> "CkksRnsContext":
         return self
@@ -302,11 +359,19 @@ class CkksRnsContext:
                 for i, m in enumerate(self.moduli)
             ]
         )
-        relin = self._gen_switch_key(s_ext, self._square_ext(s_ext), rng)
+        s2_ext = self._square_ext(s_ext)
+        relin = self._gen_switch_key(s_ext, s2_ext, rng)
+        # s^3 evaluation key: lets a degree-3 extended ciphertext (lazy
+        # BSGS giant-step fold) relinearise in one merged digit sweep.
+        s3_ext = np.stack(
+            [mulmod(s2_ext[i], s_ext[i], m) for i, m in enumerate(self.ext_moduli)]
+        )
+        relin3 = self._gen_switch_key(s_ext, s3_ext, rng)
         kp = RnsKeyPair(
             sk=RnsSecretKey(s=s_ext, s_coeff=s_coeff),
             pk=RnsPublicKey(b=b, a=a),
             relin=RnsRelinKey(b=relin[0], a=relin[1]),
+            relin3=RnsRelinKey(b=relin3[0], a=relin3[1]),
         )
         for r in rotations:
             self.add_galois_key(kp, r, rng)
@@ -801,6 +866,29 @@ class CkksRnsContext:
         Degree-1 ciphertext at the common level with scale
         ``a.scale * b.scale`` (call :meth:`rescale` to return to ~Δ).
         """
+        return self.relinearize(self.mul_raw(a, b), relin)
+
+    @traced("ckksrns.square")
+    def square(self, a: RnsCiphertext, relin: RnsRelinKey) -> RnsCiphertext:
+        """Homomorphic squaring (one dyadic product fewer than mul)."""
+        return self.relinearize(self.square_raw(a), relin)
+
+    # -- extended (degree >= 2) arithmetic: deferred relinearisation ------------------
+
+    @traced("ckksrns.mul_raw")
+    def mul_raw(
+        self, a: RnsCiphertext, b: "RnsCiphertext | RnsCiphertextExt"
+    ) -> RnsCiphertextExt:
+        """Raw tensor product without relinearisation.
+
+        ``ct × ct`` yields a degree-2 extended ciphertext; ``ct × ext2``
+        (a BSGS giant-step fold against a raw giant power) yields
+        degree 3.  Call :meth:`relinearize` — possibly after further
+        :meth:`add_ext` / :meth:`rescale_ext` steps — to return to
+        degree 1.
+        """
+        if isinstance(b, RnsCiphertextExt):
+            return self._mul_ct_ext(a, b)
         a, b = self._align(a, b)
         moduli = self.moduli[: a.k]
         d0 = np.stack([mulmod(a.c0[i], b.c0[i], m) for i, m in enumerate(moduli)])
@@ -813,14 +901,11 @@ class CkksRnsContext:
             ]
         )
         d2 = np.stack([mulmod(a.c1[i], b.c1[i], m) for i, m in enumerate(moduli)])
-        r0, r1 = self._keyswitch_eval(d2, relin.b, relin.a, a.level)
-        c0 = np.stack([addmod(d0[i], r0[i], m) for i, m in enumerate(moduli)])
-        c1 = np.stack([addmod(d1[i], r1[i], m) for i, m in enumerate(moduli)])
-        return RnsCiphertext(c0, c1, a.level, a.scale * b.scale)
+        return RnsCiphertextExt(d0, d1, d2, a.level, a.scale * b.scale)
 
-    @traced("ckksrns.square")
-    def square(self, a: RnsCiphertext, relin: RnsRelinKey) -> RnsCiphertext:
-        """Homomorphic squaring (one dyadic product fewer than mul)."""
+    @traced("ckksrns.square_raw")
+    def square_raw(self, a: RnsCiphertext) -> RnsCiphertextExt:
+        """Raw squaring without relinearisation (degree-2 result)."""
         moduli = self.moduli[: a.k]
         d0 = np.stack([mulmod(a.c0[i], a.c0[i], m) for i, m in enumerate(moduli)])
         d1 = np.stack(
@@ -830,18 +915,200 @@ class CkksRnsContext:
             ]
         )
         d2 = np.stack([mulmod(a.c1[i], a.c1[i], m) for i, m in enumerate(moduli)])
-        r0, r1 = self._keyswitch_eval(d2, relin.b, relin.a, a.level)
-        c0 = np.stack([addmod(d0[i], r0[i], m) for i, m in enumerate(moduli)])
-        c1 = np.stack([addmod(d1[i], r1[i], m) for i, m in enumerate(moduli)])
-        return RnsCiphertext(c0, c1, a.level, a.scale * a.scale)
+        return RnsCiphertextExt(d0, d1, d2, a.level, a.scale * a.scale)
+
+    def _mul_ct_ext(self, a: RnsCiphertext, x: RnsCiphertextExt) -> RnsCiphertextExt:
+        """Degree-1 × degree-2 product: six dyadic sweeps, degree-3 result."""
+        if x.degree != 2:
+            raise ValueError("ct × ext products require a degree-2 extended operand")
+        if x.coeff_high:
+            raise ValueError("ct × ext products need the ext's c2 in the NTT domain")
+        if a.level > x.level:
+            a = self.mod_switch_to(a, x.level)
+        elif x.level > a.level:
+            x = self.mod_switch_ext(x, a.level)
+        moduli = self.moduli[: a.k]
+        e = [np.empty_like(x.c0) for _ in range(4)]
+        for i, m in enumerate(moduli):
+            e[0][i] = mulmod(a.c0[i], x.c0[i], m)
+            e[1][i] = addmod(mulmod(a.c0[i], x.c1[i], m), mulmod(a.c1[i], x.c0[i], m), m)
+            e[2][i] = addmod(mulmod(a.c0[i], x.c2[i], m), mulmod(a.c1[i], x.c1[i], m), m)
+            e[3][i] = mulmod(a.c1[i], x.c2[i], m)
+        return RnsCiphertextExt(
+            e[0], e[1], e[2], a.level, a.scale * x.scale, c3=e[3], deferred=x.deferred
+        )
+
+    @traced("ckksrns.add_ext")
+    def add_ext(
+        self,
+        x: "RnsCiphertext | RnsCiphertextExt",
+        y: "RnsCiphertext | RnsCiphertextExt",
+    ) -> "RnsCiphertext | RnsCiphertextExt":
+        """Add ciphertexts of possibly different degrees (levels aligned).
+
+        Missing high-degree components pass through unchanged, so a
+        degree-1 term sums into a degree-2/3 accumulator without ever
+        materialising zero components.
+        """
+        level = min(x.level, y.level)
+        x = self._any_mod_switch(x, level)
+        y = self._any_mod_switch(y, level)
+        self._check_scales(x.scale, y.scale, "add_ext")
+        x_high = getattr(x, "coeff_high", False)
+        y_high = getattr(y, "coeff_high", False)
+        if (
+            isinstance(x, RnsCiphertextExt)
+            and isinstance(y, RnsCiphertextExt)
+            and x_high != y_high
+        ):
+            raise ValueError(
+                "cannot add extended ciphertexts with mismatched high-component domains"
+            )
+        moduli = self.moduli[: level + 1]
+        xs = x.components() if isinstance(x, RnsCiphertextExt) else [x.c0, x.c1]
+        ys = y.components() if isinstance(y, RnsCiphertextExt) else [y.c0, y.c1]
+        out = []
+        for idx in range(max(len(xs), len(ys))):
+            if idx < len(xs) and idx < len(ys):
+                out.append(
+                    np.stack(
+                        [addmod(xs[idx][i], ys[idx][i], m) for i, m in enumerate(moduli)]
+                    )
+                )
+            else:
+                out.append((xs[idx] if idx < len(xs) else ys[idx]).copy())
+        if len(out) == 2:
+            return RnsCiphertext(out[0], out[1], level, x.scale)
+        deferred = getattr(x, "deferred", False) or getattr(y, "deferred", False)
+        return RnsCiphertextExt(
+            out[0], out[1], out[2], level, x.scale,
+            c3=out[3] if len(out) > 3 else None, deferred=deferred,
+            coeff_high=x_high or y_high,
+        )
+
+    def _any_mod_switch(self, c, level: int):
+        if isinstance(c, RnsCiphertextExt):
+            return self.mod_switch_ext(c, level)
+        return self.mod_switch_to(c, level)
+
+    def mod_switch_ext(self, x: RnsCiphertextExt, level: int) -> RnsCiphertextExt:
+        """Drop trailing residue channels of an extended ciphertext."""
+        if level > x.level:
+            raise ValueError("cannot mod-switch upwards")
+        if level == x.level:
+            return x
+        k = level + 1
+        comps = [c[:k].copy() for c in x.components()]
+        return self._ext_like(x, comps, level, x.scale)
+
+    @staticmethod
+    def _ext_like(
+        x: RnsCiphertextExt, comps: list, level: int, scale: float
+    ) -> RnsCiphertextExt:
+        return RnsCiphertextExt(
+            comps[0], comps[1], comps[2], level, scale,
+            c3=comps[3] if len(comps) > 3 else None, deferred=x.deferred,
+            coeff_high=x.coeff_high,
+        )
+
+    @traced("ckksrns.mul_plain_scalar_ext")
+    def mul_plain_scalar_ext(
+        self, x: RnsCiphertextExt, scalar: float, plain_scale: float | None = None
+    ) -> RnsCiphertextExt:
+        """Scalar multiply of an extended ciphertext (every component)."""
+        plain_scale = float(plain_scale or self.params.scale)
+        c = int(round(float(scalar) * plain_scale))
+        moduli = self.moduli[: x.k]
+        residues = np.array([c % m for m in moduli], dtype=np.int64)
+        comps = [scale_channels(comp, residues, moduli) for comp in x.components()]
+        return self._ext_like(x, comps, x.level, x.scale * plain_scale)
+
+    @traced("ckksrns.mul_plain_scalar_many_ext")
+    def mul_plain_scalar_many_ext(
+        self, x: RnsCiphertextExt, scalars: np.ndarray, plain_scale: float | None = None
+    ) -> RnsCiphertextExt:
+        """Position-wise scalar multiply of a batched extended ciphertext.
+
+        Quantization matches :meth:`mul_plain_scalar_many` exactly, so the
+        result equals relinearising first and scaling after (the scalar
+        commutes with key switching).
+        """
+        plain_scale = float(plain_scale or self.params.scale)
+        if x.c0.ndim < 3:
+            raise ValueError("mul_plain_scalar_many_ext needs a (k, B, ..., n) batch")
+        consts = np.array(
+            [int(round(float(s) * plain_scale)) for s in scalars], dtype=np.int64
+        )
+        if consts.shape[0] != x.c0.shape[1]:
+            raise ValueError("one scalar per batched position required")
+        moduli = self.moduli[: x.k]
+        mods = np.asarray(moduli, dtype=np.int64)
+        residues = np.mod(consts[None, :], mods[:, None])  # (k, B)
+        comps = [scale_positions(comp, residues, moduli) for comp in x.components()]
+        return self._ext_like(x, comps, x.level, x.scale * plain_scale)
+
+    def add_plain_ext(
+        self, x: RnsCiphertextExt, values: "np.ndarray | float | RnsPlaintext"
+    ) -> RnsCiphertextExt:
+        """Plaintext addition on an extended ciphertext (only ``c0`` moves)."""
+        base = self.add_plain(RnsCiphertext(x.c0, x.c1, x.level, x.scale), values)
+        comps = [base.c0, base.c1] + [c.copy() for c in x.components()[2:]]
+        return self._ext_like(x, comps, x.level, x.scale)
+
+    def add_plain_many_ext(self, x: RnsCiphertextExt, values: np.ndarray) -> RnsCiphertextExt:
+        """Position-wise scalar addition on a batched extended ciphertext."""
+        base = self.add_plain_many(RnsCiphertext(x.c0, x.c1, x.level, x.scale), values)
+        comps = [base.c0, base.c1] + [c.copy() for c in x.components()[2:]]
+        return self._ext_like(x, comps, x.level, x.scale)
+
+    @traced("ckksrns.relinearize")
+    def relinearize(
+        self,
+        x: RnsCiphertextExt,
+        relin: RnsRelinKey,
+        relin3: RnsRelinKey | None = None,
+    ) -> RnsCiphertext:
+        """Switch the high components back to degree 1.
+
+        Degree 2 runs the classic single digit sweep.  Degree 3 runs a
+        *merged* sweep: the ``s²`` and ``s³`` source polynomials'
+        centered digit tensors are concatenated along the digit axis so
+        one batched NTT, one inner-product pass and one exact P-division
+        serve both keys (~1.8× one sweep instead of 2×).
+        """
+        reg = get_registry()
+        reg.counter("relin.count").inc()
+        if x.deferred:
+            reg.counter("relin.deferred").inc()
+        k = x.k
+        moduli = self.moduli[:k]
+        if x.c3 is None:
+            x_coeff = x.c2 if x.coeff_high else self._intt(x.c2, moduli)
+            r0, r1 = self._keyswitch_coeff(x_coeff, relin.b[:k], relin.a[:k], x.level)
+        else:
+            if relin3 is None:
+                raise ValueError("degree-3 relinearisation requires the s^3 key (relin3)")
+            if x.coeff_high:
+                x_coeff = np.concatenate([x.c2, x.c3], axis=0)  # (2k, ..., n)
+            else:
+                stacked = np.stack([x.c2, x.c3], axis=1)  # (k, 2, ..., n)
+                coeff = self._intt(stacked, moduli)
+                x_coeff = np.concatenate([coeff[:, 0], coeff[:, 1]], axis=0)  # (2k, ..., n)
+            kb = np.concatenate([relin.b[:k], relin3.b[:k]], axis=0)
+            ka = np.concatenate([relin.a[:k], relin3.a[:k]], axis=0)
+            r0, r1 = self._keyswitch_coeff(x_coeff, kb, ka, x.level)
+        c0 = np.stack([addmod(x.c0[i], r0[i], m) for i, m in enumerate(moduli)])
+        c1 = np.stack([addmod(x.c1[i], r1[i], m) for i, m in enumerate(moduli)])
+        return RnsCiphertext(c0, c1, x.level, x.scale)
 
     # -- key switching core -----------------------------------------------------------
 
     def _keyswitch_eval(
         self, x_eval: np.ndarray, kb: np.ndarray, ka: np.ndarray, level: int
     ) -> tuple[np.ndarray, np.ndarray]:
-        x_coeff = self._intt(x_eval, self.moduli[: level + 1])
-        return self._keyswitch_coeff(x_coeff, kb, ka, level)
+        k = level + 1
+        x_coeff = self._intt(x_eval, self.moduli[:k])
+        return self._keyswitch_coeff(x_coeff, kb[:k], ka[:k], level)
 
     @traced("ckksrns.keyswitch")
     def _keyswitch_coeff(
@@ -854,19 +1121,33 @@ class CkksRnsContext:
         products unchanged, so a batched switch is bit-identical to *B*
         independent ones (same per-element arithmetic, same order).
 
+        ``x_coeff`` may also stack several source polynomials' digit
+        groups along the leading axis — ``(p·k, ..., n)`` with digit *j*
+        belonging to modulus ``j mod k`` and ``kb``/``ka`` row-matched
+        (``(p·k, k_top+1, n)``).  That is the merged multi-key switch of
+        degree-3 relinearisation: every group shares one NTT sweep and
+        one P-division.  Keys are always passed pre-sliced to the active
+        digit rows.
+
         Large batches are processed in batch-axis chunks: the digit
-        tensor is ``(k+1) * k`` times the position size, so an unchunked
+        tensor is ``(k+1) * D`` times the position size, so an unchunked
         lane-packed batch would allocate hundreds of MB of temporaries
         and fall out of cache (measured super-linear scaling in the lane
         count).  Chunking only splits the batch axis — per-position
         arithmetic and ordering are untouched, so results stay
-        bit-identical.
+        bit-identical.  The chunk budget is
+        :attr:`keyswitch_chunk_elems` (kwarg / env override) and also
+        bounds the hoisted-digit cache path, whose entries are cached
+        per chunk.
         """
         k = level + 1
+        d_rows = x_coeff.shape[0]
         if x_coeff.ndim >= 3:
             inner = int(np.prod(x_coeff.shape[2:]))
-            per_b = (k + 1) * k * inner
-            chunk = max(1, KEYSWITCH_CHUNK_ELEMS // per_b) if per_b else x_coeff.shape[1]
+            per_b = (k + 1) * d_rows * inner
+            chunk = (
+                max(1, self.keyswitch_chunk_elems // per_b) if per_b else x_coeff.shape[1]
+            )
             b = x_coeff.shape[1]
             if b > chunk:
                 parts = [
@@ -881,25 +1162,27 @@ class CkksRnsContext:
         ext = moduli + [self.p_special]
         # Digits D_j = [x * hat_j^{-1}]_{q_j} with centered lifts, stacked.
         centered = np.empty(x_coeff.shape, dtype=np.int64)
-        for j, qj in enumerate(moduli):
-            d = mulmod(x_coeff[j], np.int64(self.hat_inv_top[j]), qj)
+        for j in range(d_rows):
+            qj = moduli[j % k]
+            d = mulmod(x_coeff[j], np.int64(self.hat_inv_top[j % k]), qj)
             centered[j] = np.where(d > qj // 2, d - qj, d)
         # Key rows broadcast over any batch axes between digit and coeff.
-        kshape = (k,) + (1,) * (x_coeff.ndim - 2) + (x_coeff.shape[-1],)
+        kshape = (d_rows,) + (1,) * (x_coeff.ndim - 2) + (x_coeff.shape[-1],)
 
         if isinstance(self.executor, SerialExecutor):
             # All digits lifted into every target modulus at once: a
-            # (k+1, k, ..., n) tensor through one batched stage loop.
-            lifted = np.stack([np.mod(centered, np.int64(m)) for m in ext])
-            lifted_eval = BatchedNttPlan.get(self.n, tuple(ext)).forward(lifted)
+            # (k+1, D, ..., n) tensor through one batched stage loop —
+            # served from the hoist cache when this exact input was
+            # decomposed before.
+            lifted_eval = self._lifted_digits(centered, ext, level)
             contribs = []
             for i, m in enumerate(ext):
                 key_idx = i if i < k else self.k_top
-                krow_b = kb[:k, key_idx].reshape(kshape)
-                krow_a = ka[:k, key_idx].reshape(kshape)
-                if k * m * m < 2**63:
+                krow_b = kb[:, key_idx].reshape(kshape)
+                krow_a = ka[:, key_idx].reshape(kshape)
+                if d_rows * m * m < 2**63:
                     # Narrow modulus: raw products fit int64 even summed
-                    # over all k digits, so skip the per-product
+                    # over all D digits, so skip the per-product
                     # reduction and fold one modulo at the end — exact,
                     # same ints as the reduced path.
                     le = lifted_eval[i]
@@ -926,6 +1209,43 @@ class CkksRnsContext:
         )
         r = self._div_special(acc, moduli)
         return np.ascontiguousarray(r[:, 0]), np.ascontiguousarray(r[:, 1])
+
+    def _lifted_digits(
+        self, centered: np.ndarray, ext: list[int], level: int
+    ) -> np.ndarray:
+        """NTT'd lifted digit tensor, hoisted through a content cache.
+
+        The decomposition of a ciphertext polynomial is independent of
+        the key it is later inner-multiplied with, so the lifted/NTT'd
+        tensor can be computed once and reused for every switch the same
+        polynomial feeds (relin or Galois).  Entries are addressed by
+        ``(level, shape, blake2b(content))`` — rescale or a level drop
+        changes both content and level, so stale entries can never hit.
+        A byte budget (:attr:`hoist_cache_bytes`) bounds the cache;
+        tensors above the budget bypass it (counted as misses).
+        """
+        if self.hoist_cache_bytes > 0:
+            digest = hashlib.blake2b(centered.tobytes(), digest_size=16).digest()
+            key = (level, centered.shape, digest)
+            hit = self._hoist_cache.get(key)
+            reg = get_registry()
+            if hit is not None:
+                reg.counter("keyswitch.hoist.hit").inc()
+                # Refresh recency so hot entries survive eviction.
+                self._hoist_cache[key] = self._hoist_cache.pop(key)
+                return hit
+            reg.counter("keyswitch.hoist.miss").inc()
+        else:
+            key = None
+        lifted = np.stack([np.mod(centered, np.int64(m)) for m in ext])
+        lifted_eval = BatchedNttPlan.get(self.n, tuple(ext)).forward(lifted)
+        if key is not None and lifted_eval.nbytes <= self.hoist_cache_bytes:
+            self._hoist_cache[key] = lifted_eval
+            self._hoist_bytes += lifted_eval.nbytes
+            while self._hoist_bytes > self.hoist_cache_bytes:
+                old_key = next(iter(self._hoist_cache))
+                self._hoist_bytes -= self._hoist_cache.pop(old_key).nbytes
+        return lifted_eval
 
     def _div_special(self, acc_ext: np.ndarray, moduli: list[int]) -> np.ndarray:
         """Exact division by P: (acc - lift([acc]_P)) * P^{-1}, in eval domain.
@@ -973,32 +1293,109 @@ class CkksRnsContext:
         """
         if a.level == 0:
             raise ValueError("cannot rescale below level 0")
-        k = a.k
+        comps, q_last = self._rescale_comps([a.c0, a.c1], a.level)
+        return RnsCiphertext(comps[0], comps[1], a.level - 1, a.scale / q_last)
+
+    def _rescale_comps(
+        self, comps: list[np.ndarray], level: int
+    ) -> tuple[list[np.ndarray], int]:
+        """Exact divide-by-``q_last`` of any number of components.
+
+        Only the dropped channel leaves the evaluation domain; its
+        centered lift is transformed forward under every remaining
+        modulus and subtracted in eval domain.  Bit-identical to the
+        full coefficient-domain round trip (the NTT is a ring
+        isomorphism) at one single-channel inverse instead of ``k``
+        (see ``docs/KERNELS.md``).
+        """
+        k = level + 1
         moduli = self.moduli[:k]
         q_last = moduli[-1]
         half = q_last // 2
-        # Only the dropped channel leaves the evaluation domain; its
-        # centered lift is transformed forward under every remaining
-        # modulus and subtracted in eval domain.  Bit-identical to the
-        # full coefficient-domain round trip (the NTT is a ring
-        # isomorphism) at one single-channel inverse instead of ``k``
-        # (see ``docs/KERNELS.md``).
         last = NttPlan.get(self.n, q_last).inverse(
-            np.stack([a.c0[k - 1], a.c1[k - 1]])
+            np.stack([c[k - 1] for c in comps])
         )
         lifted = np.where(last > half, last - q_last, last)
         rem = moduli[:-1]
         lift_eval = self._ntt(
             np.stack([np.mod(lifted, np.int64(m)) for m in rem]), rem
         )
-        out = np.empty((k - 1, 2) + a.c0.shape[1:], dtype=np.int64)
+        out = np.empty((k - 1, len(comps)) + comps[0].shape[1:], dtype=np.int64)
         for i, m in enumerate(rem):
             inv = np.int64(pow(q_last % m, -1, m))
-            out[i, 0] = mulmod(submod(a.c0[i], lift_eval[i, 0], m), inv, m)
-            out[i, 1] = mulmod(submod(a.c1[i], lift_eval[i, 1], m), inv, m)
-        c0 = np.ascontiguousarray(out[:, 0])
-        c1 = np.ascontiguousarray(out[:, 1])
-        return RnsCiphertext(c0, c1, a.level - 1, a.scale / q_last)
+            for c_idx, c in enumerate(comps):
+                out[i, c_idx] = mulmod(submod(c[i], lift_eval[i, c_idx], m), inv, m)
+        return [np.ascontiguousarray(out[:, j]) for j in range(len(comps))], q_last
+
+    def _rescale_coeff_comps(
+        self, comps: list[np.ndarray], level: int
+    ) -> list[np.ndarray]:
+        """Exact divide-by-``q_last`` of coefficient-domain components.
+
+        The channel-wise arithmetic of :meth:`_rescale_comps` with *no*
+        NTT at all: the dropped channel is already in coefficient form,
+        so its centered lift reduces into each remaining channel
+        directly.  Produces the exact integers of the eval-domain path
+        followed by an inverse transform (the NTT is a ring
+        isomorphism).
+        """
+        k = level + 1
+        moduli = self.moduli[:k]
+        q_last = moduli[-1]
+        half = q_last // 2
+        rem = moduli[:-1]
+        out = []
+        for c in comps:
+            lifted = np.where(c[k - 1] > half, c[k - 1] - q_last, c[k - 1])
+            oc = np.empty((k - 1,) + c.shape[1:], dtype=np.int64)
+            for i, m in enumerate(rem):
+                inv = np.int64(pow(q_last % m, -1, m))
+                oc[i] = mulmod(
+                    submod(c[i], np.mod(lifted, np.int64(m)), m), inv, m
+                )
+            out.append(oc)
+        return out
+
+    @traced("ckksrns.rescale_ext")
+    def rescale_ext(
+        self, x: RnsCiphertextExt, defer_high: bool = False
+    ) -> RnsCiphertextExt:
+        """Rescale an extended ciphertext component-wise.
+
+        Marks the result ``deferred``: the eventual relinearisation runs
+        one level (and one rescale's worth of digit width) lower than the
+        eager order — the lazy-relin win.
+
+        With ``defer_high`` the high components (``c2``/``c3``) move to
+        the coefficient domain: they are inverse-transformed once here
+        and every later rescale / the final relinearisation consumes
+        them channel-wise with no further forward lifts (relinearisation
+        starts from coefficient form anyway).  Only valid when the ext
+        will not be multiplied again.  A ``coeff_high`` input keeps its
+        high components in coefficient form automatically.
+        """
+        if x.level == 0:
+            raise ValueError("cannot rescale below level 0")
+        comps = x.components()
+        q_last = self.moduli[x.level]
+        if x.coeff_high or defer_high:
+            low, _ = self._rescale_comps(comps[:2], x.level)
+            high = comps[2:]
+            if not x.coeff_high:
+                stacked = np.stack(high, axis=1)  # (k, H, ..., n)
+                un = self._intt(stacked, self.moduli[: x.k])
+                high = [un[:, j] for j in range(un.shape[1])]
+            high = self._rescale_coeff_comps(high, x.level)
+            comps = low + high
+            coeff_high = True
+        else:
+            comps, q_last = self._rescale_comps(comps, x.level)
+            coeff_high = False
+        return RnsCiphertextExt(
+            comps[0], comps[1], comps[2], x.level - 1, x.scale / q_last,
+            c3=comps[3] if len(comps) > 3 else None, deferred=True,
+            coeff_high=coeff_high,
+        )
 
     def mod_switch_to(self, a: RnsCiphertext, level: int) -> RnsCiphertext:
         """Drop trailing residue channels (plaintext and scale unchanged)."""
@@ -1054,7 +1451,7 @@ class CkksRnsContext:
         c1g = np.stack(
             [_galois_permute(c1_coeff[i], g, self.n, m) for i, m in enumerate(moduli)]
         )
-        r0, r1 = self._keyswitch_coeff(c1g, key.b, key.a, a.level)
+        r0, r1 = self._keyswitch_coeff(c1g, key.b[: a.k], key.a[: a.k], a.level)
         c0_eval = self._ntt(c0g, moduli)
         c0 = np.stack([addmod(c0_eval[i], r0[i], m) for i, m in enumerate(moduli)])
         return RnsCiphertext(c0, r1, a.level, a.scale)

@@ -53,13 +53,25 @@ class RnsGaloisKey:
 
 @dataclass
 class RnsKeyPair:
-    """Full key material from one keygen: secret, public, relin, Galois keys."""
+    """Full key material from one keygen: secret, public, relin, Galois keys.
+
+    ``relin3`` switches ``s³`` back to ``s`` — it lets a degree-3
+    extended ciphertext (from a lazy BSGS giant-step fold) relinearise
+    in one merged digit sweep together with its ``s²`` component.
+    """
 
     sk: RnsSecretKey
     pk: RnsPublicKey
     relin: RnsRelinKey
     galois: dict[int, RnsGaloisKey] = field(default_factory=dict)
+    relin3: RnsRelinKey | None = None
 
     def public_part(self) -> "RnsKeyPair":
         """Evaluator view without the secret key."""
-        return RnsKeyPair(sk=None, pk=self.pk, relin=self.relin, galois=self.galois)  # type: ignore[arg-type]
+        return RnsKeyPair(
+            sk=None,  # type: ignore[arg-type]
+            pk=self.pk,
+            relin=self.relin,
+            galois=self.galois,
+            relin3=self.relin3,
+        )

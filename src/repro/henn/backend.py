@@ -18,6 +18,7 @@ only, so the same compiled model runs under:
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Sequence
@@ -78,6 +79,32 @@ class _SinglePolyOps:
     def add_plain_vec(self, h: Any, consts: np.ndarray) -> Any:
         return self.b.add_plain(h, float(consts[0]))
 
+    # extended (degree >= 2) ops — lazy-relinearisation interpreter only
+
+    def square_raw(self, h: Any) -> Any:
+        return self.b.square_raw(h)
+
+    def mul_raw(self, a: Any, b: Any) -> Any:
+        return self.b.mul_raw(a, b)
+
+    def rescale_ext(self, e: Any, defer_high: bool = False) -> Any:
+        return self.b.rescale_ext(e, defer_high=defer_high)
+
+    def relinearize(self, e: Any) -> Any:
+        return self.b.relinearize_ext(e)
+
+    def add_ext(self, a: Any, b: Any) -> Any:
+        return self.b.add_ext(a, b)
+
+    def mul_plain_vec_ext(self, e: Any, consts: np.ndarray, ps: float) -> Any:
+        return self.b.mul_plain_scalar_ext(e, float(consts[0]), ps)
+
+    def add_plain_vec_ext(self, e: Any, consts: np.ndarray) -> Any:
+        return self.b.add_plain_ext(e, float(consts[0]))
+
+    def scale_of_ext(self, e: Any) -> float:
+        return self.b.scale_of_ext(e)
+
 
 def _run_poly_program(ops: Any, prog: PolyProgram, x: Any, coeffs: np.ndarray) -> Any:
     """Interpret a compiled BSGS program over one (possibly batched) handle.
@@ -122,6 +149,84 @@ def _run_poly_program(ops: Any, prog: PolyProgram, x: Any, coeffs: np.ndarray) -
     return ops.rescale(acc)
 
 
+def _run_poly_program_lazy(
+    ops: Any, prog: PolyProgram, x: Any, coeffs: np.ndarray
+) -> Any:
+    """Lazy-relinearisation variant of :func:`_run_poly_program`.
+
+    Same block/scale schedule (same rescale count, same plain-scale
+    compensation, hence the same final level and scale), but products
+    stay in extended degree-2/3 space and relinearise *after* summing:
+
+    * the giant power ``y = x^baby_m`` is kept raw (degree 2), saving
+      its keyswitch entirely;
+    * each Horner fold ``acc * y`` produces a degree-3 extended
+      accumulator; block terms (degree-1 plaintext products) are added
+      into it componentwise, and one *merged* keyswitch (s² and s³
+      digits in a single sweep) relinearises the whole block sum —
+      post-rescale, i.e. one level lower than the eager keyswitch.
+
+    ``prog.relins`` counts the sweeps: ``~ceil(degree / baby_m)`` versus
+    ``prog.ct_mults ~ 2*sqrt(degree)`` for the eager interpreter.  The
+    result is *not* bit-identical to eager — deferring keyswitch noise
+    past rescales changes rounding at the last few bits — but agrees to
+    within the scheme's approximation error (bounded by the
+    lazy-vs-eager tests).
+    """
+    powers = {1: x}
+    y_raw = None
+    for j in range(2, prog.baby_top + 1):
+        prev = powers[j - 1]
+        raw = ops.square_raw(prev) if j == 2 else ops.mul_raw(prev, x)
+        if j == prog.baby_m and prog.giants > 1:
+            # The giant power stays extended (no keyswitch) and must keep
+            # its high component in the NTT domain: it feeds dyadic
+            # ct x ext products in the Horner folds below.
+            y_raw = ops.rescale_ext(raw)
+        else:
+            powers[j] = ops.relinearize(ops.rescale_ext(raw, defer_high=True))
+    m = prog.baby_m
+    acc = None  # relinearised degree-1 accumulator
+    acc_ext = None  # extended degree-2/3 accumulator
+    pending = None  # constants of a deferred degree-0 top block
+    for g in range(prog.giants - 1, -1, -1):
+        base = g * m
+        bd = prog.block_degrees[g]
+        if acc is None and acc_ext is None and pending is None:
+            if bd == 0:
+                pending = coeffs[:, base]
+                continue
+            target = ops.scale_of(powers[bd]) * ops.delta
+        elif pending is not None:
+            acc_ext = ops.mul_plain_vec_ext(y_raw, pending, ops.delta)
+            pending = None
+            target = ops.scale_of_ext(acc_ext)
+        else:
+            if acc_ext is not None:
+                # The accumulator must be degree 1 before folding with the
+                # raw giant power (degree 1 x 2 -> 3 is the ceiling the
+                # merged sweep handles): relinearise the block sum now.
+                acc = ops.relinearize(acc_ext)
+                acc_ext = None
+            acc_ext = ops.rescale_ext(ops.mul_raw(acc, y_raw), defer_high=True)
+            acc = None
+            target = ops.scale_of_ext(acc_ext)
+        for j in range(bd, 0, -1):
+            ps = target / ops.scale_of(powers[j])
+            term = ops.mul_plain_vec(powers[j], coeffs[:, base + j], ps)
+            if acc_ext is not None:
+                acc_ext = ops.add_ext(acc_ext, term)
+            else:
+                acc = term if acc is None else ops.add(acc, term)
+        if acc_ext is not None:
+            acc_ext = ops.add_plain_vec_ext(acc_ext, coeffs[:, base])
+        else:
+            acc = ops.add_plain_vec(acc, coeffs[:, base])
+    if acc_ext is not None:
+        return ops.relinearize(ops.rescale_ext(acc_ext, defer_high=True))
+    return ops.rescale(acc)
+
+
 @dataclass
 class EncodedTaps:
     """Compile-once constants for one weighted sum (a conv/linear neuron).
@@ -157,6 +262,39 @@ class HeBackend(ABC):
     #: member ciphertexts along a lane axis (one backend call per op,
     #: exact per lane) rather than into one slot range.
     native_slot_concat: bool = False
+
+    #: Whether the backend implements the raw/extended ciphertext ops
+    #: (``square_raw`` .. ``relinearize_ext``) that the lazy BSGS
+    #: interpreter needs.  Backends that do not are always evaluated
+    #: eagerly regardless of :attr:`relin_mode`.
+    supports_lazy_relin: bool = False
+
+    _relin_mode: str | None = None
+
+    @property
+    def relin_mode(self) -> str:
+        """BSGS relinearisation strategy: ``"lazy"`` (default) or ``"eager"``.
+
+        Resolution order: an explicit assignment on the instance wins,
+        then the ``REPRO_RELIN_MODE`` environment variable, then
+        ``"lazy"``.  The eager interpreter is kept as a flag-selectable
+        oracle — it relinearises after every product, which lazy must
+        match to within the scheme's approximation noise.
+        """
+        if self._relin_mode is not None:
+            return self._relin_mode
+        mode = os.environ.get("REPRO_RELIN_MODE", "lazy").strip().lower()
+        return mode if mode in ("lazy", "eager") else "lazy"
+
+    @relin_mode.setter
+    def relin_mode(self, mode: str) -> None:
+        mode = str(mode).strip().lower()
+        if mode not in ("lazy", "eager"):
+            raise ValueError(f"relin_mode must be 'lazy' or 'eager', got {mode!r}")
+        self._relin_mode = mode
+
+    def _use_lazy(self) -> bool:
+        return self.supports_lazy_relin and self.relin_mode == "lazy"
 
     @property
     @abstractmethod
@@ -224,6 +362,58 @@ class HeBackend(ABC):
     def rotate(self, a: Any, r: int) -> Any:
         """Left-rotate slots by *r* (requires rotation keys where real)."""
         raise NotImplementedError(f"{self.name} backend has no rotations")
+
+    # -- raw / extended ciphertext ops (lazy relinearisation) -------------------
+    #
+    # Backends advertising ``supports_lazy_relin`` implement these seven
+    # primitives; the extended handle type is backend-specific (it only
+    # needs a ``.scale`` attribute for the interpreter's bookkeeping).
+
+    def square_raw(self, a: Any) -> Any:
+        """``a * a`` without relinearisation: a degree-2 extended handle."""
+        raise NotImplementedError(f"{self.name} backend has no lazy relinearisation")
+
+    def mul_raw(self, a: Any, b: Any) -> Any:
+        """``a * b`` without relinearisation.
+
+        *b* may be a regular handle (result degree 2) or a raw degree-2
+        extended handle (result degree 3 — the Horner fold against the
+        raw giant power).
+        """
+        raise NotImplementedError(f"{self.name} backend has no lazy relinearisation")
+
+    def rescale_ext(self, e: Any, defer_high: bool = False) -> Any:
+        """Rescale an extended handle componentwise (marks it deferred).
+
+        ``defer_high`` hints that the high components will only ever be
+        relinearised, letting RNS backends hold them in coefficient
+        domain; backends without that optimisation ignore it.
+        """
+        raise NotImplementedError(f"{self.name} backend has no lazy relinearisation")
+
+    def relinearize_ext(self, e: Any) -> Any:
+        """Key-switch an extended handle back to degree 1.
+
+        Degree 3 uses the s³ evaluation key merged with the s² key into
+        a single sweep.
+        """
+        raise NotImplementedError(f"{self.name} backend has no lazy relinearisation")
+
+    def add_ext(self, a: Any, b: Any) -> Any:
+        """Add handles of mixed degree (either side may be extended)."""
+        raise NotImplementedError(f"{self.name} backend has no lazy relinearisation")
+
+    def mul_plain_scalar_ext(self, e: Any, scalar: float, plain_scale: float | None = None) -> Any:
+        """Extended handle × plaintext scalar (componentwise)."""
+        raise NotImplementedError(f"{self.name} backend has no lazy relinearisation")
+
+    def add_plain_ext(self, e: Any, value: float) -> Any:
+        """Extended handle + plaintext scalar (touches c0 only where real)."""
+        raise NotImplementedError(f"{self.name} backend has no lazy relinearisation")
+
+    def scale_of_ext(self, e: Any) -> float:
+        """Current plaintext scale of an extended handle."""
+        return e.scale
 
     # -- slot packing (serving gateway) -----------------------------------------
 
@@ -372,7 +562,8 @@ class HeBackend(ABC):
         reg = get_registry()
         reg.counter("poly.bsgs.evals").inc()
         reg.counter("poly.bsgs.ct_mults").inc(program.ct_mults)
-        return _run_poly_program(_SinglePolyOps(self), program, x, coeffs[None, :])
+        run = _run_poly_program_lazy if self._use_lazy() else _run_poly_program
+        return run(_SinglePolyOps(self), program, x, coeffs[None, :])
 
     def poly_eval_many(
         self,
@@ -426,6 +617,23 @@ class _MockHandle:
     values: np.ndarray
     scale: float
     level: int
+
+
+@dataclass
+class _MockExt:
+    """Mock extended (unrelinearised) handle.
+
+    Relinearisation is the identity on tracked values, so the mock lazy
+    path is bit-identical to the eager one — the ext container only
+    mirrors the degree/deferred bookkeeping (and the relin counters) of
+    the real schemes.
+    """
+
+    values: np.ndarray
+    scale: float
+    level: int
+    degree: int = 2
+    deferred: bool = False
 
 
 class MockBackend(HeBackend):
@@ -533,6 +741,59 @@ class MockBackend(HeBackend):
     def rotate(self, a: _MockHandle, r: int) -> _MockHandle:
         return _MockHandle(np.roll(a.values, -r), a.scale, a.level)
 
+    # -- raw / extended ops (lazy relinearisation) -------------------------------
+
+    supports_lazy_relin = True
+
+    def square_raw(self, a: _MockHandle) -> _MockExt:
+        return _MockExt(a.values * a.values, a.scale * a.scale, a.level)
+
+    def mul_raw(self, a: _MockHandle, b: "_MockHandle | _MockExt") -> _MockExt:
+        degree = 3 if isinstance(b, _MockExt) else 2
+        deferred = getattr(b, "deferred", False)
+        return _MockExt(
+            a.values * b.values, a.scale * b.scale, min(a.level, b.level), degree, deferred
+        )
+
+    def rescale_ext(self, e: _MockExt, defer_high: bool = False) -> _MockExt:
+        if e.level <= 0:
+            raise ValueError("mock level budget exhausted (depth overflow)")
+        divisor = float(self._primes[e.level - 1]) if self._primes else self._scale
+        scale = e.scale / divisor
+        if self.fault_injector is not None:
+            scale = self.fault_injector.next_scale(scale)
+        return _MockExt(e.values, scale, e.level - 1, e.degree, True)
+
+    def relinearize_ext(self, e: _MockExt) -> _MockHandle:
+        reg = get_registry()
+        reg.counter("relin.count").inc()
+        if e.deferred:
+            reg.counter("relin.deferred").inc()
+        return _MockHandle(e.values, e.scale, e.level)
+
+    def add_ext(self, a: "_MockHandle | _MockExt", b: "_MockHandle | _MockExt") -> _MockExt:
+        if not np.isclose(a.scale, b.scale, rtol=1e-3):
+            raise ValueError(f"scale mismatch in add_ext: {a.scale} vs {b.scale}")
+        return _MockExt(
+            a.values + b.values,
+            a.scale,
+            min(a.level, b.level),
+            max(getattr(a, "degree", 1), getattr(b, "degree", 1)),
+            getattr(a, "deferred", False) or getattr(b, "deferred", False),
+        )
+
+    def mul_plain_scalar_ext(
+        self, e: _MockExt, scalar: float, plain_scale: float | None = None
+    ) -> _MockExt:
+        ps = float(plain_scale or self._scale)
+        w = round(float(scalar) * ps) / ps  # same quantisation as encode
+        return _MockExt(e.values * w, e.scale * ps, e.level, e.degree, e.deferred)
+
+    def add_plain_ext(self, e: _MockExt, value: float) -> _MockExt:
+        return _MockExt(
+            e.values + self._q(float(value), e.scale), e.scale, e.level, e.degree, e.deferred
+        )
+
     # -- slot packing ------------------------------------------------------------
 
     native_slot_concat = True
@@ -624,6 +885,31 @@ class CkksBackend(HeBackend):
 
     def level_of(self, a) -> int:
         return a.level
+
+    # -- raw / extended ops (lazy relinearisation) -------------------------------
+
+    supports_lazy_relin = True
+
+    def square_raw(self, a):
+        return self.ctx.square_raw(a)
+
+    def mul_raw(self, a, b):
+        return self.ctx.mul_raw(a, b)
+
+    def rescale_ext(self, e, defer_high: bool = False):
+        return self.ctx.rescale_ext(e)
+
+    def relinearize_ext(self, e):
+        return self.ctx.relinearize(e, self.keys.relin, self.keys.relin3)
+
+    def add_ext(self, a, b):
+        return self.ctx.add_ext(a, b)
+
+    def mul_plain_scalar_ext(self, e, scalar: float, plain_scale: float | None = None):
+        return self.ctx.mul_plain_scalar_ext(e, scalar, plain_scale)
+
+    def add_plain_ext(self, e, value: float):
+        return self.ctx.add_plain_ext(e, float(value))
 
     def mul_plain_vector(self, a, values: np.ndarray):
         return self.ctx.mul_plain(a, np.asarray(values, dtype=np.float64))
@@ -763,6 +1049,34 @@ class CkksRnsBackend(HeBackend):
     def level_of(self, a) -> int:
         return a.level
 
+    # -- raw / extended ops (lazy relinearisation) -------------------------------
+
+    supports_lazy_relin = True
+
+    def square_raw(self, a):
+        return self.ctx.square_raw(a)
+
+    def mul_raw(self, a, b):
+        return self.ctx.mul_raw(a, b)
+
+    def rescale_ext(self, e, defer_high: bool = False):
+        out = self.ctx.rescale_ext(e, defer_high=defer_high)
+        if self.fault_injector is not None:
+            out.scale = self.fault_injector.next_scale(out.scale)
+        return out
+
+    def relinearize_ext(self, e):
+        return self.ctx.relinearize(e, self.keys.relin, self.keys.relin3)
+
+    def add_ext(self, a, b):
+        return self.ctx.add_ext(a, b)
+
+    def mul_plain_scalar_ext(self, e, scalar: float, plain_scale: float | None = None):
+        return self.ctx.mul_plain_scalar_ext(e, scalar, plain_scale)
+
+    def add_plain_ext(self, e, value: float):
+        return self.ctx.add_plain_ext(e, float(value))
+
     def mul_plain_vector(self, a, values: np.ndarray):
         return self.ctx.mul_plain(a, np.asarray(values, dtype=np.float64))
 
@@ -840,9 +1154,10 @@ class CkksRnsBackend(HeBackend):
         with obs.span(
             "henn.poly_eval_many", backend=self.name, positions=len(handles), degree=degree
         ):
+            run = _run_poly_program_lazy if self._use_lazy() else _run_poly_program
             for idxs in groups:
                 packed = _pack_rns(handles, idxs)
-                res = _run_poly_program(_RnsBatchOps(self), program, packed, rows[idxs])
+                res = run(_RnsBatchOps(self), program, packed, rows[idxs])
                 _unpack_rns(res, idxs, out)
         return out  # type: ignore[return-value]
 
@@ -938,3 +1253,29 @@ class _RnsBatchOps:
 
     def add_plain_vec(self, h: RnsCiphertext, consts: np.ndarray) -> RnsCiphertext:
         return self.b.ctx.add_plain_many(h, consts)
+
+    # extended (degree >= 2) ops — lazy-relinearisation interpreter only
+
+    def square_raw(self, h: RnsCiphertext):
+        return self.b.ctx.square_raw(h)
+
+    def mul_raw(self, a: RnsCiphertext, b: Any):
+        return self.b.ctx.mul_raw(a, b)
+
+    def rescale_ext(self, e: Any, defer_high: bool = False):
+        return self.b.rescale_ext(e, defer_high=defer_high)
+
+    def relinearize(self, e: Any) -> RnsCiphertext:
+        return self.b.relinearize_ext(e)
+
+    def add_ext(self, a: Any, b: Any):
+        return self.b.ctx.add_ext(a, b)
+
+    def mul_plain_vec_ext(self, e: Any, consts: np.ndarray, ps: float):
+        return self.b.ctx.mul_plain_scalar_many_ext(e, consts, ps)
+
+    def add_plain_vec_ext(self, e: Any, consts: np.ndarray):
+        return self.b.ctx.add_plain_many_ext(e, consts)
+
+    def scale_of_ext(self, e: Any) -> float:
+        return e.scale

@@ -218,6 +218,13 @@ class PolyProgram:
     depth:
         Rescaling levels consumed (always ``<= degree``; equality holds
         for ``degree <= 4``).
+    relins:
+        Relinearisations (key-switch sweeps) performed by the *lazy*
+        interpreter, ``~ ceil(degree / baby_m)``.  The eager interpreter
+        relinearises after every product, i.e. exactly ``ct_mults``
+        times.  Lazy keeps the giant power ``y = x^m`` raw (degree 2),
+        folds blocks in extended space and relinearises each accumulator
+        once, post-rescale, with a single merged degree-3 sweep.
     """
 
     degree: int
@@ -227,6 +234,7 @@ class PolyProgram:
     block_degrees: tuple[int, ...]
     ct_mults: int
     depth: int
+    relins: int = 0
 
 
 @lru_cache(maxsize=None)
@@ -267,6 +275,16 @@ def compile_poly_program(degree: int) -> PolyProgram:
         horner_mults = giants - 1 - (1 if block_degrees[-1] == 0 else 0)
     ct_mults = (baby_top - 1) + horner_mults
     depth = (baby_top - 1) + horner_mults + 1
+    if giants <= 1:
+        # Power basis: every baby product must be relinearised.
+        relins = max(baby_top - 1, 0)
+    else:
+        # Lazy BSGS: y = x^m stays raw, so one baby relin is saved; each
+        # Horner fold (plus the constant-top-block plaintext product)
+        # costs exactly one merged sweep of its degree-3 accumulator.
+        relins = (baby_top - 2) + horner_mults + (
+            1 if block_degrees[-1] == 0 else 0
+        )
     return PolyProgram(
         degree=degree,
         baby_m=m,
@@ -275,4 +293,5 @@ def compile_poly_program(degree: int) -> PolyProgram:
         block_degrees=block_degrees,
         ct_mults=ct_mults,
         depth=depth,
+        relins=relins,
     )

@@ -11,6 +11,19 @@ RNS channel.
 Each stage is fully vectorised over NumPy views (see the hpc guide on
 vectorising loops): a length-``n`` transform is ``log2 n`` reshaped
 butterfly sweeps, with optional leading batch axes transformed together.
+
+Narrow channels run the stage loops with *lazy reduction*: twiddle
+products are reduced by a direct int64 ``%``, but the butterfly add/sub
+reductions are deferred (magnitudes grow by at most ``+m`` per stage,
+within an int64 budget checked at plan build), replacing two
+compare-and-select sweeps per stage with one final modulo.  Wide
+channels use *Shoup multiplication*: every multiplier in a transform
+(twiddles, ``n^-1``) is a plan constant, so the quotient
+``q = floor(a*w/m)`` is recovered from a precomputed float64 ratio
+``w/m`` with one multiply instead of a float division per element —
+``r = a*w - q*m`` is exact in wrap-around uint64 and needs at most two
+conditional ``±m`` corrections.  Both paths produce the exact integers
+of plain ``(a*w) % m`` arithmetic, so outputs are bit-identical.
 """
 
 from __future__ import annotations
@@ -19,7 +32,7 @@ import threading
 
 import numpy as np
 
-from repro.nt.modarith import NARROW_MODULUS_BITS, addmod, mulmod, submod
+from repro.nt.modarith import NARROW_MODULUS_BITS, mulmod
 from repro.nt.primes import is_prime
 from repro.obs.tracer import traced
 
@@ -29,6 +42,9 @@ __all__ = [
     "bit_reverse_permutation",
     "plan_registry_stats",
 ]
+
+_I64 = np.int64
+_U64 = np.uint64
 
 
 def bit_reverse_permutation(n: int) -> np.ndarray:
@@ -94,6 +110,25 @@ class NttPlan:
         self._tw = pow_psi[rev]
         self._tw_inv = pow_psi_inv[rev]
         self.n_inv = pow(self.n, -1, self.p)
+        # Shoup ratio tables: w/p in float64 recovers q = floor(a*w/p)
+        # to within ±1 with a single multiply (see module docstring).
+        self._tw_f = self._tw / self.p
+        self._tw_inv_f = self._tw_inv / self.p
+        self._n_inv_f = self.n_inv / self.p
+        stages = self.n.bit_length() - 1
+        self._narrow = self.p.bit_length() < NARROW_MODULUS_BITS
+        # Lazy forward reduction defers the butterfly reductions.
+        # Narrow: twiddle products are fully reduced, magnitudes grow by
+        # at most +p per stage, so the stage-s product is bounded by
+        # (s+2) * p**2 — eligible when that fits int64.  Wide: Shoup
+        # products are reduced only to [0, 2p), growing +2p per stage;
+        # the quotient estimate stays within ±1 as long as the largest
+        # ratio value (2*stages+1) * p keeps the 3-ulp float error
+        # below 1 — conservatively, below 2**51.
+        if self._narrow:
+            self._lazy = (stages + 2) * self.p * self.p < 2**63
+        else:
+            self._lazy = (2 * stages + 1) * self.p < 2**51
 
     def _power_table(self, base: int) -> np.ndarray:
         """``[base^0, base^1, ..., base^(n-1)] mod p`` by vectorised doubling.
@@ -114,6 +149,34 @@ class NttPlan:
 
     # -- transforms ------------------------------------------------------
 
+    def _mul_const(
+        self, a: np.ndarray, w: np.ndarray, wf: np.ndarray, full: bool = True
+    ) -> np.ndarray:
+        """``(a * w) mod p`` with *w* a plan constant (Shoup ratio *wf*).
+
+        Narrow moduli take a direct int64 multiply-and-remainder (always
+        fully reduced).  Wide moduli recover ``q = floor(a*w/p)`` from
+        the float64 ratio (off by at most 1), compute the remainder
+        exactly in wrap-around uint64, and correct into ``[0, 2p)`` with
+        one conditional ``+p``; ``full`` adds the ``-p`` step to
+        ``[0, p)``.  Inputs may exceed ``p`` (lazy butterflies); the
+        eligibility bounds keep both the int64 products and the float
+        quotient estimate exact.
+        """
+        p = self.p
+        if self._narrow:
+            return (a * w) % p
+        q = (a * wf).astype(_U64)
+        with np.errstate(over="ignore"):
+            r = (
+                a.astype(_U64) * np.asarray(w, dtype=_I64).astype(_U64)
+                - q * _U64(p)
+            ).astype(_I64)
+        r = np.where(r < 0, r + p, r)
+        if full:
+            r = np.where(r >= p, r - p, r)
+        return r
+
     @traced("nt.ntt.forward")
     def forward(self, a: np.ndarray) -> np.ndarray:
         """Negacyclic forward NTT along the last axis (returns a new array)."""
@@ -128,12 +191,25 @@ class NttPlan:
             left = view[:, :, :t]
             right = view[:, :, t:]
             w = self._tw[m : 2 * m].reshape(1, m, 1)
-            v = mulmod(right, w, p)
-            new_left = addmod(left, v, p)
-            new_right = submod(left, v, p)
-            view[:, :, :t] = new_left
-            view[:, :, t:] = new_right
+            wf = self._tw_f[m : 2 * m].reshape(1, m, 1)
+            if self._lazy:
+                # Partially-reduced v (< p narrow, < 2p wide) keeps
+                # (left + v) and (left - v + bound) non-negative with
+                # +bound growth per stage — within the budgets checked
+                # at plan build.  Right half is written first so the
+                # in-place add still reads the original left half.
+                v = self._mul_const(right, w, wf, full=False)
+                view[:, :, t:] = left - v + (p if self._narrow else 2 * p)
+                left += v
+            else:
+                v = self._mul_const(right, w, wf)
+                s = left + v
+                d = left - v
+                view[:, :, :t] = np.where(s >= p, s - p, s)
+                view[:, :, t:] = np.where(d < 0, d + p, d)
             m *= 2
+        if self._lazy:
+            a %= p
         return a.reshape(out_shape)
 
     @traced("nt.ntt.inverse")
@@ -149,13 +225,19 @@ class NttPlan:
             left = view[:, :, :t]
             right = view[:, :, t:]
             w = self._tw_inv[m : 2 * m].reshape(1, m, 1)
-            s = addmod(left, right, p)
-            d = mulmod(submod(left, right, p), w, p)
-            view[:, :, :t] = s
-            view[:, :, t:] = d
+            wf = self._tw_inv_f[m : 2 * m].reshape(1, m, 1)
+            s = left + right
+            # d = left - right + p stays in [0, 2p): the twiddle product
+            # 2p**2 fits int64 for every narrow modulus and wraps
+            # exactly in uint64 for wide ones — one unconditional add
+            # instead of a compare-and-select sweep.
+            d = left - right + p
+            v = self._mul_const(d, w, wf)
+            view[:, :, :t] = np.where(s >= p, s - p, s)
+            view[:, :, t:] = v
             t *= 2
             m //= 2
-        a = mulmod(a, np.int64(self.n_inv), p)
+        a = self._mul_const(a, np.int64(self.n_inv), self._n_inv_f)
         return a.reshape(out_shape)
 
     def _prepare(self, a: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
@@ -212,7 +294,10 @@ def plan_registry_stats() -> dict[str, int]:
 class _ChannelGroup:
     """Channels of one width class batched through a shared stage loop."""
 
-    __slots__ = ("idx", "wide", "mi", "mu", "mf", "tw", "tw_inv", "n_inv", "lazy")
+    __slots__ = (
+        "idx", "wide", "mi", "mu", "mf",
+        "tw", "tw_inv", "n_inv", "tw_f", "tw_inv_f", "n_inv_f", "lazy",
+    )
 
     def __init__(self, idx: list[int], plans: list[NttPlan], moduli: tuple[int, ...]):
         self.idx = idx
@@ -224,33 +309,58 @@ class _ChannelGroup:
         self.tw = np.stack([plans[i]._tw for i in idx])
         self.tw_inv = np.stack([plans[i]._tw_inv for i in idx])
         self.n_inv = np.array([plans[i].n_inv for i in idx], dtype=np.int64)
-        # Lazy-reduction eligibility for the forward stage loop: deferring
-        # the butterfly reductions grows magnitudes by at most +m per
-        # stage, so the stage-s twiddle product is bounded by
-        # (s+2) * m^2.  Safe when that fits int64 for every channel.
+        # Per-channel Shoup ratio tables (w / m in float64) — same
+        # quotient-recovery trick as NttPlan._shoup, broadcast over the
+        # channel axis.
+        self.tw_f = self.tw / self.mf.reshape(-1, 1)
+        self.tw_inv_f = self.tw_inv / self.mf.reshape(-1, 1)
+        self.n_inv_f = self.n_inv / self.mf
+        # Lazy-reduction eligibility for the forward stage loop (same
+        # bounds as NttPlan: +m growth with fully-reduced narrow
+        # products, +2m growth with partially-reduced wide Shoup
+        # products and a ±1 float quotient estimate).
         n = plans[idx[0]].n
         stages = n.bit_length() - 1
-        self.lazy = not self.wide and all(
-            (stages + 2) * int(mm) * int(mm) < 2**63 for mm in m.tolist()
-        )
+        if self.wide:
+            self.lazy = all(
+                (2 * stages + 1) * int(mm) < 2**51 for mm in m.tolist()
+            )
+        else:
+            self.lazy = all(
+                (stages + 2) * int(mm) * int(mm) < 2**63 for mm in m.tolist()
+            )
 
-    def mul(self, a: np.ndarray, b: np.ndarray, shape: tuple) -> np.ndarray:
-        """Twiddle multiply with the per-channel modulus broadcast *shape*."""
-        if not self.wide:
-            return np.multiply(a, b, dtype=np.int64) % self.mi.reshape(shape)
-        # Vectorised float-Barrett — elementwise identical to
-        # modarith._mulmod_wide with each channel's scalar modulus.
-        q = np.floor(
-            a.astype(np.float64) * b.astype(np.float64) / self.mf.reshape(shape)
-        ).astype(np.uint64)
-        mu = self.mu.reshape(shape)
+    def mul(
+        self,
+        a: np.ndarray,
+        w: np.ndarray,
+        wf: np.ndarray,
+        shape: tuple,
+        full: bool = True,
+    ) -> np.ndarray:
+        """``(a * w) mod m_i`` per channel, *w* a plan constant.
+
+        Narrow groups use a direct int64 multiply-and-remainder with the
+        modulus broadcast per channel (always fully reduced).  Wide
+        groups recover the quotient from the precomputed float64 Shoup
+        ratio *wf* (off by at most 1), take the remainder exactly in
+        wrap-around uint64, and correct into ``[0, 2m)`` with one
+        conditional ``+m``; ``full`` adds the ``-m`` step to ``[0, m)``
+        — elementwise identical to ``modarith.mulmod`` with each
+        channel's scalar modulus.
+        """
         mi = self.mi.reshape(shape)
+        if not self.wide:
+            return np.multiply(a, w, dtype=np.int64) % mi
+        q = (a * wf).astype(np.uint64)
         with np.errstate(over="ignore"):
-            r = (a.astype(np.uint64) * b.astype(np.uint64) - q * mu).astype(np.int64)
+            r = (
+                a.astype(np.uint64) * w.astype(np.uint64)
+                - q * self.mu.reshape(shape)
+            ).astype(np.int64)
         r = np.where(r < 0, r + mi, r)
-        r = np.where(r < 0, r + mi, r)
-        r = np.where(r >= mi, r - mi, r)
-        r = np.where(r >= mi, r - mi, r)
+        if full:
+            r = np.where(r >= mi, r - mi, r)
         return r
 
 
@@ -265,13 +375,17 @@ class BatchedNttPlan:
     NumPy call overhead, which dominates at the small-to-medium ring
     degrees of the sweep experiments.
 
-    Channels batch in two groups: narrow moduli (< 2**31, direct int64
-    products) and wide moduli (float-Barrett, e.g. a 36-bit ``q_0`` and
-    the 45-bit special prime).  Per channel the arithmetic is
-    **identical** to :class:`NttPlan`'s scalar-modulus path — same
-    ``(a*b) % m`` / Barrett formula, same conditional-subtraction
-    add/sub — so results are bit-identical.  A group of one falls back
-    to its plain per-channel plan (batching it would only add reshapes).
+    Channels batch in three groups: narrow moduli (< 2**31, direct int64
+    products, lazy butterflies), lazy-eligible wide moduli (Shoup
+    ratio-multiply, deferred butterfly reductions — e.g. a 40-bit
+    ``q_0``), and heavy wide moduli whose magnitude forces per-stage
+    reduction (the 49-bit special prime).  Splitting wide channels this
+    way keeps one heavy prime from dragging a whole stack onto the eager
+    path.  Per channel the arithmetic is **identical** to
+    :class:`NttPlan`'s scalar-modulus path — same Shoup quotient
+    recovery, same conditional ``±m`` corrections — so results are
+    bit-identical.  A group of one falls back to its plain per-channel
+    plan (batching it would only add reshapes).
 
     Accepts stacks of shape ``(k, n)`` or ``(k, B, n)`` (extra batch
     axes between channel and coefficient axes transform together).
@@ -285,9 +399,14 @@ class BatchedNttPlan:
             i for i, m in enumerate(self.moduli) if m.bit_length() < NARROW_MODULUS_BITS
         ]
         wide = [i for i in range(len(self.moduli)) if i not in set(narrow)]
+        # Wide channels split by lazy-reduction eligibility so a
+        # moderate modulus (e.g. a 40-bit q0) is not forced onto the
+        # eager path by a heavy one (e.g. a 49-bit special prime).
+        wide_lazy = [i for i in wide if self.plans[i]._lazy]
+        wide_heavy = [i for i in wide if not self.plans[i]._lazy]
         self.groups: list[_ChannelGroup] = []
         self.single: list[int] = []
-        for idx in (narrow, wide):
+        for idx in (narrow, wide_lazy, wide_heavy):
             if len(idx) > 1:
                 self.groups.append(_ChannelGroup(idx, self.plans, self.moduli))
             else:
@@ -321,17 +440,20 @@ class BatchedNttPlan:
                 left = view[:, :, :, :t]
                 right = view[:, :, :, t:]
                 w = grp.tw[:, m : 2 * m].reshape(g, 1, m, 1)
-                v = grp.mul(right, np.broadcast_to(w, right.shape), (g, 1, 1, 1))
+                wf = grp.tw_f[:, m : 2 * m].reshape(g, 1, m, 1)
                 if grp.lazy:
-                    # Deferred reduction: v < m is reduced, so (left + v)
-                    # and (left - v + m) stay non-negative and grow the
-                    # magnitude bound by +m per stage — within the int64
-                    # budget checked at plan build.  The right half is
+                    # Deferred reduction: v is partially reduced (< m
+                    # narrow, < 2m wide), so (left + v) and
+                    # (left - v + bound) stay non-negative and grow the
+                    # magnitude by +bound per stage — within the
+                    # budgets checked at plan build.  The right half is
                     # written first so the in-place add still reads the
                     # original left half.
-                    view[:, :, :, t:] = left - v + mvec
+                    v = grp.mul(right, w, wf, (g, 1, 1, 1), full=False)
+                    view[:, :, :, t:] = left - v + (2 * mvec if grp.wide else mvec)
                     left += v
                 else:
+                    v = grp.mul(right, w, wf, (g, 1, 1, 1))
                     s = left + v
                     d = left - v
                     view[:, :, :, :t] = np.where(s >= mvec, s - mvec, s)
@@ -361,24 +483,20 @@ class BatchedNttPlan:
                 left = view[:, :, :, :t]
                 right = view[:, :, :, t:]
                 w = grp.tw_inv[:, m : 2 * m].reshape(g, 1, m, 1)
+                wf = grp.tw_inv_f[:, m : 2 * m].reshape(g, 1, m, 1)
                 s = left + right
-                if grp.lazy:
-                    # d = left - right + m stays in [0, 2m); the twiddle
-                    # product then fits int64 (2m^2 is within the lazy
-                    # budget), and grp.mul reduces it — one unconditional
-                    # add instead of a compare-and-select sweep.
-                    d = left - right + mvec
-                else:
-                    d = left - right
-                    d = np.where(d < 0, d + mvec, d)
+                # d = left - right + m stays in [0, 2m); the twiddle
+                # product 2m^2 fits int64 for every narrow modulus and
+                # wraps exactly in uint64 for wide ones — one
+                # unconditional add instead of a compare-and-select
+                # sweep.
+                d = left - right + mvec
                 view[:, :, :, :t] = np.where(s >= mvec, s - mvec, s)
-                view[:, :, :, t:] = grp.mul(
-                    d, np.broadcast_to(w, d.shape), (g, 1, 1, 1)
-                )
+                view[:, :, :, t:] = grp.mul(d, w, wf, (g, 1, 1, 1))
                 t *= 2
                 m //= 2
-            ninv = np.broadcast_to(grp.n_inv.reshape(g, 1, 1), a.shape)
-            a = grp.mul(a, ninv, (g, 1, 1))
+            ninv = grp.n_inv.reshape(g, 1, 1)
+            a = grp.mul(a, ninv, grp.n_inv_f.reshape(g, 1, 1), (g, 1, 1))
             out[grp.idx] = a.reshape((g,) + shape[1:])
         return out
 

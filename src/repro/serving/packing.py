@@ -43,7 +43,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.ciphertext import Ciphertext, CiphertextExt
 from repro.ckksrns import RnsCiphertext
 from repro.henn.backend import (
     CkksBackend,
@@ -231,6 +231,63 @@ class MemberwiseBackend(HeBackend):
             "packed handles do not rotate: slot ranges belong to distinct requests"
         )
 
+    # -- raw / extended ops (lazy relinearisation) --------------------------------
+    #
+    # An extended packed handle is simply a PackedHandle of inner
+    # extended handles; every raw primitive fans out memberwise, so the
+    # lazy evaluation of member *j* stays instruction-identical to its
+    # serial lazy evaluation.
+
+    @property
+    def supports_lazy_relin(self) -> bool:  # type: ignore[override]
+        return self.inner.supports_lazy_relin
+
+    def _use_lazy(self) -> bool:
+        return self.inner._use_lazy()
+
+    def square_raw(self, a: Any) -> PackedHandle:
+        a = _unwrap(a)
+        return PackedHandle([self.inner.square_raw(m) for m in a.members], a.counts)
+
+    def mul_raw(self, a: Any, b: Any) -> PackedHandle:
+        a, b = _unwrap(a), _unwrap(b)
+        return PackedHandle(
+            [self.inner.mul_raw(x, y) for x, y in zip(a.members, b.members)], a.counts
+        )
+
+    def rescale_ext(self, e: Any, defer_high: bool = False) -> PackedHandle:
+        e = _unwrap(e)
+        return PackedHandle(
+            [self.inner.rescale_ext(m, defer_high=defer_high) for m in e.members],
+            e.counts,
+        )
+
+    def relinearize_ext(self, e: Any) -> PackedHandle:
+        e = _unwrap(e)
+        return PackedHandle([self.inner.relinearize_ext(m) for m in e.members], e.counts)
+
+    def add_ext(self, a: Any, b: Any) -> PackedHandle:
+        a, b = _unwrap(a), _unwrap(b)
+        return PackedHandle(
+            [self.inner.add_ext(x, y) for x, y in zip(a.members, b.members)], a.counts
+        )
+
+    def mul_plain_scalar_ext(
+        self, e: Any, scalar: float, plain_scale: float | None = None
+    ) -> PackedHandle:
+        e = _unwrap(e)
+        return PackedHandle(
+            [self.inner.mul_plain_scalar_ext(m, scalar, plain_scale) for m in e.members],
+            e.counts,
+        )
+
+    def add_plain_ext(self, e: Any, value: float) -> PackedHandle:
+        e = _unwrap(e)
+        return PackedHandle([self.inner.add_plain_ext(m, value) for m in e.members], e.counts)
+
+    def scale_of_ext(self, e: Any) -> float:
+        return self.inner.scale_of_ext(_unwrap(e).members[0])
+
     # -- composite fast paths ------------------------------------------------------
 
     def weighted_sum(
@@ -355,6 +412,41 @@ class _CkksLanes:
             ct.scale,
             ct.n,
         )
+
+    @staticmethod
+    def stack_ext(cts: Sequence[CiphertextExt]) -> CiphertextExt:
+        first = cts[0]
+        return CiphertextExt(
+            np.stack([c.c0 for c in cts], axis=0),
+            np.stack([c.c1 for c in cts], axis=0),
+            np.stack([c.c2 for c in cts], axis=0),
+            first.level,
+            first.scale,
+            first.n,
+            c3=(
+                np.stack([c.c3 for c in cts], axis=0) if first.c3 is not None else None
+            ),
+            deferred=first.deferred,
+        )
+
+    @staticmethod
+    def extract_ext(ct: CiphertextExt, lane: int) -> CiphertextExt:
+        return CiphertextExt(
+            np.ascontiguousarray(ct.c0[lane]),
+            np.ascontiguousarray(ct.c1[lane]),
+            np.ascontiguousarray(ct.c2[lane]),
+            ct.level,
+            ct.scale,
+            ct.n,
+            c3=(np.ascontiguousarray(ct.c3[lane]) if ct.c3 is not None else None),
+            deferred=ct.deferred,
+        )
+
+    @classmethod
+    def extract_any(cls, ct: "Ciphertext | CiphertextExt", lane: int):
+        if isinstance(ct, CiphertextExt):
+            return cls.extract_ext(ct, lane)
+        return cls.extract(ct, lane)
 
 
 class SlotPackedBackend(HeBackend):
@@ -543,6 +635,87 @@ class SlotPackedBackend(HeBackend):
         raise NotImplementedError(
             "packed handles do not rotate: lanes belong to distinct requests"
         )
+
+    # -- raw / extended ops (lazy relinearisation) --------------------------------
+    #
+    # An extended lane handle stacks the members' extended ciphertexts
+    # along the lane axis.  Componentwise primitives (rescale, add,
+    # plain ops) are lane-generic and issue one inner call; the Kronecker
+    # products and keyswitch of big-int CKKS loop lanes, exactly like
+    # the eager ``mul`` / ``square`` above.
+
+    @property
+    def supports_lazy_relin(self) -> bool:  # type: ignore[override]
+        return self.inner.supports_lazy_relin
+
+    def _use_lazy(self) -> bool:
+        return self.inner._use_lazy()
+
+    def square_raw(self, a: Any) -> LaneHandle:
+        a = _unwrap_lane(a)
+        if self._lanes.native_ct_mul:
+            return self._rewrap(a, self.inner.square_raw(a.ct))
+        return self._rewrap(
+            a,
+            self._lanes.stack_ext(
+                [
+                    self.inner.square_raw(self._lanes.extract(a.ct, i))
+                    for i in range(a.layout.lanes)
+                ]
+            ),
+        )
+
+    def mul_raw(self, a: Any, b: Any) -> LaneHandle:
+        a, b = _unwrap_lane(a), _unwrap_lane(b)
+        layout = self._common_layout(a, b)
+        if self._lanes.native_ct_mul:
+            return LaneHandle(self.inner.mul_raw(a.ct, b.ct), layout)
+        return LaneHandle(
+            self._lanes.stack_ext(
+                [
+                    self.inner.mul_raw(
+                        self._lanes.extract(a.ct, i), self._lanes.extract_any(b.ct, i)
+                    )
+                    for i in range(layout.lanes)
+                ]
+            ),
+            layout,
+        )
+
+    def rescale_ext(self, e: Any, defer_high: bool = False) -> LaneHandle:
+        e = _unwrap_lane(e)
+        return self._rewrap(e, self.inner.rescale_ext(e.ct, defer_high=defer_high))
+
+    def relinearize_ext(self, e: Any) -> LaneHandle:
+        e = _unwrap_lane(e)
+        if self._lanes.native_ct_mul:
+            return self._rewrap(e, self.inner.relinearize_ext(e.ct))
+        return self._rewrap(
+            e,
+            self._lanes.stack(
+                [
+                    self.inner.relinearize_ext(self._lanes.extract_ext(e.ct, i))
+                    for i in range(e.layout.lanes)
+                ]
+            ),
+        )
+
+    def add_ext(self, a: Any, b: Any) -> LaneHandle:
+        a, b = _unwrap_lane(a), _unwrap_lane(b)
+        return LaneHandle(self.inner.add_ext(a.ct, b.ct), self._common_layout(a, b))
+
+    def mul_plain_scalar_ext(
+        self, e: Any, scalar: float, plain_scale: float | None = None
+    ) -> LaneHandle:
+        e = _unwrap_lane(e)
+        return self._rewrap(e, self.inner.mul_plain_scalar_ext(e.ct, scalar, plain_scale))
+
+    def add_plain_ext(self, e: Any, value: float) -> LaneHandle:
+        e = _unwrap_lane(e)
+        return self._rewrap(e, self.inner.add_plain_ext(e.ct, value))
+
+    def scale_of_ext(self, e: Any) -> float:
+        return self.inner.scale_of_ext(_unwrap_lane(e).ct)
 
     # -- composite fast paths ------------------------------------------------------
 

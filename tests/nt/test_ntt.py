@@ -1,11 +1,11 @@
-"""Negacyclic NTT: roundtrip, convolution theorem, batching."""
+"""Negacyclic NTT: roundtrip, convolution theorem, batching, lazy paths."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nt.ntt import NttPlan, bit_reverse_permutation
+from repro.nt.ntt import BatchedNttPlan, NttPlan, bit_reverse_permutation
 from repro.nt.primes import gen_ntt_primes
 
 
@@ -118,3 +118,65 @@ def test_roundtrip_property(coeffs):
     plan = NttPlan(n, p)
     a = np.array(coeffs, dtype=np.int64) % p
     assert np.array_equal(plan.inverse(plan.forward(a)), a)
+
+
+# -- lazy / Shoup reduction paths ---------------------------------------------------
+#
+# Narrow moduli defer butterfly reductions when (stages+2)*m^2 < 2^63;
+# wide moduli replace the (overflowing) direct product with a Shoup
+# ratio-multiply, additionally lazy when (2*stages+1)*m < 2^51.  Each
+# path must be exact, so convolutions against the O(n^2) big-int naive
+# reference are the ground truth across the eligibility boundaries.
+
+
+@pytest.mark.parametrize(
+    "n,bits,lazy",
+    [
+        (32, 26, True),  # narrow, lazy butterflies
+        (32, 40, True),  # wide, Shoup + lazy
+        (32, 49, False),  # wide, Shoup, per-stage reduction
+        (32, 50, False),  # widest supported modulus
+    ],
+)
+def test_convolution_exact_on_every_reduction_path(n, bits, lazy, rng):
+    p = gen_ntt_primes([bits], n)[0]
+    plan = NttPlan(n, p)
+    assert plan._lazy == lazy, (bits, p)
+    a = rng.integers(0, p, n)
+    b = rng.integers(0, p, n)
+    assert np.array_equal(plan.negacyclic_convolve(a, b), naive_negacyclic(a, b, p))
+
+
+def test_batched_partitions_and_matches_per_channel(rng):
+    """Mixed-width stacks split narrow / lazy-wide / heavy-wide, bit-identically."""
+    n = 64
+    moduli = tuple(gen_ntt_primes([26, 26, 40, 40, 49, 26], n))
+    batched = BatchedNttPlan(n, moduli)
+    # three narrow (grouped), two lazy-wide (grouped), one heavy (single)
+    assert sorted(len(g.idx) for g in batched.groups) == [2, 3]
+    assert len(batched.single) == 1
+    heavy = batched.single[0]
+    assert moduli[heavy].bit_length() == 49
+    assert not batched.plans[heavy]._lazy
+
+    stack = np.stack([rng.integers(0, m, n) for m in moduli])
+    fwd = batched.forward(stack)
+    for i, m in enumerate(moduli):
+        assert np.array_equal(fwd[i], NttPlan.get(n, m).forward(stack[i])), i
+    inv = batched.inverse(fwd)
+    assert np.array_equal(inv, stack)
+    for i, m in enumerate(moduli):
+        assert np.array_equal(inv[i], NttPlan.get(n, m).inverse(fwd[i])), i
+
+
+def test_batched_extra_axes_match_per_channel(rng):
+    """(k, B, n) stacks transform each batch row exactly like (k, n)."""
+    n = 32
+    moduli = tuple(gen_ntt_primes([26, 26, 40, 40], n))
+    batched = BatchedNttPlan(n, moduli)
+    stack = np.stack([rng.integers(0, m, (3, n)) for m in moduli])
+    fwd = batched.forward(stack)
+    for i, m in enumerate(moduli):
+        for j in range(3):
+            assert np.array_equal(fwd[i, j], NttPlan.get(n, m).forward(stack[i, j]))
+    assert np.array_equal(batched.inverse(fwd), stack)

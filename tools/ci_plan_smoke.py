@@ -6,8 +6,11 @@ batch cold (the scalar plaintext cache fills), then classifies again and
 asserts — from the ``repro.obs`` counters, not from timing — that the
 second call performed
 
-* zero fresh plaintext encodes (``plan.encode.fresh``), and
-* zero plaintext-cache misses (``plan.cache.miss``),
+* zero fresh plaintext encodes (``plan.encode.fresh``),
+* zero plaintext-cache misses (``plan.cache.miss``), and
+* exactly ``PolyProgram.relins`` relinearisation sweeps per SLAF layer
+  (``relin.count`` / ``relin.deferred``) — the lazy-relinearisation
+  contract of ``docs/KERNELS.md``,
 
 i.e. the compile-once contract holds: everything the warm path needs
 was either precompiled by :func:`repro.henn.plan.compile_plan` or
@@ -28,6 +31,7 @@ from repro.ckksrns import CkksRnsParams
 from repro.henn.backend import CkksRnsBackend
 from repro.henn.inference import HeInferenceEngine
 from repro.henn.layers import HeConv2d, HeFlatten, HeLinear, HePoly
+from repro.nt.kernels import compile_poly_program
 from repro.obs.metrics import get_registry
 
 
@@ -61,16 +65,34 @@ def main() -> int:
     cold_fresh = reg.counter("plan.encode.fresh").value
     cold_miss = reg.counter("plan.cache.miss").value
     cold_hit = reg.counter("plan.cache.hit").value
+    cold_relin = reg.counter("relin.count").value
+    cold_deferred = reg.counter("relin.deferred").value
 
     engine.classify(images)  # warm: must be fully served from caches
     warm_fresh = reg.counter("plan.encode.fresh").value - cold_fresh
     warm_miss = reg.counter("plan.cache.miss").value - cold_miss
     warm_hit = reg.counter("plan.cache.hit").value - cold_hit
+    warm_relin = reg.counter("relin.count").value - cold_relin
+    warm_deferred = reg.counter("relin.deferred").value - cold_deferred
+
+    # One degree-2 SLAF layer, positions batched into one program run:
+    # the warm path owes exactly program.relins sweeps, all deferred
+    # (post-rescale) under the default lazy mode.
+    slaf_degrees = [
+        layer.coeffs.shape[1] - 1
+        for layer in engine.layers
+        if isinstance(layer, HePoly)
+    ]
+    expected_relins = sum(compile_poly_program(d).relins for d in slaf_degrees)
 
     print(
         f"cold: fresh_encodes={cold_fresh} cache_misses={cold_miss} cache_hits={cold_hit}"
     )
     print(f"warm: fresh_encodes={warm_fresh} cache_misses={warm_miss} cache_hits={warm_hit}")
+    print(
+        f"warm: relin_sweeps={warm_relin} deferred={warm_deferred} "
+        f"(expected {expected_relins} for SLAF degrees {slaf_degrees})"
+    )
 
     ok = True
     if warm_fresh != 0:
@@ -82,8 +104,23 @@ def main() -> int:
     if warm_hit == 0:
         print("FAIL: warm classify never hit the plaintext cache (cache not in use?)")
         ok = False
+    if warm_relin != expected_relins:
+        print(
+            f"FAIL: warm classify performed {warm_relin} relinearisation sweeps, "
+            f"expected {expected_relins}"
+        )
+        ok = False
+    if warm_deferred != warm_relin:
+        print(
+            f"FAIL: only {warm_deferred}/{warm_relin} warm sweeps were deferred "
+            "(lazy relinearisation not in effect)"
+        )
+        ok = False
     if ok:
-        print("OK: warm classify performed zero plaintext encodes")
+        print(
+            "OK: warm classify performed zero plaintext encodes and "
+            f"{warm_relin} deferred relinearisation sweeps"
+        )
     return 0 if ok else 1
 
 
